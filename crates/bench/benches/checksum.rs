@@ -1,0 +1,86 @@
+//! Criterion bench: checksum-extended block updates vs their plain
+//! counterparts — the per-iteration cost of Theorem 1's maintenance, and
+//! the reverse computation the recovery path relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_blas::{Side, Trans};
+use ft_hessenberg::encode::{extend_v, extend_y, ExtMatrix};
+use ft_hessenberg::reverse::{
+    left_update_ext, reverse_left_update_ext, reverse_right_update_ext, right_update_ext,
+};
+use ft_lapack::lahr2;
+
+fn bench_checksum_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checksum_updates");
+    group.sample_size(10);
+    for &n in &[256usize, 512] {
+        let k = 32;
+        let ib = 32;
+        let a = ft_matrix::random::uniform(n, n, 11);
+        let mut work = a.clone();
+        let panel = lahr2(&mut work, k, ib);
+        let seg: Vec<f64> = (k + 1..n).map(|j| a.col(j).iter().sum()).collect();
+        let yx = extend_y(&panel.y, &seg, &panel.v, &panel.t);
+        let vx = extend_v(&panel.v);
+        let ax0 = ExtMatrix::encode(&a);
+
+        let m = n - k - 1;
+        group.bench_with_input(BenchmarkId::new("right_plain", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut w = a.clone();
+                ft_blas::gemm(
+                    Trans::No,
+                    Trans::Yes,
+                    -1.0,
+                    &panel.y.as_view(),
+                    &panel.v.view(ib - 1, 0, m - ib + 1, ib),
+                    1.0,
+                    &mut w.view_mut(0, k + ib, n, n - k - ib),
+                );
+                std::hint::black_box(w.as_slice()[0]);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("right_extended", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut ax = ax0.clone();
+                right_update_ext(&mut ax, k, ib, &yx, &vx);
+                std::hint::black_box(ax.corner());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("left_plain", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut w = a.clone();
+                ft_lapack::larfb(
+                    Side::Left,
+                    Trans::Yes,
+                    &panel.v.as_view(),
+                    &panel.t.as_view(),
+                    &mut w.view_mut(k + 1, k + ib, m, n - k - ib),
+                );
+                std::hint::black_box(w.as_slice()[0]);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("left_extended", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut ax = ax0.clone();
+                let w = left_update_ext(&mut ax, k, ib, &vx, &panel.t);
+                std::hint::black_box(w.as_slice()[0]);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reverse_pair", n), &n, |bench, _| {
+            let mut ax = ax0.clone();
+            right_update_ext(&mut ax, k, ib, &yx, &vx);
+            let w = left_update_ext(&mut ax, k, ib, &vx, &panel.t);
+            bench.iter(|| {
+                let mut axr = ax.clone();
+                reverse_left_update_ext(&mut axr, k, ib, &vx, &panel.t, &w);
+                reverse_right_update_ext(&mut axr, k, ib, &yx, &vx);
+                std::hint::black_box(axr.corner());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checksum_updates);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: the fault-tolerance micro-costs in isolation —
+//! encoding, extension construction, detection, localization — i.e. the
+//! components §V budgets as `O(N²)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_hessenberg::encode::{extend_v, extend_y, ExtMatrix};
+use ft_hessenberg::recovery::locate_errors;
+
+fn bench_ft_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ft_components");
+    group.sample_size(20);
+    for &n in &[256usize, 512] {
+        let a = ft_matrix::random::uniform(n, n, 3);
+        group.bench_with_input(BenchmarkId::new("encode", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(ExtMatrix::encode(&a)));
+        });
+
+        let ax = ExtMatrix::encode(&a);
+        group.bench_with_input(BenchmarkId::new("detect_sre_sce", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(ax.sre() - ax.sce()));
+        });
+        group.bench_with_input(BenchmarkId::new("locate", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(locate_errors(&ax, 0, 1e-10).errors.len()));
+        });
+
+        // Panel-shaped extension construction (nb = 32).
+        let nb = 32;
+        let m = n - 1;
+        let v = ft_matrix::random::uniform(m, nb, 4);
+        let t = {
+            let mut t = ft_matrix::random::uniform(nb, nb, 5);
+            for j in 0..nb {
+                for i in j + 1..nb {
+                    t[(i, j)] = 0.0;
+                }
+            }
+            t
+        };
+        let y = ft_matrix::random::uniform(n, nb, 6);
+        let seg: Vec<f64> = (0..m).map(|i| i as f64).collect();
+        group.bench_with_input(BenchmarkId::new("extend_v", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(extend_v(&v)));
+        });
+        group.bench_with_input(BenchmarkId::new("extend_y", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(extend_y(&y, &seg, &v, &t)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ft_components);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: Hessenberg reduction variants — unblocked (`gehd2`)
+//! vs blocked (`gehrd`) vs the simulated hybrid driver (Algorithm 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ft_fault::FaultPlan;
+use ft_hessenberg::{gehrd_hybrid, HybridConfig};
+use ft_hybrid::{CostModel, ExecMode, HybridCtx};
+use ft_lapack::{gehd2, gehrd, GehrdConfig};
+
+fn bench_gehrd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gehrd");
+    group.sample_size(10);
+    for &n in &[96usize, 192] {
+        let a = ft_matrix::random::uniform(n, n, 7);
+        group.throughput(Throughput::Elements((10 * n * n * n / 3) as u64));
+
+        group.bench_with_input(BenchmarkId::new("unblocked", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut w = a.clone();
+                std::hint::black_box(gehd2(&mut w));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_nb32", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut w = a.clone();
+                std::hint::black_box(gehrd(&mut w, &GehrdConfig { nb: 32, nx: 4 }));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid_sim", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+                let out = gehrd_hybrid(
+                    &a,
+                    &HybridConfig { nb: 32 },
+                    &mut ctx,
+                    &mut FaultPlan::none(),
+                );
+                std::hint::black_box(out.sim_seconds);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gehrd);
+criterion_main!(benches);

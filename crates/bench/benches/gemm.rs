@@ -1,0 +1,38 @@
+//! Criterion bench: GEMM kernel variants (the device workhorse of the
+//! trailing-matrix updates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ft_blas::{gemm_with_algo, GemmAlgo, Trans};
+use ft_matrix::Matrix;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let a = ft_matrix::random::uniform(n, n, 1);
+        let b = ft_matrix::random::uniform(n, n, 2);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        for algo in [GemmAlgo::Reference, GemmAlgo::Blocked, GemmAlgo::Parallel] {
+            group.bench_with_input(BenchmarkId::new(format!("{algo:?}"), n), &n, |bench, _| {
+                let mut cmat = Matrix::zeros(n, n);
+                bench.iter(|| {
+                    gemm_with_algo(
+                        algo,
+                        Trans::No,
+                        Trans::No,
+                        1.0,
+                        &a.as_view(),
+                        &b.as_view(),
+                        0.0,
+                        &mut cmat.as_view_mut(),
+                    );
+                    std::hint::black_box(cmat.as_slice()[0]);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! §V verification — the formal overhead analysis.
+//!
+//! The paper derives closed forms for the fault-tolerant algorithm's extra
+//! floating-point operations (FLOPinit, FLOPchkV, FLOPr_chk, FLOPc_chk,
+//! FLOPcommon, FLOPD — all `O(N²)`) against the factorization's
+//! `10/3·N³`, concluding the relative overhead decays as `O(1/N)`.
+//!
+//! This binary *measures* the FLOPs with the instrumented BLAS kernels
+//! (both drivers run in full-arithmetic mode with the global counter on)
+//! and compares them with the paper's closed forms and with the `O(1/N)`
+//! decay prediction. It also reports the storage overhead formula
+//! `S = nb·N + 4N`.
+
+use ft_bench::{sci, Args, Table};
+use ft_blas::FlopGuard;
+use ft_fault::FaultPlan;
+use ft_hessenberg::{ft_gehrd_hybrid, gehrd_hybrid, FtConfig, HybridConfig};
+use ft_hybrid::{CostModel, ExecMode, HybridCtx};
+
+/// The paper's closed forms, summed (§V).
+fn model_extra_flops(n: usize, nb: usize) -> f64 {
+    let nf = n as f64;
+    let nbf = nb as f64;
+    let iters = (n.saturating_sub(2)).div_ceil(nb);
+    // FLOPinit: two GEMVs over the n×n input.
+    let init = 2.0 * nf * (2.0 * nf - 1.0);
+    let mut chkv = 0.0;
+    let mut r_chk = 0.0;
+    let mut c_chk = 0.0;
+    let mut common = 0.0;
+    let mut detect = 0.0;
+    for i in 0..iters {
+        let rem = nf - nbf * i as f64; // ~ trailing size
+        chkv += nbf * (2.0 * rem - 1.0);
+        r_chk += rem * (2.0 * nbf - 1.0) + nf * (2.0 * nbf - 1.0) + nbf * (2.0 * rem - 1.0);
+        c_chk += 2.0 * rem * (2.0 * nbf - 1.0);
+        common += nbf * (2.0 * nbf - 1.0);
+        detect += 2.0 * (2.0 * nf - 1.0);
+    }
+    init + chkv + r_chk + c_chk + common + detect
+}
+
+fn main() {
+    let args = Args::from_env();
+    let nb = args.nb.unwrap_or(32);
+    let sizes = args
+        .sizes
+        .clone()
+        .unwrap_or_else(|| vec![126, 254, 510, 766]);
+
+    println!("§V — FLOP overhead analysis (nb = {nb})\n");
+    let mut t = Table::new(vec![
+        "N",
+        "FLOP base (measured)",
+        "10/3 N^3 (model)",
+        "FLOP extra (measured)",
+        "FLOP extra (paper model)",
+        "overhead measured",
+        "storage S = nb*N + 4N (f64s)",
+    ]);
+
+    let mut overheads: Vec<(usize, f64)> = vec![];
+    for &n in &sizes {
+        let a = ft_matrix::random::uniform(n, n, args.seed + n as u64);
+
+        let base_flops = {
+            let g = FlopGuard::new();
+            let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+            gehrd_hybrid(&a, &HybridConfig { nb }, &mut ctx, &mut FaultPlan::none());
+            g.count()
+        };
+        let ft_flops = {
+            let g = FlopGuard::new();
+            let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+            ft_gehrd_hybrid(&a, &FtConfig::with_nb(nb), &mut ctx, &mut FaultPlan::none());
+            g.count()
+        };
+        let extra = ft_flops.saturating_sub(base_flops);
+        let model = model_extra_flops(n, nb);
+        let nominal = 10.0 / 3.0 * (n as f64).powi(3);
+        let overhead = extra as f64 / base_flops as f64;
+        overheads.push((n, overhead));
+
+        t.row(vec![
+            n.to_string(),
+            base_flops.to_string(),
+            format!("{nominal:.3e}"),
+            extra.to_string(),
+            format!("{model:.3e}"),
+            sci(overhead),
+            ((nb + 4) * n).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Verify the O(1/N) decay: overhead(N) * N should be roughly constant.
+    println!("\nO(1/N) decay check (overhead × N ≈ const):");
+    let mut d = Table::new(vec!["N", "overhead × N"]);
+    for &(n, ov) in &overheads {
+        d.row(vec![n.to_string(), format!("{:.2}", ov * n as f64)]);
+    }
+    println!("{}", d.render());
+    let first = overheads.first().unwrap().1;
+    let last = overheads.last().unwrap().1;
+    println!(
+        "overhead falls from {} at N={} to {} at N={} — {}",
+        ft_bench::pct(first),
+        overheads.first().unwrap().0,
+        ft_bench::pct(last),
+        overheads.last().unwrap().0,
+        if last < first {
+            "decaying as the paper predicts"
+        } else {
+            "NOT decaying (unexpected)"
+        }
+    );
+}

@@ -1,0 +1,57 @@
+//! Panel-width design space: the paper fixes `nb = 32` (MAGMA's default
+//! for the K40 generation); this sweep shows where that sits — baseline
+//! GFLOP/s and FT overhead as functions of `nb`, on the simulated
+//! platform.
+//!
+//! Two forces trade off: small `nb` keeps the O(N²·nb) FT extras small
+//! but pays panel/kernel-launch latency more often and makes the
+//! level-3 updates skinnier; large `nb` amortizes latency but grows the
+//! serial host panel on the critical path.
+
+use ft_bench::{pct, Args, Table};
+use ft_fault::FaultPlan;
+use ft_hessenberg::{ft_gehrd_hybrid, gehrd_hybrid, FtConfig, HybridConfig};
+use ft_hybrid::{CostModel, ExecMode, HybridCtx};
+use ft_matrix::Matrix;
+
+fn main() {
+    let args = Args::from_env();
+    let sizes = args.sizes.clone().unwrap_or_else(|| vec![2046, 6014, 10110]);
+    let nbs = [8usize, 16, 32, 64, 128, 256];
+
+    println!("Panel-width sweep (timing simulator)\n");
+    for &n in &sizes {
+        let a = Matrix::zeros(n, n);
+        let mut t = Table::new(vec![
+            "nb",
+            "MAGMA Hess GF/s",
+            "FT-Hess GF/s",
+            "FT overhead",
+        ]);
+        let mut best = (0usize, 0.0f64);
+        for &nb in &nbs {
+            let mut c = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::TimingOnly, 2);
+            let base = gehrd_hybrid(&a, &HybridConfig { nb }, &mut c, &mut FaultPlan::none());
+            let mut c = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::TimingOnly, 2);
+            let ft = ft_gehrd_hybrid(&a, &FtConfig::with_nb(nb), &mut c, &mut FaultPlan::none());
+            let overhead = (ft.report.sim_seconds - base.sim_seconds) / base.sim_seconds;
+            if base.gflops() > best.1 {
+                best = (nb, base.gflops());
+            }
+            t.row(vec![
+                nb.to_string(),
+                format!("{:.1}", base.gflops()),
+                format!("{:.1}", ft.report.gflops()),
+                pct(overhead),
+            ]);
+        }
+        println!("== N = {n} ==   (best baseline nb = {})", best.0);
+        println!("{}", t.render());
+    }
+    println!(
+        "reading: GFLOP/s is fairly flat across 16–128 because the per-column\n\
+         trailing-matrix GEMV inside the panel — not the panel width — dominates\n\
+         the Hessenberg critical path; FT overhead decreases mildly with nb\n\
+         (fewer detection points and checksum kernels per run)."
+    );
+}

@@ -1,0 +1,144 @@
+//! Related-work comparison (paper §II): the **on-line** detect/correct
+//! scheme of FT-Hess vs the **post-processing** checksum scheme of the
+//! FT-QR line of work (Du et al., the paper's references 6–8).
+//!
+//! The paper's argument: post-processing corrects "up to two soft errors
+//! total during the course of the entire factorization", while the
+//! on-line scheme corrects errors at every iteration boundary and is
+//! then "ready to detect and correct subsequent soft errors". This
+//! binary quantifies both claims as a success-rate-vs-error-count sweep.
+//!
+//! Protocols (each cell: `--trials` seeded repetitions):
+//! * *on-line FT-Hess*: k errors injected at k distinct iteration
+//!   boundaries of the fault-tolerant hybrid Hessenberg reduction;
+//!   success = final residual at the fault-free level.
+//! * *post-processing FT-QR (best case)*: k errors injected into `R`
+//!   *after* the factorization — the scheme's most favourable scenario —
+//!   success = all corrected and residual restored.
+//! * *post-processing FT-QR (mid-run)*: one error injected into the
+//!   matrix before factorization (modelling a strike during the run):
+//!   structurally unrecoverable post hoc.
+
+use ft_bench::{Args, Table};
+use ft_fault::{Fault, FaultPlan, Phase, ScheduledFault};
+use ft_hessenberg::verify::ResidualReport;
+use ft_hessenberg::{ft_gehrd_hybrid, ftqr_factorize, FtConfig};
+use ft_hybrid::{CostModel, ExecMode, HybridCtx};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let args = Args::from_env();
+    let n = 96;
+    let nb = 16;
+    let trials = args.trials.unwrap_or(8);
+    let iters = (n - 2usize).div_ceil(nb);
+    let a = ft_matrix::random::uniform(n, n, args.seed);
+
+    println!(
+        "Related-work comparison: on-line FT-Hess vs post-processing FT-QR\n\
+         (n = {n}, nb = {nb}, {trials} trials per cell)\n"
+    );
+
+    let mut t = Table::new(vec![
+        "errors k",
+        "FT-Hess on-line: recovered",
+        "FT-QR post (best case): recovered",
+    ]);
+
+    for k in 1..=6usize {
+        let mut rng = StdRng::seed_from_u64(args.seed ^ (k as u64) << 8);
+
+        // --- on-line FT-Hess: k errors at k distinct iterations -------
+        let mut hess_ok = 0;
+        for _ in 0..trials {
+            let mut its: Vec<usize> = (0..iters).collect();
+            // random distinct iterations
+            for i in (1..its.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                its.swap(i, j);
+            }
+            let faults: Vec<ScheduledFault> = its
+                .iter()
+                .take(k)
+                .map(|&it| ScheduledFault {
+                    iteration: it,
+                    phase: Phase::IterationStart,
+                    fault: Fault::add(
+                        rng.gen_range(0..n),
+                        rng.gen_range(0..n),
+                        0.5 + rng.gen_range(0.0..1.0),
+                    ),
+                })
+                .collect();
+            let mut plan = FaultPlan::new(faults);
+            let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+            let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(nb), &mut ctx, &mut plan);
+            let f = out.result.unwrap();
+            let r = ResidualReport::compute(&a, &f.q(), &f.h());
+            if r.factorization < 1e-11 && r.orthogonality < 1e-11 {
+                hess_ok += 1;
+            }
+        }
+
+        // --- post-processing FT-QR, best case: k errors in final R ----
+        let mut qr_ok = 0;
+        for _ in 0..trials {
+            let mut f = ftqr_factorize(&a, nb);
+            for _ in 0..k {
+                let i = rng.gen_range(0..n - 1);
+                let j = rng.gen_range(i + 1..n);
+                let old = f.packed_mut()[(i, j)];
+                f.packed_mut()[(i, j)] = old + 0.5 + rng.gen_range(0.0..1.0);
+            }
+            let rep = f.post_process(1e-9);
+            if rep.fully_recovered() && f.residual(&a) < 1e-11 {
+                qr_ok += 1;
+            }
+        }
+
+        t.row(vec![
+            k.to_string(),
+            format!("{hess_ok}/{trials}"),
+            format!("{qr_ok}/{trials}"),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- the structural gap: a mid-run error -------------------------
+    let mut corrupted = a.clone();
+    corrupted[(60, 70)] += 1.0;
+    let mut fq = ftqr_factorize(&corrupted, nb);
+    let rep = fq.post_process(1e-9);
+    println!(
+        "\nmid-run error (injected before dependent computation):\n\
+         FT-QR post-processing: corrected {} elements, residual vs true A = {:.2e}  → {}",
+        rep.corrected.len(),
+        fq.residual(&a),
+        if fq.residual(&a) < 1e-11 {
+            "recovered"
+        } else {
+            "NOT recoverable post hoc"
+        }
+    );
+    let mut plan = FaultPlan::one(2, Fault::add(60, 70, 1.0));
+    let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+    let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(nb), &mut ctx, &mut plan);
+    let fh = out.result.unwrap();
+    let r = ResidualReport::compute(&a, &fh.q(), &fh.h());
+    println!(
+        "FT-Hess on-line:       {} recovery episode(s), residual = {:.2e}  → {}",
+        out.report.recoveries.len(),
+        r.factorization,
+        if r.factorization < 1e-11 {
+            "recovered"
+        } else {
+            "failed"
+        }
+    );
+    println!(
+        "\nreading: post-processing handles errors that strike *finished* data (≤1 per\n\
+         row of R here, ≤2 total in the published scheme); the on-line scheme corrects\n\
+         an unbounded sequence of errors because each is caught before propagating."
+    );
+}

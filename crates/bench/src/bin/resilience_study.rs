@@ -1,0 +1,150 @@
+//! Resilience study: from the paper's §I soft-error-rate motivation to
+//! measured behaviour under Poisson fault arrivals.
+//!
+//! The paper cites DRAM soft-error rates of 1k–10k FIT/chip (1 FIT = one
+//! failure per 10⁹ device-hours), 100k FIT for 130 nm SRAM, 51.7 soft
+//! errors/week on LANL's ASC Q, and a ~2×10⁻⁵ per-test-iteration flip
+//! probability across 50 000 GPUs. This binary:
+//!
+//! 1. translates FIT-class rates into expected faults per factorization
+//!    (using the simulated runtimes) and per fleet-week — showing why
+//!    "rare per run" still means "routine at scale";
+//! 2. sweeps the *expected faults per run* μ over a Poisson arrival
+//!    process, runs the FT algorithm in timing mode with the sampled
+//!    fault schedules, and reports the overhead distribution — the cost
+//!    of resilience as a function of fault pressure;
+//! 3. reports what the fault-prone baseline would have produced for the
+//!    same schedules (silent corruption probability).
+
+use ft_bench::{pct, Args, Table};
+use ft_fault::{sample_in_region, Fault, FaultPlan, Phase, Region, ScheduledFault};
+use ft_hessenberg::{ft_gehrd_hybrid, gehrd_hybrid, FtConfig, HybridConfig};
+use ft_hybrid::{CostModel, ExecMode, HybridCtx};
+use ft_matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Poisson sample via exponential gap accumulation.
+fn poisson(mu: f64, rng: &mut impl Rng) -> usize {
+    if mu <= 0.0 {
+        return 0;
+    }
+    let mut t = 0.0f64;
+    let mut k = 0usize;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        t -= u.ln() / mu;
+        if t > 1.0 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let n = 10110usize;
+    let nb = 32;
+    let a = Matrix::zeros(n, n);
+    let iters = (n - 2).div_ceil(nb);
+
+    // Baseline runtime from the simulator.
+    let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::TimingOnly, 2);
+    let base = gehrd_hybrid(&a, &HybridConfig { nb }, &mut ctx, &mut FaultPlan::none());
+    let t_run = base.sim_seconds;
+
+    println!("Resilience study (N = {n}, nb = {nb}, simulated run time {t_run:.2} s)\n");
+
+    // ---- part 1: FIT-rate translation --------------------------------
+    println!("FIT-class rates vs this workload:");
+    let mut t1 = Table::new(vec![
+        "source (paper §I)",
+        "rate",
+        "expected faults / run",
+        "runs per fault",
+        "faults per 1000-node week",
+    ]);
+    for (label, fit) in [
+        ("DRAM low (Baumann)", 1_000.0),
+        ("DRAM high (Baumann)", 10_000.0),
+        ("130nm SRAM (Jacob)", 100_000.0),
+    ] {
+        let per_hour = fit / 1e9;
+        let per_run = per_hour * t_run / 3600.0;
+        let week_fleet = per_hour * 24.0 * 7.0 * 1000.0;
+        t1.row(vec![
+            label.to_string(),
+            format!("{fit:.0} FIT"),
+            format!("{per_run:.2e}"),
+            format!("{:.1e}", 1.0 / per_run),
+            format!("{week_fleet:.1}"),
+        ]);
+    }
+    println!("{}", t1.render());
+    println!(
+        "(ASC Q's observed 51.7 errors/week sits right in this band — rare per run,\n\
+         routine per machine-week; protection must be cheap enough to leave on.)\n"
+    );
+
+    // ---- part 2: overhead vs fault pressure ---------------------------
+    let trials = args.trials.unwrap_or(12);
+    println!("Overhead under Poisson fault arrivals ({trials} trials per μ):");
+    let mut t2 = Table::new(vec![
+        "μ (faults/run)",
+        "mean faults",
+        "FT overhead mean",
+        "FT overhead max",
+        "baseline silently corrupted",
+    ]);
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    for mu in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let mut overheads = vec![];
+        let mut total_faults = 0usize;
+        let mut corrupted_runs = 0usize;
+        for _ in 0..trials {
+            let k = poisson(mu, &mut rng);
+            total_faults += k;
+            let mut faults = vec![];
+            for _ in 0..k {
+                let iteration = rng.gen_range(0..iters);
+                let kcols = (iteration * nb).min(n - 1);
+                let region = match rng.gen_range(0..3) {
+                    0 => Region::Area1,
+                    1 => Region::Area2,
+                    _ => Region::Area3,
+                };
+                let Some((row, col)) = sample_in_region(n, kcols, region, &mut rng) else {
+                    continue;
+                };
+                faults.push(ScheduledFault {
+                    iteration,
+                    phase: Phase::IterationStart,
+                    fault: Fault::add(row, col, 1.0),
+                });
+            }
+            // Any fault in H or Q data corrupts the unprotected baseline.
+            if !faults.is_empty() {
+                corrupted_runs += 1;
+            }
+            let mut plan = FaultPlan::new(faults);
+            let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::TimingOnly, 2);
+            let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(nb), &mut ctx, &mut plan);
+            overheads.push((out.report.sim_seconds - t_run) / t_run);
+        }
+        let mean = overheads.iter().sum::<f64>() / overheads.len() as f64;
+        let max = overheads.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        t2.row(vec![
+            format!("{mu}"),
+            format!("{:.1}", total_faults as f64 / trials as f64),
+            pct(mean),
+            pct(max),
+            format!("{corrupted_runs}/{trials}"),
+        ]);
+    }
+    println!("{}", t2.render());
+    println!(
+        "\nreading: every fault the baseline silently absorbs into a wrong answer costs\n\
+         FT-Hess a bounded, per-fault re-execution increment on top of the ~0.8%\n\
+         standing overhead — even at fault pressures 10⁹× beyond measured FIT rates."
+    );
+}

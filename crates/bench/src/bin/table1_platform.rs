@@ -1,0 +1,82 @@
+//! Table I — test platform specification.
+//!
+//! The paper's testbed is physical hardware; this reproduction substitutes
+//! a calibrated cost model (see DESIGN.md §2). This binary prints the
+//! paper's Table I next to the simulated platform parameters so every
+//! other experiment's GFLOP/s numbers can be interpreted.
+
+use ft_bench::Table;
+use ft_hybrid::CostModel;
+
+fn main() {
+    let m = CostModel::k40c_sandy_bridge();
+    println!("Table I — detailed specification of the (simulated) test platform\n");
+
+    let mut t = Table::new(vec!["", "CPU (paper)", "GPU (paper)", "simulated model"]);
+    t.row(vec![
+        "Processor model",
+        "Intel Xeon E5-2670",
+        "NVIDIA Tesla K40c",
+        m.name,
+    ]);
+    t.row(vec!["Clock frequency", "2.6 GHz", "745 MHz", "-"]);
+    t.row(vec!["Memory", "62 GB", "11.5 GB", "host RAM"]);
+    t.row(vec![
+        "Peak DP",
+        "10.4 Gflop/s",
+        "1.43 Tflop/s",
+        &format!(
+            "panel {} Gflop/s | GEMM {} Gflop/s",
+            m.host_panel_gflops, m.device_gemm_gflops
+        ),
+    ]);
+    t.row(vec![
+        "BLAS/LAPACK",
+        "Intel MKL 11.2",
+        "CUBLAS 7.0.28",
+        "ft-blas / ft-lapack (this repo)",
+    ]);
+    t.row(vec![
+        "OS / compiler",
+        "CentOS 6.4, gcc 4.4.7",
+        "nvcc 7.0",
+        "rustc (host)",
+    ]);
+    print!("{}", t.render());
+
+    println!("\nSimulated cost-model parameters:");
+    let mut p = Table::new(vec!["parameter", "value"]);
+    p.row(vec![
+        "host panel throughput",
+        &format!("{} Gflop/s", m.host_panel_gflops),
+    ]);
+    p.row(vec![
+        "host vector throughput",
+        &format!("{} Gflop/s", m.host_vector_gflops),
+    ]);
+    p.row(vec![
+        "host GEMM throughput",
+        &format!("{} Gflop/s", m.host_gemm_gflops),
+    ]);
+    p.row(vec![
+        "device GEMM (sustained)",
+        &format!("{} Gflop/s", m.device_gemm_gflops),
+    ]);
+    p.row(vec![
+        "device bandwidth",
+        &format!("{:.0} GB/s", m.device_bandwidth_gbs),
+    ]);
+    p.row(vec![
+        "PCIe bandwidth",
+        &format!("{} GB/s", m.link_bandwidth_gbs),
+    ]);
+    p.row(vec![
+        "PCIe latency",
+        &format!("{} us", m.link_latency_s * 1e6),
+    ]);
+    p.row(vec![
+        "kernel launch latency",
+        &format!("{} us", m.kernel_latency_s * 1e6),
+    ]);
+    print!("{}", p.render());
+}

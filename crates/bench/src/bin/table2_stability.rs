@@ -1,0 +1,61 @@
+//! Table II — numerical stability: `‖A − QHQᵀ‖₁ / (N‖A‖₁)` for the
+//! original (MAGMA-style) hybrid algorithm and the fault-tolerant
+//! algorithm with one soft error injected in Area 1/2/3 at the
+//! Beginning / Middle / End of the factorization.
+//!
+//! Default sizes are scaled for real arithmetic on one core; pass
+//! `--full` for the paper's N = 1022 … 10110 (slow) or `--sizes`.
+
+use ft_bench::stability::run_stability;
+use ft_bench::{paper_sizes, scaled_sizes, sci, Args, Table};
+
+fn main() {
+    let args = Args::from_env();
+    let nb = args.nb.unwrap_or(32);
+    let sizes = args.sizes.clone().unwrap_or_else(|| {
+        if args.full {
+            paper_sizes()
+        } else {
+            scaled_sizes()
+        }
+    });
+
+    println!("Table II — numerical stability (‖A − QHQᵀ‖₁ / (N‖A‖₁)), nb = {nb}\n");
+    let mut t = Table::new(vec![
+        "Matrix Size",
+        "MAGMA Hess",
+        "FT-Hess B (A1)",
+        "FT-Hess M (A1)",
+        "FT-Hess E (A1)",
+        "FT-Hess B (A2)",
+        "FT-Hess M (A2)",
+        "FT-Hess E (A2)",
+        "FT-Hess B/M/E (A3)",
+    ]);
+
+    for &n in &sizes {
+        let row = run_stability(n, nb, args.seed + n as u64);
+        let cell = |a: usize, m: usize| -> String {
+            row.cells[a][m]
+                .map(|r| sci(r.factorization))
+                .unwrap_or_else(|| "-".into())
+        };
+        t.row(vec![
+            n.to_string(),
+            sci(row.magma.factorization),
+            cell(0, 0),
+            cell(0, 1),
+            cell(0, 2),
+            cell(1, 0),
+            cell(1, 1),
+            cell(1, 2),
+            cell(2, 0),
+        ]);
+        eprintln!("  done N = {n} ({} recovery events)", row.recoveries);
+    }
+    println!("{}", t.render());
+    println!(
+        "\nPaper's pattern: Areas 1/2 match MAGMA to the digit (~1e-17/-18);\n\
+         Area 3 is ~100–1000× larger (encode/recover dot-product rounding) but acceptable."
+    );
+}

@@ -1,0 +1,125 @@
+//! Tiny flag parser shared by the experiment binaries (avoids a CLI
+//! dependency for five flags).
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// `--full`: run the paper's full size sweep (slow in real mode).
+    pub full: bool,
+    /// `--real`: force real-arithmetic execution where the default is the
+    /// timing-only simulator.
+    pub real: bool,
+    /// `--nb <width>`: panel width override.
+    pub nb: Option<usize>,
+    /// `--sizes a,b,c`: explicit size list override.
+    pub sizes: Option<Vec<usize>>,
+    /// `--seed <u64>`: RNG seed override.
+    pub seed: u64,
+    /// `--trials <k>`: trials per experimental cell.
+    pub trials: Option<usize>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            full: false,
+            real: false,
+            nb: None,
+            sizes: None,
+            seed: 42,
+            trials: None,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args()`-style input (first element ignored).
+    pub fn parse<I: IntoIterator<Item = String>>(input: I) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = input.into_iter().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--full" => args.full = true,
+                "--real" => args.real = true,
+                "--nb" => {
+                    let v = it.next().ok_or("--nb needs a value")?;
+                    args.nb = Some(v.parse().map_err(|_| format!("bad --nb value: {v}"))?);
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    args.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+                }
+                "--trials" => {
+                    let v = it.next().ok_or("--trials needs a value")?;
+                    args.trials = Some(v.parse().map_err(|_| format!("bad --trials value: {v}"))?);
+                }
+                "--sizes" => {
+                    let v = it.next().ok_or("--sizes needs a value")?;
+                    let parsed: Result<Vec<usize>, _> =
+                        v.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                    args.sizes = Some(parsed.map_err(|_| format!("bad --sizes list: {v}"))?);
+                }
+                "--help" | "-h" => {
+                    return Err(
+                        "flags: --full | --real | --nb <w> | --sizes a,b,c | --seed <u64> | --trials <k>"
+                            .into(),
+                    )
+                }
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        Ok(args)
+    }
+
+    /// Parses the process arguments, exiting with usage on error.
+    pub fn from_env() -> Args {
+        match Args::parse(std::env::args()) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<Args, String> {
+        let mut full = vec!["bin".to_string()];
+        full.extend(v.iter().map(|s| s.to_string()));
+        Args::parse(full)
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert!(!a.full);
+        assert!(!a.real);
+        assert_eq!(a.seed, 42);
+        assert!(a.sizes.is_none());
+    }
+
+    #[test]
+    fn all_flags() {
+        let a = parse(&[
+            "--full", "--real", "--nb", "64", "--sizes", "100,200", "--seed", "7", "--trials", "3",
+        ])
+        .unwrap();
+        assert!(a.full && a.real);
+        assert_eq!(a.nb, Some(64));
+        assert_eq!(a.sizes, Some(vec![100, 200]));
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.trials, Some(3));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--nb"]).is_err());
+        assert!(parse(&["--nb", "abc"]).is_err());
+        assert!(parse(&["--what"]).is_err());
+        assert!(parse(&["--sizes", "1,x"]).is_err());
+    }
+}

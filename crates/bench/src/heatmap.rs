@@ -1,0 +1,104 @@
+//! ASCII heat maps of difference matrices — the terminal rendition of the
+//! paper's Figure 2 error-propagation plots.
+
+use ft_matrix::Matrix;
+
+/// Renders `|diff|` down-sampled to at most `max_cells × max_cells`
+/// characters. Intensity buckets (max |diff| within each character cell):
+/// `·` zero/negligible, then `1..9` per decade above `tiny`, `#` huge.
+pub fn render_heatmap(diff: &Matrix, max_cells: usize, tiny: f64) -> String {
+    let n = diff.rows();
+    let m = diff.cols();
+    if n == 0 || m == 0 {
+        return String::new();
+    }
+    let step_r = n.div_ceil(max_cells).max(1);
+    let step_c = m.div_ceil(max_cells).max(1);
+    let mut out = String::new();
+    let mut i = 0;
+    while i < n {
+        let mut j = 0;
+        while j < m {
+            let mut worst = 0.0f64;
+            for ii in i..(i + step_r).min(n) {
+                for jj in j..(j + step_c).min(m) {
+                    worst = worst.max(diff[(ii, jj)].abs());
+                }
+            }
+            out.push(bucket(worst, tiny));
+            j += step_c;
+        }
+        out.push('\n');
+        i += step_r;
+    }
+    out
+}
+
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberate: NaN renders as '·'
+fn bucket(v: f64, tiny: f64) -> char {
+    if !(v > tiny) {
+        return '·';
+    }
+    let decades = (v / tiny).log10();
+    if decades >= 10.0 {
+        '#'
+    } else {
+        char::from_digit(decades.floor().max(1.0) as u32, 10).unwrap_or('#')
+    }
+}
+
+/// Counts elements whose |diff| exceeds `tiny` — the "polluted element"
+/// metric used to characterize the Figure 2 propagation patterns.
+pub fn polluted_count(diff: &Matrix, tiny: f64) -> usize {
+    diff.as_slice().iter().filter(|v| v.abs() > tiny).count()
+}
+
+/// Number of distinct rows containing at least one polluted element.
+pub fn polluted_rows(diff: &Matrix, tiny: f64) -> usize {
+    (0..diff.rows())
+        .filter(|&i| (0..diff.cols()).any(|j| diff[(i, j)].abs() > tiny))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_spot() {
+        let mut d = Matrix::zeros(10, 10);
+        d[(3, 4)] = 1.0;
+        assert_eq!(polluted_count(&d, 1e-12), 1);
+        assert_eq!(polluted_rows(&d, 1e-12), 1);
+        let map = render_heatmap(&d, 10, 1e-12);
+        assert_eq!(map.matches('·').count(), 99);
+    }
+
+    #[test]
+    fn row_pattern() {
+        let mut d = Matrix::zeros(8, 8);
+        for j in 2..8 {
+            d[(5, j)] = 0.5;
+        }
+        assert_eq!(polluted_rows(&d, 1e-12), 1);
+        assert_eq!(polluted_count(&d, 1e-12), 6);
+    }
+
+    #[test]
+    fn downsampling_keeps_shape() {
+        let mut d = Matrix::zeros(100, 100);
+        d[(0, 0)] = 1.0;
+        let map = render_heatmap(&d, 10, 1e-12);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines[0].starts_with(|c: char| c != '·'));
+    }
+
+    #[test]
+    fn buckets_scale_with_magnitude() {
+        assert_eq!(bucket(0.0, 1e-12), '·');
+        assert_eq!(bucket(5e-12, 1e-12), '1'); // just above tiny → first decade
+        assert_ne!(bucket(1e-10, 1e-12), '·');
+        assert_eq!(bucket(1.0, 1e-12), '#');
+    }
+}

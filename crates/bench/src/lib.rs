@@ -1,0 +1,13 @@
+//! Shared harness utilities for the experiment binaries that regenerate
+//! the paper's tables and figures (see DESIGN.md §4 for the index).
+
+pub mod cli;
+pub mod heatmap;
+pub mod sizes;
+pub mod stability;
+pub mod table;
+
+pub use cli::Args;
+pub use heatmap::{polluted_count, polluted_rows, render_heatmap};
+pub use sizes::{paper_sizes, scaled_sizes};
+pub use table::{pct, sci, Table};

@@ -1,0 +1,119 @@
+//! Shared driver for Tables II and III: real-arithmetic fault-injection
+//! runs measuring the factorization and orthogonality residuals.
+
+use ft_fault::{sample_in_region, Fault, FaultPlan, Moment, Phase, Region, ScheduledFault};
+use ft_hessenberg::{ft_gehrd_hybrid, gehrd_hybrid, FtConfig, HybridConfig};
+use ft_hybrid::{CostModel, ExecMode, HybridCtx};
+use ft_lapack::gehrd::{factorization_residual, orthogonality_residual};
+use ft_lapack::HessFactorization;
+use ft_matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Both residuals of one run.
+#[derive(Clone, Copy, Debug)]
+pub struct Residuals {
+    /// `‖A − QHQᵀ‖₁ / (N‖A‖₁)` (Table II).
+    pub factorization: f64,
+    /// `‖QQᵀ − I‖₁ / N` (Table III).
+    pub orthogonality: f64,
+}
+
+/// One row of the tables: the clean MAGMA baseline plus FT runs with one
+/// fault per (area, moment) cell.
+#[derive(Clone, Debug)]
+pub struct StabilityRow {
+    pub n: usize,
+    pub magma: Residuals,
+    /// `cells[area][moment]` with areas ordered 1, 2, 3 and moments
+    /// B, M, E. `None` when the region is empty at that moment.
+    pub cells: [[Option<Residuals>; 3]; 3],
+    /// Detection/correction counts observed (sanity telemetry).
+    pub recoveries: usize,
+}
+
+fn residuals(a0: &Matrix, f: &HessFactorization) -> Residuals {
+    let q = f.q();
+    let h = f.h();
+    Residuals {
+        factorization: factorization_residual(a0, &q, &h),
+        orthogonality: orthogonality_residual(&q),
+    }
+}
+
+/// Runs the full (area × moment) grid at one size.
+pub fn run_stability(n: usize, nb: usize, seed: u64) -> StabilityRow {
+    let a = ft_matrix::random::uniform(n, n, seed);
+    let iters = (n - 2).div_ceil(nb);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15EA5E);
+
+    // Baseline: the fault-prone hybrid algorithm, clean run.
+    let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+    let base = gehrd_hybrid(&a, &HybridConfig { nb }, &mut ctx, &mut FaultPlan::none())
+        .result
+        .unwrap();
+    let magma = residuals(&a, &base);
+
+    let mut cells: [[Option<Residuals>; 3]; 3] = Default::default();
+    let mut recoveries = 0usize;
+    for (ai, region) in [Region::Area1, Region::Area2, Region::Area3]
+        .iter()
+        .enumerate()
+    {
+        for (mi, moment) in Moment::ALL.iter().enumerate() {
+            // Area 1/3 need at least one finished panel.
+            let iteration = match region {
+                Region::Area2 => moment.iteration(iters),
+                _ => moment.iteration(iters).max(1),
+            };
+            let k = (iteration * nb).min(n - 1);
+            let Some((row, col)) = sample_in_region(n, k, *region, &mut rng) else {
+                continue;
+            };
+            let mut plan = FaultPlan::new(vec![ScheduledFault {
+                iteration,
+                phase: Phase::IterationStart,
+                fault: Fault::add(row, col, 0.5),
+            }]);
+            let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+            let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(nb), &mut ctx, &mut plan);
+            recoveries += out.report.recoveries.len() + out.report.q_corrections.len();
+            cells[ai][mi] = Some(residuals(&a, &out.result.unwrap()));
+        }
+    }
+
+    StabilityRow {
+        n,
+        magma,
+        cells,
+        recoveries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_grid_produces_sane_residuals() {
+        let row = run_stability(96, 16, 3);
+        assert!(row.magma.factorization < 1e-14);
+        assert!(row.magma.orthogonality < 1e-14);
+        assert!(
+            row.recoveries > 0,
+            "at least some faults must trigger recovery"
+        );
+        for (ai, area) in row.cells.iter().enumerate() {
+            for cell in area.iter().flatten() {
+                // Area 3 (ai == 2) tolerates the paper's ~100× larger
+                // residuals from encode/recover dot products.
+                let tol = if ai == 2 { 1e-11 } else { 1e-13 };
+                assert!(
+                    cell.factorization < tol && cell.orthogonality < tol,
+                    "area {} residuals too large: {cell:?}",
+                    ai + 1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Minimal fixed-width table rendering for experiment reports.
+
+/// A simple left-header table accumulated row by row and rendered with
+/// aligned columns (markdown-flavoured, so reports paste cleanly).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: vec![],
+        }
+    }
+
+    /// Appends one row; must match the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with per-column alignment.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for c in 0..ncols {
+                line.push_str(&format!(" {:<w$} |", cells[c], w = widths[c]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a residual like the paper's tables (`6.2529 × 10^-18` style,
+/// rendered ASCII as `6.2529e-18`).
+pub fn sci(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else {
+        format!("{v:.4e}")
+    }
+}
+
+/// Formats a percentage with two decimals.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", 100.0 * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["N", "value"]);
+        t.row(vec!["1022", "6.2529e-18"]);
+        t.row(vec!["10110", "1.75e-17"]);
+        let s = t.render();
+        assert!(s.contains("| N     | value      |"));
+        assert!(s.lines().count() == 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(6.2529e-18), "6.2529e-18");
+        assert_eq!(pct(0.0213), "2.13%");
+    }
+}

@@ -1,0 +1,159 @@
+//! Global floating-point-operation accounting.
+//!
+//! §V of the paper derives closed-form FLOP counts for the fault-tolerant
+//! algorithm's extra work (`FLOPinit`, `FLOPchkV`, `FLOPr_chk`, …) and shows
+//! the total is `O(N²)` against the factorization's `10/3·N³`. To *verify*
+//! those formulas rather than restate them, every kernel in this crate
+//! reports its FLOPs to a global counter which the `flops_analysis` harness
+//! reads around individual phases.
+//!
+//! Counting is off by default (an atomic load per kernel call when disabled,
+//! nothing else), so benchmark numbers are unaffected unless accounting was
+//! explicitly requested.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Turns global FLOP counting on or off.
+pub fn set_flop_counting(enabled: bool) {
+    COUNTING.store(enabled, Ordering::Relaxed);
+}
+
+/// Resets the global counter to zero.
+pub fn reset_flops() {
+    FLOPS.store(0, Ordering::Relaxed);
+}
+
+/// The number of FLOPs recorded since the last reset.
+pub fn flop_count() -> u64 {
+    FLOPS.load(Ordering::Relaxed)
+}
+
+/// Records `n` FLOPs if counting is enabled. Called by every kernel.
+#[inline]
+pub fn record(n: u64) {
+    if COUNTING.load(Ordering::Relaxed) {
+        FLOPS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// RAII scope: enables counting on construction, and on drop restores the
+/// previous enablement. Reads are via [`flop_count`].
+pub struct FlopGuard {
+    was_enabled: bool,
+}
+
+impl FlopGuard {
+    /// Starts a counting scope and zeroes the counter.
+    pub fn new() -> Self {
+        let was_enabled = COUNTING.swap(true, Ordering::Relaxed);
+        reset_flops();
+        FlopGuard { was_enabled }
+    }
+
+    /// FLOPs recorded since this guard was created.
+    pub fn count(&self) -> u64 {
+        flop_count()
+    }
+}
+
+impl Default for FlopGuard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for FlopGuard {
+    fn drop(&mut self) {
+        COUNTING.store(self.was_enabled, Ordering::Relaxed);
+    }
+}
+
+/// Standard FLOP models for the kernels (multiply and add counted
+/// separately, matching the paper's `2mn`-style accounting).
+pub mod model {
+    /// `C ← αAB + βC` for an `m×n` result with inner dimension `k`.
+    pub fn gemm(m: usize, n: usize, k: usize) -> u64 {
+        (2 * m * n * k) as u64
+    }
+
+    /// `y ← αAx + βy` for an `m×n` matrix.
+    pub fn gemv(m: usize, n: usize) -> u64 {
+        (2 * m * n) as u64
+    }
+
+    /// Rank-1 update of an `m×n` matrix.
+    pub fn ger(m: usize, n: usize) -> u64 {
+        (2 * m * n) as u64
+    }
+
+    /// Dot product of length-`n` vectors (`n` multiplies + `n−1` adds,
+    /// rounded to `2n` as in the paper's `N + N − 1` counts).
+    pub fn dot(n: usize) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            (2 * n - 1) as u64
+        }
+    }
+
+    /// `y ← αx + y` of length `n`.
+    pub fn axpy(n: usize) -> u64 {
+        (2 * n) as u64
+    }
+
+    /// Triangular matrix–vector product of order `n`.
+    pub fn trmv(n: usize) -> u64 {
+        (n * n) as u64
+    }
+
+    /// Triangular solve / multiply with an `m×n` right-hand side, triangle
+    /// of order `k`.
+    pub fn trmm(k: usize, other: usize) -> u64 {
+        (k * k * other) as u64
+    }
+
+    /// Blocked Hessenberg reduction of order `n`: `10/3·n³` (paper §V).
+    pub fn gehrd(n: usize) -> u64 {
+        (10 * n * n * n) as u64 / 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_disabled_by_default_records_nothing() {
+        set_flop_counting(false);
+        reset_flops();
+        record(100);
+        assert_eq!(flop_count(), 0);
+    }
+
+    #[test]
+    fn guard_counts_and_restores() {
+        set_flop_counting(false);
+        {
+            let g = FlopGuard::new();
+            record(42);
+            assert_eq!(g.count(), 42);
+            record(8);
+            assert_eq!(g.count(), 50);
+        }
+        reset_flops();
+        record(7);
+        assert_eq!(flop_count(), 0, "counting should be off after guard drop");
+    }
+
+    #[test]
+    fn models_match_hand_counts() {
+        assert_eq!(model::gemm(2, 3, 4), 48);
+        assert_eq!(model::gemv(3, 5), 30);
+        assert_eq!(model::dot(4), 7);
+        assert_eq!(model::dot(0), 0);
+        assert_eq!(model::gehrd(3), 90);
+    }
+}

@@ -1,0 +1,572 @@
+//! General matrix–matrix multiply: `C ← α·op(A)·op(B) + β·C`.
+
+use crate::flops::{model, record};
+use crate::types::Trans;
+use ft_matrix::{MatView, MatViewMut};
+
+/// Cache-blocking parameters (tuned for a ~32 KiB L1 / 256 KiB L2 class
+/// core; the microkernel is `MR × NR` and relies on LLVM auto-vectorization).
+const MC: usize = 128;
+const KC: usize = 256;
+const NC: usize = 1024;
+const MR: usize = 8;
+const NR: usize = 4;
+
+/// Minimum problem volume (`m·n·k`) before the packed kernel pays off.
+const BLOCKED_THRESHOLD: usize = 32 * 32 * 32;
+/// Minimum problem volume before spawning parallel tasks pays off.
+const PARALLEL_THRESHOLD: usize = 192 * 192 * 192;
+
+/// Which GEMM implementation to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GemmAlgo {
+    /// Pick based on problem size and available threads.
+    Auto,
+    /// Naive triple loop (test oracle; fastest for tiny problems).
+    Reference,
+    /// Cache-blocked with packed panels.
+    Blocked,
+    /// [`GemmAlgo::Blocked`] with the N dimension split across rayon tasks.
+    Parallel,
+}
+
+#[inline]
+fn op_dims(trans: Trans, a: &MatView<'_>) -> (usize, usize) {
+    match trans {
+        Trans::No => (a.rows(), a.cols()),
+        Trans::Yes => (a.cols(), a.rows()),
+    }
+}
+
+#[inline(always)]
+fn op_at(trans: Trans, a: &MatView<'_>, i: usize, k: usize) -> f64 {
+    // SAFETY: callers index within op(A)'s bounds, checked at entry.
+    unsafe {
+        match trans {
+            Trans::No => a.at_unchecked(i, k),
+            Trans::Yes => a.at_unchecked(k, i),
+        }
+    }
+}
+
+fn check_dims(
+    transa: Trans,
+    transb: Trans,
+    a: &MatView<'_>,
+    b: &MatView<'_>,
+    c: &MatViewMut<'_>,
+) -> (usize, usize, usize) {
+    let (m, ka) = op_dims(transa, a);
+    let (kb, n) = op_dims(transb, b);
+    assert_eq!(ka, kb, "gemm: inner dimensions differ: {ka} vs {kb}");
+    assert_eq!(c.rows(), m, "gemm: C rows {} != {m}", c.rows());
+    assert_eq!(c.cols(), n, "gemm: C cols {} != {n}", c.cols());
+    (m, n, ka)
+}
+
+/// Reference GEMM: straightforward loops, used as the oracle in tests and
+/// for small problems where blocking overhead dominates.
+pub fn gemm_ref(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: &MatView<'_>,
+    b: &MatView<'_>,
+    beta: f64,
+    c: &mut MatViewMut<'_>,
+) {
+    let (m, n, k) = check_dims(transa, transb, a, b, c);
+    record(model::gemm(m, n, k));
+    scale_c(beta, c);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // j-k-i ordering: innermost loop walks a column of C and (for
+    // Trans::No) a column of A — both contiguous.
+    for j in 0..n {
+        for p in 0..k {
+            let bpj = alpha * op_at(transb, b, p, j);
+            if bpj == 0.0 {
+                continue;
+            }
+            match transa {
+                Trans::No => {
+                    let acol = a.col(p);
+                    let ccol = c.col_mut(j);
+                    for i in 0..m {
+                        ccol[i] += bpj * acol[i];
+                    }
+                }
+                Trans::Yes => {
+                    let ccol = c.col_mut(j);
+                    for (i, cij) in ccol.iter_mut().enumerate() {
+                        *cij += bpj * op_at(Trans::Yes, a, i, p);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn scale_c(beta: f64, c: &mut MatViewMut<'_>) {
+    if beta == 1.0 {
+        return;
+    }
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else {
+        c.scale(beta);
+    }
+}
+
+/// Packs a `mc × kc` block of `op(A)` into row-panels of height `MR`,
+/// zero-padding the ragged edge.
+fn pack_a(
+    transa: Trans,
+    a: &MatView<'_>,
+    i0: usize,
+    p0: usize,
+    mc: usize,
+    kc: usize,
+    buf: &mut [f64],
+) {
+    let panels = mc.div_ceil(MR);
+    debug_assert!(buf.len() >= panels * MR * kc);
+    for pi in 0..panels {
+        let ib = pi * MR;
+        let h = MR.min(mc - ib);
+        let panel = &mut buf[pi * MR * kc..(pi + 1) * MR * kc];
+        for p in 0..kc {
+            let dst = &mut panel[p * MR..p * MR + MR];
+            for r in 0..h {
+                dst[r] = op_at(transa, a, i0 + ib + r, p0 + p);
+            }
+            dst[h..].fill(0.0);
+        }
+    }
+}
+
+/// Packs a `kc × nc` block of `op(B)` into column-panels of width `NR`,
+/// zero-padding the ragged edge.
+fn pack_b(
+    transb: Trans,
+    b: &MatView<'_>,
+    p0: usize,
+    j0: usize,
+    kc: usize,
+    nc: usize,
+    buf: &mut [f64],
+) {
+    let panels = nc.div_ceil(NR);
+    debug_assert!(buf.len() >= panels * NR * kc);
+    for pj in 0..panels {
+        let jb = pj * NR;
+        let w = NR.min(nc - jb);
+        let panel = &mut buf[pj * NR * kc..(pj + 1) * NR * kc];
+        for p in 0..kc {
+            let dst = &mut panel[p * NR..p * NR + NR];
+            for cidx in 0..w {
+                dst[cidx] = op_at(transb, b, p0 + p, j0 + jb + cidx);
+            }
+            dst[w..].fill(0.0);
+        }
+    }
+}
+
+/// `MR × NR` register-tiled microkernel: accumulates
+/// `alpha · Apanel · Bpanel` into `C(i0+.., j0+..)` (height `h ≤ MR`, width
+/// `w ≤ NR`).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn microkernel(
+    kc: usize,
+    alpha: f64,
+    apanel: &[f64],
+    bpanel: &[f64],
+    c: &mut MatViewMut<'_>,
+    i0: usize,
+    j0: usize,
+    h: usize,
+    w: usize,
+) {
+    let mut acc = [[0.0f64; MR]; NR];
+    for p in 0..kc {
+        let av = &apanel[p * MR..p * MR + MR];
+        let bv = &bpanel[p * NR..p * NR + NR];
+        for (jj, accj) in acc.iter_mut().enumerate() {
+            let bj = bv[jj];
+            for (ii, a) in accj.iter_mut().enumerate() {
+                *a += av[ii] * bj;
+            }
+        }
+    }
+    for jj in 0..w {
+        let ccol = &mut c.col_mut(j0 + jj)[i0..i0 + h];
+        for (ii, cij) in ccol.iter_mut().enumerate() {
+            *cij += alpha * acc[jj][ii];
+        }
+    }
+}
+
+/// Cache-blocked packed GEMM (single-threaded): the BLIS loop nest
+/// `jc → pc → ic → jr → ir` with `A` and `B` panels packed per block.
+pub fn gemm_blocked(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: &MatView<'_>,
+    b: &MatView<'_>,
+    beta: f64,
+    c: &mut MatViewMut<'_>,
+) {
+    let (m, n, k) = check_dims(transa, transb, a, b, c);
+    record(model::gemm(m, n, k));
+    scale_c(beta, c);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    let mut abuf = vec![0.0f64; MC.div_ceil(MR) * MR * KC];
+    let mut bbuf = vec![0.0f64; NC.div_ceil(NR) * NR * KC];
+
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(transb, b, pc, jc, kc, nc, &mut bbuf);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(transa, a, ic, pc, mc, kc, &mut abuf);
+                for jr in (0..nc).step_by(NR) {
+                    let w = NR.min(nc - jr);
+                    let bpanel = &bbuf[(jr / NR) * NR * kc..(jr / NR + 1) * NR * kc];
+                    for ir in (0..mc).step_by(MR) {
+                        let h = MR.min(mc - ir);
+                        let apanel = &abuf[(ir / MR) * MR * kc..(ir / MR + 1) * MR * kc];
+                        microkernel(kc, alpha, apanel, bpanel, c, ic + ir, jc + jr, h, w);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Parallel GEMM: recursively splits `C` (and the matching columns of
+/// `op(B)`) with `rayon::join`. Each task owns a disjoint `MatViewMut`, so
+/// the parallelism is data-race free by construction.
+pub fn gemm_parallel(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: &MatView<'_>,
+    b: &MatView<'_>,
+    beta: f64,
+    c: &mut MatViewMut<'_>,
+) {
+    let (m, n, k) = check_dims(transa, transb, a, b, c);
+    let threads = rayon::current_num_threads();
+    let cols_per_task = (n / threads.max(1)).max(NR).max(1);
+    split_cols(
+        transa,
+        transb,
+        alpha,
+        a,
+        b,
+        beta,
+        c.rb_mut(),
+        m,
+        k,
+        cols_per_task,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn split_cols(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: &MatView<'_>,
+    b: &MatView<'_>,
+    beta: f64,
+    c: MatViewMut<'_>,
+    m: usize,
+    k: usize,
+    cols_per_task: usize,
+) {
+    let n = c.cols();
+    if n <= cols_per_task {
+        let mut c = c;
+        gemm_blocked(
+            transa,
+            transb,
+            alpha,
+            a,
+            &op_col_slice(transb, b, 0, n, k),
+            beta,
+            &mut c,
+        );
+        return;
+    }
+    let half = n / 2;
+    let (cl, cr) = c.split_at_col(half);
+    let bl = op_col_slice(transb, b, 0, half, k);
+    let br = op_col_slice(transb, b, half, n - half, k);
+    let _ = m;
+    rayon::join(
+        || split_cols(transa, transb, alpha, a, &bl, beta, cl, m, k, cols_per_task),
+        || split_cols(transa, transb, alpha, a, &br, beta, cr, m, k, cols_per_task),
+    );
+}
+
+/// The sub-view of `b` corresponding to columns `[j0, j0+w)` of `op(B)`.
+fn op_col_slice<'a>(transb: Trans, b: &MatView<'a>, j0: usize, w: usize, k: usize) -> MatView<'a> {
+    match transb {
+        Trans::No => b.subview(0, j0, k, w),
+        Trans::Yes => b.subview(j0, 0, w, k),
+    }
+}
+
+/// GEMM with an explicit algorithm choice.
+#[allow(clippy::too_many_arguments)] // standard BLAS gemm signature
+pub fn gemm_with_algo(
+    algo: GemmAlgo,
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: &MatView<'_>,
+    b: &MatView<'_>,
+    beta: f64,
+    c: &mut MatViewMut<'_>,
+) {
+    match algo {
+        GemmAlgo::Reference => gemm_ref(transa, transb, alpha, a, b, beta, c),
+        GemmAlgo::Blocked => gemm_blocked(transa, transb, alpha, a, b, beta, c),
+        GemmAlgo::Parallel => gemm_parallel(transa, transb, alpha, a, b, beta, c),
+        GemmAlgo::Auto => {
+            let (m, ka) = op_dims(transa, a);
+            let n = c.cols();
+            let volume = m * n * ka;
+            if volume >= PARALLEL_THRESHOLD && rayon::current_num_threads() > 1 {
+                gemm_parallel(transa, transb, alpha, a, b, beta, c);
+            } else if volume >= BLOCKED_THRESHOLD {
+                gemm_blocked(transa, transb, alpha, a, b, beta, c);
+            } else {
+                gemm_ref(transa, transb, alpha, a, b, beta, c);
+            }
+        }
+    }
+}
+
+/// `C ← α·op(A)·op(B) + β·C` with automatic algorithm selection.
+pub fn gemm(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: &MatView<'_>,
+    b: &MatView<'_>,
+    beta: f64,
+    c: &mut MatViewMut<'_>,
+) {
+    gemm_with_algo(GemmAlgo::Auto, transa, transb, alpha, a, b, beta, c);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_matrix::{max_abs_diff, Matrix};
+
+    fn mul_naive(transa: Trans, transb: Trans, a: &Matrix, b: &Matrix) -> Matrix {
+        let av = a.as_view();
+        let bv = b.as_view();
+        let (m, k) = op_dims(transa, &av);
+        let (_, n) = op_dims(transb, &bv);
+        Matrix::from_fn(m, n, |i, j| {
+            (0..k)
+                .map(|p| op_at(transa, &av, i, p) * op_at(transb, &bv, p, j))
+                .sum()
+        })
+    }
+
+    #[test]
+    fn gemm_ref_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let mut c = Matrix::zeros(2, 2);
+        gemm_ref(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.as_view(),
+            &b.as_view(),
+            0.0,
+            &mut c.as_view_mut(),
+        );
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut c = Matrix::filled(2, 2, 10.0);
+        gemm_ref(
+            Trans::No,
+            Trans::No,
+            2.0,
+            &a.as_view(),
+            &b.as_view(),
+            0.5,
+            &mut c.as_view_mut(),
+        );
+        assert_eq!(c, Matrix::from_rows(&[&[7.0, 9.0], &[11.0, 13.0]]));
+    }
+
+    #[test]
+    fn all_transpose_combos_and_algos_match_naive() {
+        for &(m, n, k) in &[
+            (5usize, 7usize, 3usize),
+            (13, 9, 17),
+            (40, 33, 21),
+            (64, 64, 64),
+        ] {
+            for (ta, tb) in [
+                (Trans::No, Trans::No),
+                (Trans::No, Trans::Yes),
+                (Trans::Yes, Trans::No),
+                (Trans::Yes, Trans::Yes),
+            ] {
+                let a = match ta {
+                    Trans::No => ft_matrix::random::uniform(m, k, 1),
+                    Trans::Yes => ft_matrix::random::uniform(k, m, 1),
+                };
+                let b = match tb {
+                    Trans::No => ft_matrix::random::uniform(k, n, 2),
+                    Trans::Yes => ft_matrix::random::uniform(n, k, 2),
+                };
+                let expect = mul_naive(ta, tb, &a, &b);
+                for algo in [GemmAlgo::Reference, GemmAlgo::Blocked, GemmAlgo::Parallel] {
+                    let mut c = Matrix::zeros(m, n);
+                    gemm_with_algo(
+                        algo,
+                        ta,
+                        tb,
+                        1.0,
+                        &a.as_view(),
+                        &b.as_view(),
+                        0.0,
+                        &mut c.as_view_mut(),
+                    );
+                    let err = max_abs_diff(&c, &expect);
+                    assert!(err < 1e-12, "{algo:?} {ta:?}/{tb:?} {m}x{n}x{k}: err {err}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_ragged_edges() {
+        // Sizes chosen to leave remainders against MR=8 / NR=4 / KC=256.
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (9, 5, 2),
+            (17, 3, 300),
+            (8, 4, 256),
+        ] {
+            let a = ft_matrix::random::uniform(m, k, 3);
+            let b = ft_matrix::random::uniform(k, n, 4);
+            let expect = mul_naive(Trans::No, Trans::No, &a, &b);
+            let mut c = Matrix::zeros(m, n);
+            gemm_blocked(
+                Trans::No,
+                Trans::No,
+                1.0,
+                &a.as_view(),
+                &b.as_view(),
+                0.0,
+                &mut c.as_view_mut(),
+            );
+            assert!(max_abs_diff(&c, &expect) < 1e-11, "{m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn gemm_on_subviews() {
+        let big = ft_matrix::random::uniform(10, 10, 5);
+        let a = big.view(1, 1, 4, 3);
+        let b = big.view(5, 2, 3, 4);
+        let mut c = Matrix::zeros(4, 4);
+        gemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c.as_view_mut());
+        let expect = mul_naive(
+            Trans::No,
+            Trans::No,
+            &a.to_owned_matrix(),
+            &b.to_owned_matrix(),
+        );
+        assert!(max_abs_diff(&c, &expect) < 1e-13);
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(2);
+        let mut c = Matrix::filled(2, 2, f64::NAN);
+        gemm_blocked(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.as_view(),
+            &b.as_view(),
+            0.0,
+            &mut c.as_view_mut(),
+        );
+        assert_eq!(c, Matrix::identity(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        let mut c = Matrix::zeros(2, 2);
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.as_view(),
+            &b.as_view(),
+            0.0,
+            &mut c.as_view_mut(),
+        );
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let a = Matrix::zeros(0, 0);
+        let b = Matrix::zeros(0, 0);
+        let mut c = Matrix::zeros(0, 0);
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.as_view(),
+            &b.as_view(),
+            0.0,
+            &mut c.as_view_mut(),
+        );
+        // k = 0 with m, n > 0: C scaled by beta only.
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 2);
+        let mut c = Matrix::filled(2, 2, 3.0);
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.as_view(),
+            &b.as_view(),
+            2.0,
+            &mut c.as_view_mut(),
+        );
+        assert_eq!(c, Matrix::filled(2, 2, 6.0));
+    }
+}

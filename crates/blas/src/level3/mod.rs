@@ -1,0 +1,18 @@
+//! Level-3 BLAS: matrix–matrix operations.
+//!
+//! `gemm` is the performance-critical kernel (the paper's trailing-matrix
+//! updates are almost entirely GEMM) and comes in three implementations
+//! selected by [`GemmAlgo`]: a reference triple loop (test oracle), a
+//! cache-blocked packed kernel, and a rayon-parallel variant that splits the
+//! result into column panels (data-race free by construction — each task
+//! owns a disjoint `MatViewMut`).
+
+mod gemm;
+mod syrk;
+mod trmm;
+mod trsm;
+
+pub use gemm::{gemm, gemm_ref, gemm_with_algo, GemmAlgo};
+pub use syrk::syrk;
+pub use trmm::trmm;
+pub use trsm::trsm;

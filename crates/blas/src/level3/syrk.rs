@@ -1,0 +1,145 @@
+//! Symmetric rank-k update: `C ← α·op(A)·op(A)ᵀ + β·C` on one triangle.
+//!
+//! Used by the orthogonality verification (`QQᵀ − I`) and as a substrate
+//! kernel; only the requested triangle of `C` is referenced or written.
+
+use crate::flops::{model, record};
+use crate::types::{Trans, Uplo};
+use ft_matrix::{MatView, MatViewMut};
+
+/// Symmetric rank-k update.
+///
+/// For `Trans::No`, computes `C ← α·A·Aᵀ + β·C` with `A` of shape `n × k`;
+/// for `Trans::Yes`, `C ← α·Aᵀ·A + β·C` with `A` of shape `k × n`. `C` is
+/// `n × n` and only its `uplo` triangle is touched.
+pub fn syrk(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    a: &MatView<'_>,
+    beta: f64,
+    c: &mut MatViewMut<'_>,
+) {
+    let (n, k) = match trans {
+        Trans::No => (a.rows(), a.cols()),
+        Trans::Yes => (a.cols(), a.rows()),
+    };
+    assert_eq!(c.rows(), n, "syrk: C rows {} != {n}", c.rows());
+    assert_eq!(c.cols(), n, "syrk: C cols {} != {n}", c.cols());
+    record(model::gemm(n, n, k) / 2);
+
+    let at = |i: usize, p: usize| -> f64 {
+        match trans {
+            Trans::No => a.at(i, p),
+            Trans::Yes => a.at(p, i),
+        }
+    };
+
+    for j in 0..n {
+        let (lo, hi) = match uplo {
+            Uplo::Upper => (0, j + 1),
+            Uplo::Lower => (j, n),
+        };
+        for i in lo..hi {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += at(i, p) * at(j, p);
+            }
+            let old = c.at(i, j);
+            c.set(i, j, alpha * s + beta * old);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_matrix::Matrix;
+
+    #[test]
+    fn syrk_matches_gemm_on_triangle() {
+        let a = ft_matrix::random::uniform(4, 6, 1);
+        let mut full = Matrix::zeros(4, 4);
+        crate::level3::gemm_ref(
+            Trans::No,
+            Trans::Yes,
+            1.0,
+            &a.as_view(),
+            &a.as_view(),
+            0.0,
+            &mut full.as_view_mut(),
+        );
+        for uplo in [Uplo::Upper, Uplo::Lower] {
+            let mut c = Matrix::zeros(4, 4);
+            syrk(
+                uplo,
+                Trans::No,
+                1.0,
+                &a.as_view(),
+                0.0,
+                &mut c.as_view_mut(),
+            );
+            for j in 0..4 {
+                for i in 0..4 {
+                    let in_tri = match uplo {
+                        Uplo::Upper => i <= j,
+                        Uplo::Lower => i >= j,
+                    };
+                    if in_tri {
+                        assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-13);
+                    } else {
+                        assert_eq!(c[(i, j)], 0.0, "untouched triangle must stay zero");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_trans_matches() {
+        let a = ft_matrix::random::uniform(5, 3, 2);
+        let mut c = Matrix::zeros(3, 3);
+        syrk(
+            Uplo::Upper,
+            Trans::Yes,
+            2.0,
+            &a.as_view(),
+            0.0,
+            &mut c.as_view_mut(),
+        );
+        let mut expect = Matrix::zeros(3, 3);
+        crate::level3::gemm_ref(
+            Trans::Yes,
+            Trans::No,
+            2.0,
+            &a.as_view(),
+            &a.as_view(),
+            0.0,
+            &mut expect.as_view_mut(),
+        );
+        for j in 0..3 {
+            for i in 0..=j {
+                assert!((c[(i, j)] - expect[(i, j)]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_beta_accumulates() {
+        let a = Matrix::identity(2);
+        let mut c = Matrix::filled(2, 2, 1.0);
+        syrk(
+            Uplo::Upper,
+            Trans::No,
+            1.0,
+            &a.as_view(),
+            3.0,
+            &mut c.as_view_mut(),
+        );
+        assert_eq!(c[(0, 0)], 4.0);
+        assert_eq!(c[(0, 1)], 3.0);
+        assert_eq!(c[(1, 1)], 4.0);
+        // lower triangle untouched
+        assert_eq!(c[(1, 0)], 1.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Triangular matrix–matrix multiply:
+//! `B ← α·op(T)·B` (left) or `B ← α·B·op(T)` (right).
+
+use crate::flops::{model, record};
+use crate::level1::axpy;
+use crate::level2::trmv;
+use crate::types::{Diag, Side, Trans, Uplo};
+use ft_matrix::{MatView, MatViewMut};
+
+/// Triangular matrix–matrix multiply in place.
+///
+/// `T` is the `uplo` triangle of the leading square part of `a` (order =
+/// `B.rows()` for `Side::Left`, `B.cols()` for `Side::Right`).
+pub fn trmm(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    alpha: f64,
+    a: &MatView<'_>,
+    b: &mut MatViewMut<'_>,
+) {
+    let (m, n) = (b.rows(), b.cols());
+    let order = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    assert!(
+        a.rows() >= order && a.cols() >= order,
+        "trmm: triangle {}x{} smaller than order {order}",
+        a.rows(),
+        a.cols()
+    );
+    record(model::trmm(
+        order,
+        if matches!(side, Side::Left) { n } else { m },
+    ));
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha == 0.0 {
+        b.fill(0.0);
+        return;
+    }
+    let unit = matches!(diag, Diag::Unit);
+
+    match side {
+        // Each column of B is an independent trmv.
+        Side::Left => {
+            for j in 0..n {
+                let col = b.col_mut(j);
+                if alpha != 1.0 {
+                    for v in col.iter_mut() {
+                        *v *= alpha;
+                    }
+                }
+                trmv(uplo, trans, diag, a, col);
+            }
+        }
+        Side::Right => match (uplo, trans) {
+            // B·U: result col j = Σ_{k≤j} B(:,k)·U(k,j); descending j keeps
+            // the needed source columns unmodified.
+            (Uplo::Upper, Trans::No) => {
+                for j in (0..n).rev() {
+                    scale_col(b, j, alpha * diag_val(a, j, unit));
+                    for k in 0..j {
+                        let akj = a.at(k, j);
+                        if akj != 0.0 {
+                            add_col(b, k, j, alpha * akj);
+                        }
+                    }
+                }
+            }
+            // B·L: result col j = Σ_{k≥j} B(:,k)·L(k,j); ascending j.
+            (Uplo::Lower, Trans::No) => {
+                for j in 0..n {
+                    scale_col(b, j, alpha * diag_val(a, j, unit));
+                    for k in (j + 1)..n {
+                        let akj = a.at(k, j);
+                        if akj != 0.0 {
+                            add_col(b, k, j, alpha * akj);
+                        }
+                    }
+                }
+            }
+            // B·Uᵀ: result col j = Σ_{k≥j} B(:,k)·U(j,k); ascending j.
+            (Uplo::Upper, Trans::Yes) => {
+                for j in 0..n {
+                    scale_col(b, j, alpha * diag_val(a, j, unit));
+                    for k in (j + 1)..n {
+                        let ajk = a.at(j, k);
+                        if ajk != 0.0 {
+                            add_col(b, k, j, alpha * ajk);
+                        }
+                    }
+                }
+            }
+            // B·Lᵀ: result col j = Σ_{k≤j} B(:,k)·L(j,k); descending j.
+            (Uplo::Lower, Trans::Yes) => {
+                for j in (0..n).rev() {
+                    scale_col(b, j, alpha * diag_val(a, j, unit));
+                    for k in 0..j {
+                        let ajk = a.at(j, k);
+                        if ajk != 0.0 {
+                            add_col(b, k, j, alpha * ajk);
+                        }
+                    }
+                }
+            }
+        },
+    }
+}
+
+#[inline]
+fn diag_val(a: &MatView<'_>, j: usize, unit: bool) -> f64 {
+    if unit {
+        1.0
+    } else {
+        a.at(j, j)
+    }
+}
+
+#[inline]
+fn scale_col(b: &mut MatViewMut<'_>, j: usize, factor: f64) {
+    for v in b.col_mut(j) {
+        *v *= factor;
+    }
+}
+
+/// `B(:,dst) += factor · B(:,src)` for distinct columns of the same view.
+#[inline]
+fn add_col(b: &mut MatViewMut<'_>, src: usize, dst: usize, factor: f64) {
+    debug_assert_ne!(src, dst);
+    // Split so both columns can be borrowed at once without copying.
+    let cut = src.max(dst);
+    let (mut left, mut right) = b.rb_mut().split_at_col(cut);
+    if src < dst {
+        axpy(factor, left.col(src), right.col_mut(dst - cut));
+    } else {
+        axpy(factor, right.col(src - cut), left.col_mut(dst));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_matrix::{max_abs_diff, Matrix};
+
+    fn dense_triangle(a: &Matrix, uplo: Uplo, diag: Diag, order: usize) -> Matrix {
+        Matrix::from_fn(order, order, |i, j| {
+            let in_tri = match uplo {
+                Uplo::Upper => i <= j,
+                Uplo::Lower => i >= j,
+            };
+            if i == j && matches!(diag, Diag::Unit) {
+                1.0
+            } else if in_tri {
+                a[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn all_sixteen_variants_match_dense_gemm() {
+        let m = 5;
+        let n = 4;
+        let b0 = ft_matrix::random::uniform(m, n, 10);
+        for side in [Side::Left, Side::Right] {
+            let order = if matches!(side, Side::Left) { m } else { n };
+            let a = ft_matrix::random::uniform(order, order, 20);
+            for uplo in [Uplo::Upper, Uplo::Lower] {
+                for trans in [Trans::No, Trans::Yes] {
+                    for diag in [Diag::Unit, Diag::NonUnit] {
+                        let t = dense_triangle(&a, uplo, diag, order);
+                        let mut expect = Matrix::zeros(m, n);
+                        match side {
+                            Side::Left => crate::level3::gemm_ref(
+                                trans,
+                                Trans::No,
+                                1.5,
+                                &t.as_view(),
+                                &b0.as_view(),
+                                0.0,
+                                &mut expect.as_view_mut(),
+                            ),
+                            Side::Right => crate::level3::gemm_ref(
+                                Trans::No,
+                                trans,
+                                1.5,
+                                &b0.as_view(),
+                                &t.as_view(),
+                                0.0,
+                                &mut expect.as_view_mut(),
+                            ),
+                        }
+                        let mut b = b0.clone();
+                        trmm(
+                            side,
+                            uplo,
+                            trans,
+                            diag,
+                            1.5,
+                            &a.as_view(),
+                            &mut b.as_view_mut(),
+                        );
+                        let err = max_abs_diff(&b, &expect);
+                        assert!(
+                            err < 1e-12,
+                            "{side:?} {uplo:?} {trans:?} {diag:?}: err {err}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_zero_clears() {
+        let a = Matrix::identity(3);
+        let mut b = ft_matrix::random::uniform(3, 3, 1);
+        trmm(
+            Side::Left,
+            Uplo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            0.0,
+            &a.as_view(),
+            &mut b.as_view_mut(),
+        );
+        assert_eq!(b, Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn identity_triangle_scales_only() {
+        let a = Matrix::identity(4);
+        let b0 = ft_matrix::random::uniform(4, 2, 2);
+        let mut b = b0.clone();
+        trmm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            2.0,
+            &a.as_view(),
+            &mut b.as_view_mut(),
+        );
+        let mut expect = b0;
+        expect.scale(2.0);
+        assert!(max_abs_diff(&b, &expect) < 1e-15);
+    }
+}

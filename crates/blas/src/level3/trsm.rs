@@ -1,0 +1,222 @@
+//! Triangular solve with multiple right-hand sides:
+//! `B ← α·op(T)⁻¹·B` (left) or `B ← α·B·op(T)⁻¹` (right).
+
+use crate::flops::{model, record};
+use crate::level1::axpy;
+use crate::level2::trsv;
+use crate::types::{Diag, Side, Trans, Uplo};
+use ft_matrix::{MatView, MatViewMut};
+
+/// Triangular solve in place. Panics on an exactly-zero diagonal for
+/// `Diag::NonUnit`.
+pub fn trsm(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    alpha: f64,
+    a: &MatView<'_>,
+    b: &mut MatViewMut<'_>,
+) {
+    let (m, n) = (b.rows(), b.cols());
+    let order = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    assert!(
+        a.rows() >= order && a.cols() >= order,
+        "trsm: triangle {}x{} smaller than order {order}",
+        a.rows(),
+        a.cols()
+    );
+    record(model::trmm(
+        order,
+        if matches!(side, Side::Left) { n } else { m },
+    ));
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha != 1.0 {
+        b.scale(alpha);
+    }
+    let unit = matches!(diag, Diag::Unit);
+    let dinv = |a: &MatView<'_>, j: usize| -> f64 {
+        let d = a.at(j, j);
+        assert!(d != 0.0, "trsm: zero diagonal at {j}");
+        1.0 / d
+    };
+
+    match side {
+        // Each column of B is an independent trsv.
+        Side::Left => {
+            for j in 0..n {
+                trsv(uplo, trans, diag, a, b.col_mut(j));
+            }
+        }
+        // Solve X·op(T) = B column by column.
+        Side::Right => match (uplo, trans) {
+            // X·U = B: X(:,j) = (B(:,j) − Σ_{k<j} X(:,k)·U(k,j)) / U(j,j),
+            // ascending j.
+            (Uplo::Upper, Trans::No) => {
+                for j in 0..n {
+                    for k in 0..j {
+                        sub_col(b, k, j, a.at(k, j));
+                    }
+                    if !unit {
+                        scale_col(b, j, dinv(a, j));
+                    }
+                }
+            }
+            // X·L = B: descending j, uses k > j.
+            (Uplo::Lower, Trans::No) => {
+                for j in (0..n).rev() {
+                    for k in (j + 1)..n {
+                        sub_col(b, k, j, a.at(k, j));
+                    }
+                    if !unit {
+                        scale_col(b, j, dinv(a, j));
+                    }
+                }
+            }
+            // X·Uᵀ = B: Uᵀ(k,j) = U(j,k), lower-triangular pattern in (k,j):
+            // descending j, uses k > j.
+            (Uplo::Upper, Trans::Yes) => {
+                for j in (0..n).rev() {
+                    for k in (j + 1)..n {
+                        sub_col(b, k, j, a.at(j, k));
+                    }
+                    if !unit {
+                        scale_col(b, j, dinv(a, j));
+                    }
+                }
+            }
+            // X·Lᵀ = B: ascending j, uses k < j.
+            (Uplo::Lower, Trans::Yes) => {
+                for j in 0..n {
+                    for k in 0..j {
+                        sub_col(b, k, j, a.at(j, k));
+                    }
+                    if !unit {
+                        scale_col(b, j, dinv(a, j));
+                    }
+                }
+            }
+        },
+    }
+}
+
+#[inline]
+fn scale_col(b: &mut MatViewMut<'_>, j: usize, factor: f64) {
+    for v in b.col_mut(j) {
+        *v *= factor;
+    }
+}
+
+/// `B(:,dst) −= factor · B(:,src)` for distinct columns.
+#[inline]
+fn sub_col(b: &mut MatViewMut<'_>, src: usize, dst: usize, factor: f64) {
+    if factor == 0.0 {
+        return;
+    }
+    debug_assert_ne!(src, dst);
+    let cut = src.max(dst);
+    let (mut left, mut right) = b.rb_mut().split_at_col(cut);
+    if src < dst {
+        axpy(-factor, left.col(src), right.col_mut(dst - cut));
+    } else {
+        axpy(-factor, right.col(src - cut), left.col_mut(dst));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level3::trmm;
+    use ft_matrix::{max_abs_diff, Matrix};
+
+    /// A well-conditioned triangle source: diagonally weighted random.
+    fn tri_source(order: usize, seed: u64) -> Matrix {
+        let mut a = ft_matrix::random::uniform(order, order, seed);
+        for i in 0..order {
+            a[(i, i)] = 2.0 + a[(i, i)].abs();
+        }
+        a
+    }
+
+    #[test]
+    fn trsm_inverts_trmm_all_variants() {
+        let m = 5;
+        let n = 4;
+        let b0 = ft_matrix::random::uniform(m, n, 31);
+        for side in [Side::Left, Side::Right] {
+            let order = if matches!(side, Side::Left) { m } else { n };
+            let a = tri_source(order, 17);
+            for uplo in [Uplo::Upper, Uplo::Lower] {
+                for trans in [Trans::No, Trans::Yes] {
+                    for diag in [Diag::Unit, Diag::NonUnit] {
+                        let mut b = b0.clone();
+                        trmm(
+                            side,
+                            uplo,
+                            trans,
+                            diag,
+                            1.0,
+                            &a.as_view(),
+                            &mut b.as_view_mut(),
+                        );
+                        trsm(
+                            side,
+                            uplo,
+                            trans,
+                            diag,
+                            1.0,
+                            &a.as_view(),
+                            &mut b.as_view_mut(),
+                        );
+                        let err = max_abs_diff(&b, &b0);
+                        assert!(
+                            err < 1e-12,
+                            "{side:?} {uplo:?} {trans:?} {diag:?}: roundtrip err {err}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_alpha_scales_solution() {
+        let a = Matrix::identity(3);
+        let b0 = ft_matrix::random::uniform(3, 2, 5);
+        let mut b = b0.clone();
+        trsm(
+            Side::Left,
+            Uplo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            2.0,
+            &a.as_view(),
+            &mut b.as_view_mut(),
+        );
+        let mut expect = b0;
+        expect.scale(2.0);
+        assert!(max_abs_diff(&b, &expect) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero diagonal")]
+    fn zero_diagonal_panics() {
+        let mut a = Matrix::identity(2);
+        a[(1, 1)] = 0.0;
+        let mut b = Matrix::filled(2, 1, 1.0);
+        trsm(
+            Side::Left,
+            Uplo::Upper,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            &a.as_view(),
+            &mut b.as_view_mut(),
+        );
+    }
+}

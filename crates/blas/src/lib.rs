@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index-based loops mirror the LAPACK reference codes
+//! From-scratch BLAS kernels for the FT-Hess reproduction.
+//!
+//! This crate stands in for the vendor BLAS the paper relies on (Intel MKL
+//! on the host, CUBLAS on the device). It provides:
+//!
+//! * **level 1** — `dot`, `axpy`, `scal`, `nrm2`, … on contiguous and
+//!   strided vectors (rows of a column-major matrix are strided);
+//! * **level 2** — `gemv`, `ger`, `trmv`, `trsv` on [`ft_matrix`] views;
+//! * **level 3** — `gemm` (reference, cache-blocked packed, and
+//!   rayon-parallel), `trmm`, `trsm`, `syrk`;
+//! * **FLOP accounting** — an optional global counter ([`flops`]) that the
+//!   overhead analysis of the paper's §V is verified against.
+//!
+//! All kernels follow BLAS argument conventions (`alpha`/`beta` scalars,
+//! `Trans`/`Uplo`/`Diag`/`Side` selectors) and operate in place on
+//! [`MatViewMut`](ft_matrix::MatViewMut) windows, so they compose into
+//! LAPACK-style panel factorizations without copying.
+
+pub mod accurate;
+pub mod flops;
+pub mod level1;
+pub mod level2;
+pub mod level3;
+pub mod types;
+
+pub use accurate::{dot_compensated, dot_superblock, sum_compensated, sum_superblock, SumScheme};
+pub use flops::{flop_count, reset_flops, set_flop_counting, FlopGuard};
+pub use level1::{asum, axpy, copy, dot, iamax, nrm2, scal, swap};
+pub use level2::{gemv, ger, symv, syr, syr2, trmv, trsv};
+pub use level3::{gemm, gemm_ref, gemm_with_algo, syrk, trmm, trsm, GemmAlgo};
+pub use types::{Diag, Side, Trans, Uplo};

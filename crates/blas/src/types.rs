@@ -1,0 +1,65 @@
+//! BLAS argument selector enums.
+
+/// Whether an operand participates transposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+impl Trans {
+    /// The opposite selector.
+    pub fn flip(self) -> Trans {
+        match self {
+            Trans::No => Trans::Yes,
+            Trans::Yes => Trans::No,
+        }
+    }
+
+    /// `true` for [`Trans::Yes`].
+    pub fn is_trans(self) -> bool {
+        matches!(self, Trans::Yes)
+    }
+}
+
+/// Which triangle of a triangular/symmetric operand is referenced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Uplo {
+    /// The upper triangle.
+    Upper,
+    /// The lower triangle.
+    Lower,
+}
+
+/// Whether a triangular operand has an implicit unit diagonal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Diag {
+    /// Implicit unit diagonal (stored values ignored).
+    Unit,
+    /// Diagonal taken from storage.
+    NonUnit,
+}
+
+/// Whether a triangular operand multiplies from the left or the right.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Multiply from the left.
+    Left,
+    /// Multiply from the right.
+    Right,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trans_flip() {
+        assert_eq!(Trans::No.flip(), Trans::Yes);
+        assert_eq!(Trans::Yes.flip(), Trans::No);
+        assert!(Trans::Yes.is_trans());
+        assert!(!Trans::No.is_trans());
+    }
+}

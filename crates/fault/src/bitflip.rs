@@ -1,0 +1,63 @@
+//! IEEE-754 bit manipulation: the physical corruption mechanism.
+
+/// Flips bit `bit` (0 = least significant mantissa bit, 63 = sign) of `v`.
+///
+/// Flipping high exponent bits can produce huge values, infinities or
+/// NaNs — all of which a detection scheme must survive; the FT driver's
+/// comparisons are written NaN-safe for exactly this reason.
+pub fn flip_bit(v: f64, bit: u8) -> f64 {
+    assert!(bit < 64, "bit index {bit} out of range");
+    f64::from_bits(v.to_bits() ^ (1u64 << bit))
+}
+
+/// Flips one of the 52 mantissa bits: perturbs the value while keeping its
+/// magnitude (and finiteness) — the "quiet" corruption that is hardest to
+/// notice without checksums.
+pub fn flip_mantissa_bit(v: f64, bit: u8) -> f64 {
+    assert!(bit < 52, "mantissa bit index {bit} out of range");
+    flip_bit(v, bit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive() {
+        let v = std::f64::consts::PI;
+        for bit in [0u8, 17, 51, 52, 62, 63] {
+            let f = flip_bit(v, bit);
+            assert_ne!(f.to_bits(), v.to_bits());
+            assert_eq!(flip_bit(f, bit).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn sign_bit_negates() {
+        assert_eq!(flip_bit(2.5, 63), -2.5);
+    }
+
+    #[test]
+    fn mantissa_flip_keeps_magnitude_order() {
+        let v = 1.75e10;
+        let f = flip_mantissa_bit(v, 30);
+        assert!(f.is_finite());
+        // Same binade: exponent unchanged.
+        assert_eq!(f.abs().log2().floor(), v.abs().log2().floor());
+    }
+
+    #[test]
+    fn exponent_flip_can_produce_non_finite() {
+        // Flipping the top exponent bit of a normal number with exponent
+        // pattern 0b0111... yields 0b1111... = Inf/NaN range.
+        let v = 1.5f64; // exponent bits 01111111111
+        let f = flip_bit(v, 62);
+        assert!(!f.is_finite() || f.abs() > 1e300);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_64_panics() {
+        flip_bit(1.0, 64);
+    }
+}

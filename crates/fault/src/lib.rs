@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Transient soft-error model for the FT-Hess reproduction.
+//!
+//! The paper's failure model (§IV-A): a soft error is a silent corruption
+//! of one matrix element at a single point in time; the factorization is
+//! oblivious and continues. Errors can strike host memory (the finished
+//! `Q`/`H` panels) or device memory (the trailing matrix), and more than
+//! one simultaneous error is considered as long as the error positions do
+//! not form a rectangle.
+//!
+//! This crate provides:
+//!
+//! * [`bitflip`] — IEEE-754 single-bit flips (the physical mechanism the
+//!   papers cited in §I measure) and additive/overwrite corruptions;
+//! * [`region`] — the Area 1/2/3 partition of Figure 2(a), used to place
+//!   faults and to interpret propagation patterns;
+//! * [`injector`] — deterministic fault plans scheduled by iteration and
+//!   phase, the hook the factorization drivers call at instrumentation
+//!   points;
+//! * [`campaign`] — seeded random campaigns sweeping areas × moments.
+
+pub mod bitflip;
+pub mod campaign;
+pub mod injector;
+pub mod region;
+
+pub use bitflip::{flip_bit, flip_mantissa_bit};
+pub use campaign::{Campaign, CampaignConfig};
+pub use injector::{AppliedFault, Fault, FaultKind, FaultPlan, Phase, ScheduledFault};
+pub use region::{classify, sample_in_region, Moment, Region};

@@ -1,0 +1,206 @@
+//! The Area 1/2/3 partition of the matrix during the factorization
+//! (paper Figure 2(a)) and the B/M/E moment convention of Tables II/III.
+
+use rand::Rng;
+
+/// Where a matrix element lives relative to the factorization frontier
+/// after `k` columns have been reduced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Upper part of the trailing matrix (rows above the frontier,
+    /// columns at or right of it). A fault here propagates **row-wise**:
+    /// the row is polluted in the final `H` (Fig. 2(c)).
+    Area1,
+    /// Lower trailing matrix (the active sub-problem). A fault here is
+    /// read by every subsequent panel and update: it pollutes nearly the
+    /// whole trailing result (Fig. 2(d)) — the worst case.
+    Area2,
+    /// Finished Householder vectors (`Q` storage, below the sub-diagonal
+    /// of reduced columns, resident on the host). Never read again by the
+    /// factorization: the fault stays a single wrong element (Fig. 2(b)).
+    Area3,
+    /// Finished `H` entries (on/above the sub-diagonal of reduced
+    /// columns). Also never read again; like Area 3 but it corrupts `H`
+    /// rather than `Q`.
+    FinishedH,
+}
+
+impl Region {
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::Area1 => "Area 1",
+            Region::Area2 => "Area 2",
+            Region::Area3 => "Area 3",
+            Region::FinishedH => "H done",
+        }
+    }
+}
+
+/// Classifies element `(row, col)` of an `n × n` matrix when `k` columns
+/// have been fully reduced (`k` = iterations-completed × `nb`).
+pub fn classify(n: usize, k: usize, row: usize, col: usize) -> Region {
+    assert!(row < n && col < n, "classify: ({row},{col}) out of {n}x{n}");
+    if col >= k {
+        if row < k {
+            Region::Area1
+        } else {
+            Region::Area2
+        }
+    } else if row > col + 1 {
+        Region::Area3
+    } else {
+        Region::FinishedH
+    }
+}
+
+/// The paper's B/M/E convention: when during the factorization the fault
+/// strikes (Tables II and III columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Moment {
+    /// Right after the first iteration.
+    Beginning,
+    /// Halfway through the iterations.
+    Middle,
+    /// Just before the last iteration.
+    End,
+}
+
+impl Moment {
+    /// Maps the moment to a 0-based iteration index out of `iters` total
+    /// panel iterations; the fault is injected at that iteration's end.
+    pub fn iteration(self, iters: usize) -> usize {
+        match self {
+            Moment::Beginning => 0,
+            Moment::Middle => iters / 2,
+            Moment::End => iters.saturating_sub(2),
+        }
+        .min(iters.saturating_sub(1))
+    }
+
+    /// Short label used in report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Moment::Beginning => "B",
+            Moment::Middle => "M",
+            Moment::End => "E",
+        }
+    }
+
+    /// All three moments.
+    pub const ALL: [Moment; 3] = [Moment::Beginning, Moment::Middle, Moment::End];
+}
+
+/// Samples a uniformly random `(row, col)` inside `region` given the
+/// frontier `k`; returns `None` when the region is empty (e.g. Area 3
+/// before any column has been reduced).
+pub fn sample_in_region(
+    n: usize,
+    k: usize,
+    region: Region,
+    rng: &mut impl Rng,
+) -> Option<(usize, usize)> {
+    match region {
+        Region::Area1 => {
+            if k == 0 || k >= n {
+                return None;
+            }
+            Some((rng.gen_range(0..k), rng.gen_range(k..n)))
+        }
+        Region::Area2 => {
+            if k >= n {
+                return None;
+            }
+            Some((rng.gen_range(k..n), rng.gen_range(k..n)))
+        }
+        Region::Area3 => {
+            // Columns 0..k with rows col+2..n; column c usable iff c+2 < n.
+            let usable: Vec<usize> = (0..k.min(n)).filter(|&c| c + 2 < n).collect();
+            if usable.is_empty() {
+                return None;
+            }
+            let col = usable[rng.gen_range(0..usable.len())];
+            Some((rng.gen_range(col + 2..n), col))
+        }
+        Region::FinishedH => {
+            if k == 0 {
+                return None;
+            }
+            let col = rng.gen_range(0..k);
+            Some((rng.gen_range(0..(col + 2).min(n)), col))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The paper's worked example: N = 158, nb = 32, fault after
+    /// iteration 1 (k = 32).
+    #[test]
+    fn paper_fig2_examples() {
+        let (n, k) = (158, 32);
+        assert_eq!(classify(n, k, 53, 16), Region::Area3);
+        assert_eq!(classify(n, k, 31, 127), Region::Area1);
+        assert_eq!(classify(n, k, 63, 127), Region::Area2);
+    }
+
+    #[test]
+    fn finished_h_band() {
+        let (n, k) = (10, 4);
+        assert_eq!(classify(n, k, 0, 2), Region::FinishedH); // above diag
+        assert_eq!(classify(n, k, 3, 2), Region::FinishedH); // sub-diagonal
+        assert_eq!(classify(n, k, 4, 2), Region::Area3); // below sub-diagonal
+    }
+
+    #[test]
+    fn boundaries() {
+        let (n, k) = (8, 4);
+        assert_eq!(classify(n, k, 3, 4), Region::Area1); // last row above frontier
+        assert_eq!(classify(n, k, 4, 4), Region::Area2); // frontier corner
+        assert_eq!(classify(n, k, 7, 3), Region::Area3); // last reduced col
+    }
+
+    #[test]
+    fn moments_map_into_range() {
+        for iters in 1..20 {
+            for m in Moment::ALL {
+                let it = m.iteration(iters);
+                assert!(it < iters, "{m:?} of {iters} -> {it}");
+            }
+        }
+        assert_eq!(Moment::Beginning.iteration(10), 0);
+        assert_eq!(Moment::Middle.iteration(10), 5);
+        assert_eq!(Moment::End.iteration(10), 8);
+    }
+
+    #[test]
+    fn sampling_lands_in_region() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (n, k) = (50, 20);
+        for region in [
+            Region::Area1,
+            Region::Area2,
+            Region::Area3,
+            Region::FinishedH,
+        ] {
+            for _ in 0..200 {
+                let (r, c) = sample_in_region(n, k, region, &mut rng).unwrap();
+                assert_eq!(classify(n, k, r, c), region, "({r},{c}) for {region:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_regions_yield_none() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sample_in_region(10, 0, Region::Area1, &mut rng), None);
+        assert_eq!(sample_in_region(10, 0, Region::Area3, &mut rng), None);
+        assert_eq!(sample_in_region(10, 0, Region::FinishedH, &mut rng), None);
+        // Area 2 exists even at k = 0 (whole matrix).
+        assert!(sample_in_region(10, 0, Region::Area2, &mut rng).is_some());
+    }
+}

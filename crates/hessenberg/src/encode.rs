@@ -1,0 +1,401 @@
+//! Checksum encoding (paper §IV-B): the extended matrix `Afe` and the
+//! checksum-extended reflector block `Vce`.
+//!
+//! The `n × n` input is embedded into an `(n+1) × (n+1)` extended matrix:
+//! column `n` holds row checksums (`Ar_chk`), row `n` holds column
+//! checksums (`Ac_chk`), and the corner tracks the grand sum. The two-sided
+//! block updates are applied to the extended matrix with the reflector
+//! block `V` extended by one extra row holding its column sums — the
+//! paper's `Vce = eᵀV` — which is exactly what makes Theorem 1 hold:
+//! row/column checksums remain valid at the end of every iteration.
+//!
+//! One subtlety the paper leaves implicit: after a panel is reduced, its
+//! columns store Householder tails below the sub-diagonal, while the
+//! checksums track the *mathematical* matrix in which those entries are
+//! exactly zero. All consistency computations here therefore apply the
+//! Hessenberg mask to reduced columns ([`ExtMatrix::math_at`]).
+
+use ft_blas::SumScheme;
+use ft_matrix::{MatView, MatViewMut, Matrix};
+
+/// An `(n+1) × (n+1)` checksum-extended matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExtMatrix {
+    data: Matrix,
+    n: usize,
+    scheme: SumScheme,
+}
+
+impl ExtMatrix {
+    /// Encodes `a` (paper Algorithm 3 line 2): appends the row-checksum
+    /// column and column-checksum row, plus the grand-sum corner.
+    pub fn encode(a: &Matrix) -> Self {
+        ExtMatrix::encode_with(a, SumScheme::Naive)
+    }
+
+    /// [`ExtMatrix::encode`] with an explicit accumulation scheme for the
+    /// checksum sums. Superblock or compensated summation (reference 27
+    /// of the paper) reduces the roundoff drift of `Sre`/`Sce` and hence
+    /// the smallest corruption the detector can distinguish from noise —
+    /// quantified by the `ablations` harness.
+    pub fn encode_with(a: &Matrix, scheme: SumScheme) -> Self {
+        assert!(a.is_square(), "encode: matrix must be square");
+        let n = a.rows();
+        let mut data = Matrix::zeros(n + 1, n + 1);
+        data.set_sub_matrix(0, 0, a);
+        for j in 0..n {
+            data[(n, j)] = scheme.sum(a.col(j));
+        }
+        let mut row = vec![0.0; n];
+        for i in 0..n {
+            for (j, r) in row.iter_mut().enumerate() {
+                *r = a[(i, j)];
+            }
+            data[(i, n)] = scheme.sum(&row);
+        }
+        let chk: Vec<f64> = (0..n).map(|j| data[(n, j)]).collect();
+        data[(n, n)] = scheme.sum(&chk);
+        ExtMatrix { data, n, scheme }
+    }
+
+    /// Wraps existing `(n+1) × (n+1)` storage (used by reversal tests).
+    pub fn from_raw(data: Matrix) -> Self {
+        assert!(
+            a_square_ext(&data),
+            "from_raw: storage must be square and non-empty"
+        );
+        let n = data.rows() - 1;
+        ExtMatrix {
+            data,
+            n,
+            scheme: SumScheme::Naive,
+        }
+    }
+
+    /// The accumulation scheme used for the aggregate sums.
+    pub fn scheme(&self) -> SumScheme {
+        self.scheme
+    }
+
+    /// Logical (un-extended) dimension `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The full extended storage.
+    pub fn raw(&self) -> &Matrix {
+        &self.data
+    }
+
+    /// The full extended storage, mutably. Callers are responsible for
+    /// keeping the checksum semantics coherent.
+    pub fn raw_mut(&mut self) -> &mut Matrix {
+        &mut self.data
+    }
+
+    /// View of the real `n × n` part.
+    pub fn real(&self) -> MatView<'_> {
+        self.data.view(0, 0, self.n, self.n)
+    }
+
+    /// Mutable view of the real part.
+    pub fn real_mut(&mut self) -> MatViewMut<'_> {
+        let n = self.n;
+        self.data.view_mut(0, 0, n, n)
+    }
+
+    /// The real part as an owned matrix.
+    pub fn real_to_matrix(&self) -> Matrix {
+        self.data.sub_matrix(0, 0, self.n, self.n)
+    }
+
+    /// Row-checksum column entries (`Ar_chk`), length `n`.
+    pub fn chk_col(&self) -> &[f64] {
+        &self.data.col(self.n)[..self.n]
+    }
+
+    /// One column-checksum entry (`Ac_chk[j]`).
+    pub fn chk_row(&self, j: usize) -> f64 {
+        self.data[(self.n, j)]
+    }
+
+    /// The column-checksum row as a vector, length `n`.
+    pub fn chk_row_to_vec(&self) -> Vec<f64> {
+        (0..self.n).map(|j| self.data[(self.n, j)]).collect()
+    }
+
+    /// The grand-sum corner entry.
+    pub fn corner(&self) -> f64 {
+        self.data[(self.n, self.n)]
+    }
+
+    /// `Sre` (paper Algorithm 3 line 12): the sum of the row-checksum
+    /// column.
+    pub fn sre(&self) -> f64 {
+        self.scheme.sum(self.chk_col())
+    }
+
+    /// `Sce`: the sum of the column-checksum row.
+    pub fn sce(&self) -> f64 {
+        let row = self.chk_row_to_vec();
+        self.scheme.sum(&row)
+    }
+
+    /// The *mathematical* value at `(i, j)` when `frontier` columns have
+    /// been reduced: reduced columns are zero below the first
+    /// sub-diagonal (their storage holds Householder tails instead).
+    pub fn math_at(&self, i: usize, j: usize, frontier: usize) -> f64 {
+        if j < frontier && i > j + 1 {
+            0.0
+        } else {
+            self.data[(i, j)]
+        }
+    }
+
+    /// Mathematical row sums (length `n`) under the frontier mask.
+    pub fn math_row_sums(&self, frontier: usize) -> Vec<f64> {
+        let mut sums = vec![0.0; self.n];
+        for j in 0..self.n {
+            let lim = if j < frontier {
+                (j + 2).min(self.n)
+            } else {
+                self.n
+            };
+            for (i, s) in sums.iter_mut().enumerate().take(lim) {
+                *s += self.data[(i, j)];
+            }
+        }
+        sums
+    }
+
+    /// Mathematical column sums (length `n`) under the frontier mask.
+    pub fn math_col_sums(&self, frontier: usize) -> Vec<f64> {
+        let mut sums = vec![0.0; self.n];
+        for (j, s) in sums.iter_mut().enumerate() {
+            let lim = if j < frontier {
+                (j + 2).min(self.n)
+            } else {
+                self.n
+            };
+            *s = self.data.col(j)[..lim].iter().sum();
+        }
+        sums
+    }
+
+    /// Refreshes the column-checksum entries of columns `c0..c1` from the
+    /// stored data under the frontier mask (used for just-finished panel
+    /// columns, whose storage switched to `H`-plus-reflector form).
+    pub fn refresh_chk_row(&mut self, c0: usize, c1: usize, frontier: usize) {
+        for j in c0..c1.min(self.n) {
+            let lim = if j < frontier {
+                (j + 2).min(self.n)
+            } else {
+                self.n
+            };
+            let s: f64 = self.data.col(j)[..lim].iter().sum();
+            self.data[(self.n, j)] = s;
+        }
+    }
+
+    /// Extracts the final packed `n × n` factorization output.
+    pub fn into_packed(self) -> Matrix {
+        self.data.sub_matrix(0, 0, self.n, self.n)
+    }
+}
+
+fn a_square_ext(data: &Matrix) -> bool {
+    data.is_square() && data.rows() >= 1
+}
+
+/// Extends a reflector block `V` (`m × ib`) by one extra row holding its
+/// column sums — the paper's `Vce` (Algorithm 3 line 7). The extra row
+/// sits at local row `m`, which corresponds exactly to the checksum
+/// row/column index `n` of the extended matrix (since local row `r` maps
+/// to global index `k + 1 + r` and `k + 1 + m = n`).
+pub fn extend_v(v: &Matrix) -> Matrix {
+    let (m, ib) = (v.rows(), v.cols());
+    let mut vx = Matrix::zeros(m + 1, ib);
+    vx.set_sub_matrix(0, 0, v);
+    for j in 0..ib {
+        let s: f64 = v.col(j).iter().sum();
+        vx[(m, j)] = s;
+    }
+    vx
+}
+
+/// Extends `Y = A·V·T` (`n × ib`) by one extra row holding the checksum
+/// row's image — the paper's `Yce` (Algorithm 3 line 6):
+/// `Yce = Ac_chk(k+1..n) · V · T`, computed from the *pre-update* checksum
+/// row so it provides an independent path for error detection.
+pub fn extend_y(y: &Matrix, chk_row_seg: &[f64], v: &Matrix, t: &Matrix) -> Matrix {
+    let (n, ib) = (y.rows(), y.cols());
+    let m = v.rows();
+    assert_eq!(chk_row_seg.len(), m, "extend_y: checksum segment length");
+    let mut yx = Matrix::zeros(n + 1, ib);
+    yx.set_sub_matrix(0, 0, y);
+    // w = Vᵀ · chk_seg, then yce = Tᵀ · w (row-vector times matrix).
+    let mut w = vec![0.0; ib];
+    ft_blas::gemv(
+        ft_blas::Trans::Yes,
+        1.0,
+        &v.as_view(),
+        chk_row_seg,
+        0.0,
+        &mut w,
+    );
+    ft_blas::trmv(
+        ft_blas::Uplo::Upper,
+        ft_blas::Trans::Yes,
+        ft_blas::Diag::NonUnit,
+        &t.as_view(),
+        &mut w,
+    );
+    for j in 0..ib {
+        yx[(n, j)] = w[j];
+    }
+    yx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        ft_matrix::random::uniform(6, 6, 3)
+    }
+
+    #[test]
+    fn encode_checksums_correct() {
+        let a = sample();
+        let e = ExtMatrix::encode(&a);
+        assert_eq!(e.n(), 6);
+        for i in 0..6 {
+            let expect: f64 = (0..6).map(|j| a[(i, j)]).sum();
+            assert!((e.chk_col()[i] - expect).abs() < 1e-14);
+        }
+        for j in 0..6 {
+            let expect: f64 = a.col(j).iter().sum();
+            assert!((e.chk_row(j) - expect).abs() < 1e-14);
+        }
+        assert!((e.corner() - a.grand_sum()).abs() < 1e-13);
+        assert!(
+            (e.sre() - e.sce()).abs() < 1e-13,
+            "fresh encoding is consistent"
+        );
+        assert!((e.sre() - a.grand_sum()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn real_part_roundtrip() {
+        let a = sample();
+        let e = ExtMatrix::encode(&a);
+        assert_eq!(e.real_to_matrix(), a);
+        assert_eq!(e.clone().into_packed(), a);
+    }
+
+    #[test]
+    fn math_masking() {
+        let mut a = Matrix::zeros(4, 4);
+        a.fill(1.0);
+        let e = ExtMatrix::encode(&a);
+        // With frontier 2, storage (3,0), (2,0), (3,1) are masked to 0
+        // (below sub-diagonal of reduced columns).
+        assert_eq!(e.math_at(3, 0, 2), 0.0);
+        assert_eq!(e.math_at(2, 0, 2), 0.0);
+        assert_eq!(e.math_at(3, 1, 2), 0.0);
+        assert_eq!(e.math_at(1, 0, 2), 1.0); // sub-diagonal kept
+        assert_eq!(e.math_at(3, 2, 2), 1.0); // beyond frontier kept
+        let rs = e.math_row_sums(2);
+        assert_eq!(rs, vec![4.0, 4.0, 3.0, 2.0]);
+        let cs = e.math_col_sums(2);
+        assert_eq!(cs, vec![2.0, 3.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn refresh_chk_row_uses_mask() {
+        let mut a = Matrix::zeros(4, 4);
+        a.fill(1.0);
+        let mut e = ExtMatrix::encode(&a);
+        // Pretend column 0 was reduced: its checksum should become the
+        // masked sum 2.0 (rows 0 and 1 only).
+        e.refresh_chk_row(0, 1, 1);
+        assert_eq!(e.chk_row(0), 2.0);
+        assert_eq!(e.chk_row(1), 4.0, "other columns untouched");
+    }
+
+    #[test]
+    fn extend_v_appends_column_sums() {
+        let v = ft_matrix::random::uniform(5, 3, 7);
+        let vx = extend_v(&v);
+        assert_eq!(vx.rows(), 6);
+        assert_eq!(vx.cols(), 3);
+        for j in 0..3 {
+            let expect: f64 = v.col(j).iter().sum();
+            assert!((vx[(5, j)] - expect).abs() < 1e-14);
+            for r in 0..5 {
+                assert_eq!(vx[(r, j)], v[(r, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn extend_y_matches_direct_columnsums_of_y() {
+        // When the checksum segment really is eᵀA over V's support, the
+        // extension must equal the column sums of Y = A·V·T.
+        let n = 7;
+        let k = 1; // V over rows k+1..n, m = 5
+        let m = n - k - 1;
+        let a = ft_matrix::random::uniform(n, n, 8);
+        let v = {
+            let mut v = ft_matrix::random::uniform(m, 3, 9);
+            for j in 0..3 {
+                for r in 0..j {
+                    v[(r, j)] = 0.0;
+                }
+                v[(j, j)] = 1.0;
+            }
+            v
+        };
+        let t = {
+            let mut t = ft_matrix::random::uniform(3, 3, 10);
+            for j in 0..3 {
+                for i in j + 1..3 {
+                    t[(i, j)] = 0.0;
+                }
+            }
+            t
+        };
+        // Y = A(:, k+1..n) · V · T
+        let mut av = Matrix::zeros(n, 3);
+        ft_blas::gemm(
+            ft_blas::Trans::No,
+            ft_blas::Trans::No,
+            1.0,
+            &a.view(0, k + 1, n, m),
+            &v.as_view(),
+            0.0,
+            &mut av.as_view_mut(),
+        );
+        let mut y = Matrix::zeros(n, 3);
+        ft_blas::gemm(
+            ft_blas::Trans::No,
+            ft_blas::Trans::No,
+            1.0,
+            &av.as_view(),
+            &t.as_view(),
+            0.0,
+            &mut y.as_view_mut(),
+        );
+        // checksum segment = column sums of A over columns k+1..n.
+        let seg: Vec<f64> = (k + 1..n).map(|j| a.col(j).iter().sum()).collect();
+        let yx = extend_y(&y, &seg, &v, &t);
+        for j in 0..3 {
+            let expect: f64 = y.col(j).iter().sum();
+            assert!(
+                (yx[(n, j)] - expect).abs() < 1e-12,
+                "Yce[{j}] = {} vs column sum {expect}",
+                yx[(n, j)]
+            );
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Host-side protection of the `Q` factor (paper §IV-E).
+//!
+//! The Householder vectors live below the first sub-diagonal of the
+//! reduced columns. They are generated on the host, never modified — and
+//! never *read* — after their panel finishes, so one checksum per row and
+//! per column suffices to locate and correct an error, and the check only
+//! needs to run once, at the end of the factorization.
+//!
+//! Checksum maintenance mirrors Figure 5 of the paper: when a panel
+//! finishes, its per-row partial sums are folded into the running
+//! row-checksum vector (`Qr_chk`, the dashed line on the left) and its
+//! per-column sums are written into the corresponding *segment* of the
+//! column-checksum vector (`Qc_chk`, the dashed line at the bottom),
+//! which is never touched again. The reflector scales `tau` carry their
+//! own scalar checksum.
+
+use ft_matrix::Matrix;
+
+/// Running checksums over the `Q` (Householder-vector) storage region.
+#[derive(Clone, Debug)]
+pub struct QProtection {
+    n: usize,
+    /// Row sums over all absorbed panels (`Qr_chk`), length `n`.
+    qr_chk: Vec<f64>,
+    /// Per-column sums (`Qc_chk`), length `n`; segment `j` written when
+    /// column `j`'s panel finishes.
+    qc_chk: Vec<f64>,
+    /// Scalar checksum over the reflector scales.
+    tau_sum: f64,
+    /// Columns absorbed so far (the frontier).
+    frontier: usize,
+}
+
+/// An error found (and fixed) by the final `Q` verification.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QCorrection {
+    /// Corrected row.
+    pub row: usize,
+    /// Corrected column.
+    pub col: usize,
+    /// `stored − correct`.
+    pub delta: f64,
+}
+
+impl QProtection {
+    /// Empty protection state for an `n × n` factorization.
+    pub fn new(n: usize) -> Self {
+        QProtection {
+            n,
+            qr_chk: vec![0.0; n],
+            qc_chk: vec![0.0; n],
+            tau_sum: 0.0,
+            frontier: 0,
+        }
+    }
+
+    /// Columns protected so far.
+    pub fn frontier(&self) -> usize {
+        self.frontier
+    }
+
+    /// Absorbs a finished panel: columns `k..k+ib` of `packed` (an
+    /// `(n+…) × (n+…)` storage whose leading `n × n` block is the LAPACK
+    /// packed factorization), with reflector scales `taus`.
+    ///
+    /// Must be called in order (`k == frontier`), *after* the iteration
+    /// has been verified — so a rolled-back iteration is never absorbed
+    /// twice.
+    pub fn absorb_panel(&mut self, packed: &Matrix, k: usize, ib: usize, taus: &[f64]) {
+        assert_eq!(k, self.frontier, "panels must be absorbed in order");
+        assert!(taus.len() >= ib.min(taus.len()));
+        for j in k..(k + ib).min(self.n) {
+            let mut colsum = 0.0;
+            for i in (j + 2)..self.n {
+                let v = packed[(i, j)];
+                self.qr_chk[i] += v;
+                colsum += v;
+            }
+            self.qc_chk[j] = colsum;
+        }
+        for &t in taus.iter().take(ib) {
+            self.tau_sum += t;
+        }
+        self.frontier = k + ib;
+    }
+
+    /// Recomputes both checksum vectors from the stored data and corrects
+    /// any located errors in place (paper §IV-F, applied once at the end).
+    ///
+    /// Returns the corrections performed. Uses the same deficit-matching
+    /// logic as the trailing-matrix recovery: single errors and
+    /// non-rectangle multi-error patterns are corrected.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberate: NaN must count as exceeded
+    pub fn verify_and_correct(&self, packed: &mut Matrix, tol: f64) -> Vec<QCorrection> {
+        let n = self.n;
+        let mut row_sums = vec![0.0; n];
+        let mut col_sums = vec![0.0; n];
+        for j in 0..self.frontier {
+            for i in (j + 2)..n {
+                let v = packed[(i, j)];
+                row_sums[i] += v;
+                col_sums[j] += v;
+            }
+        }
+        let row_def: Vec<(usize, f64)> = (0..n)
+            .filter_map(|i| {
+                let d = row_sums[i] - self.qr_chk[i];
+                if !(d.abs() <= tol) {
+                    Some((i, d))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let col_def: Vec<(usize, f64)> = (0..n)
+            .filter_map(|j| {
+                let d = col_sums[j] - self.qc_chk[j];
+                if !(d.abs() <= tol) {
+                    Some((j, d))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        let mut corrections = vec![];
+        match (row_def.len(), col_def.len()) {
+            (0, 0) => {}
+            (1, _) => {
+                let (r, _) = row_def[0];
+                for &(c, d) in &col_def {
+                    corrections.push(QCorrection {
+                        row: r,
+                        col: c,
+                        delta: d,
+                    });
+                }
+            }
+            (_, 1) => {
+                let (c, _) = col_def[0];
+                for &(r, d) in &row_def {
+                    corrections.push(QCorrection {
+                        row: r,
+                        col: c,
+                        delta: d,
+                    });
+                }
+            }
+            _ => {
+                // Peel unique magnitude matches (non-rectangle patterns).
+                let mut rows = row_def;
+                let mut cols = col_def;
+                while !rows.is_empty() && !cols.is_empty() {
+                    let mut advanced = false;
+                    'outer: for ri in 0..rows.len() {
+                        let (r, rd) = rows[ri];
+                        let cands: Vec<usize> = (0..cols.len())
+                            .filter(|&ci| (rd - cols[ci].1).abs() <= tol.max(1e-9 * rd.abs()))
+                            .collect();
+                        if cands.len() == 1 {
+                            let (c, d) = cols[cands[0]];
+                            corrections.push(QCorrection {
+                                row: r,
+                                col: c,
+                                delta: d,
+                            });
+                            rows.remove(ri);
+                            cols.remove(cands[0]);
+                            advanced = true;
+                            break 'outer;
+                        }
+                    }
+                    if !advanced {
+                        break;
+                    }
+                }
+            }
+        }
+        for c in &corrections {
+            let old = packed[(c.row, c.col)];
+            packed[(c.row, c.col)] = old - c.delta;
+        }
+        corrections
+    }
+
+    /// Verifies and repairs a single corrupted `tau` via the scalar
+    /// checksum. Returns the corrected index, if any.
+    pub fn verify_taus(&self, taus: &mut [f64], tol: f64) -> Option<usize> {
+        let sum: f64 = taus.iter().sum();
+        let d = sum - self.tau_sum;
+        if d.abs() <= tol {
+            return None;
+        }
+        // Locate which tau is off: LAPACK taus are either 0 or in [1, 2];
+        // with a single corruption the deficit identifies it only if we
+        // know the clean value. We repair by distributing the deficit to
+        // the unique out-of-range entry if one exists.
+        let suspect = taus
+            .iter()
+            .position(|&t| t.is_nan() || !(t == 0.0 || (1.0..=2.0).contains(&t)))?;
+        // Recompute from the checksum minus the healthy entries (robust to
+        // a NaN corruption, where subtracting the deficit would be NaN).
+        let others: f64 = taus
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != suspect)
+            .map(|(_, &t)| t)
+            .sum();
+        taus[suspect] = self.tau_sum - others;
+        Some(suspect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_lapack::{gehrd, GehrdConfig};
+
+    /// A real packed factorization plus fully-absorbed protection.
+    fn protected(n: usize, nb: usize, seed: u64) -> (Matrix, Vec<f64>, QProtection) {
+        let mut a = ft_matrix::random::uniform(n, n, seed);
+        let tau = gehrd(&mut a, &GehrdConfig { nb, nx: 1 });
+        let mut q = QProtection::new(n);
+        let mut k = 0;
+        while k < n - 2 {
+            let ib = nb.min(n - 2 - k);
+            q.absorb_panel(&a, k, ib, &tau[k..k + ib]);
+            k += ib;
+        }
+        (a, tau, q)
+    }
+
+    #[test]
+    fn clean_q_verifies_clean() {
+        let (mut a, _tau, q) = protected(24, 6, 1);
+        let fixes = q.verify_and_correct(&mut a, 1e-10);
+        assert!(fixes.is_empty());
+    }
+
+    #[test]
+    fn single_q_error_corrected() {
+        let (mut a, _tau, q) = protected(24, 6, 2);
+        let truth = a[(15, 4)]; // below sub-diagonal of a reduced column
+        a[(15, 4)] += 0.125;
+        let fixes = q.verify_and_correct(&mut a, 1e-10);
+        assert_eq!(fixes.len(), 1);
+        assert_eq!((fixes[0].row, fixes[0].col), (15, 4));
+        assert!((a[(15, 4)] - truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_q_errors_distinct_rows_cols() {
+        let (mut a, _tau, q) = protected(30, 8, 3);
+        let t1 = a[(10, 3)];
+        let t2 = a[(22, 17)];
+        a[(10, 3)] += 0.5;
+        a[(22, 17)] -= 0.25;
+        let fixes = q.verify_and_correct(&mut a, 1e-10);
+        assert_eq!(fixes.len(), 2);
+        assert!((a[(10, 3)] - t1).abs() < 1e-12);
+        assert!((a[(22, 17)] - t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_order_absorb_panics() {
+        let (a, tau, _) = protected(12, 4, 4);
+        let mut q = QProtection::new(12);
+        let result = std::panic::catch_unwind(move || {
+            q.absorb_panel(&a, 4, 4, &tau[4..8]); // skips panel 0
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn tau_checksum_repairs_nan() {
+        let (a, mut tau, q) = protected(20, 5, 5);
+        let _ = a;
+        let truth = tau[3];
+        tau[3] = f64::NAN;
+        let fixed = q.verify_taus(&mut tau, 1e-10);
+        assert_eq!(fixed, Some(3));
+        assert!(!tau[3].is_nan(), "repair must clear the NaN");
+        assert!((tau[3] - truth).abs() < 1e-9, "{} vs {truth}", tau[3]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Execution reports: what the fault-tolerant run detected, corrected and
+//! spent.
+
+use ft_fault::AppliedFault;
+use ft_hybrid::ExecStats;
+
+/// One detection-and-recovery episode.
+#[derive(Clone, Debug)]
+pub struct RecoveryEvent {
+    /// Panel iteration at whose end the mismatch was detected.
+    pub iteration: usize,
+    /// `|Sre − Sce|` that tripped the detector.
+    pub mismatch: f64,
+    /// Errors located and corrected (row, col, delta applied).
+    pub corrected: Vec<(usize, usize, f64)>,
+    /// Whether the located positions were resolvable (non-rectangle).
+    pub resolved: bool,
+}
+
+/// Summary of one fault-tolerant factorization.
+#[derive(Clone, Debug, Default)]
+pub struct FtReport {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Panel width.
+    pub nb: usize,
+    /// Number of panel iterations executed (excluding re-executions).
+    pub iterations: usize,
+    /// Iterations re-executed due to recovery.
+    pub redone_iterations: usize,
+    /// Detection episodes (each may correct several simultaneous errors).
+    pub recoveries: Vec<RecoveryEvent>,
+    /// Errors corrected in `Q` storage by the end-of-run check.
+    pub q_corrections: Vec<(usize, usize, f64)>,
+    /// Faults injected by the test harness (provenance for reports).
+    pub injected: Vec<AppliedFault>,
+    /// Resolved detection threshold used.
+    pub threshold: f64,
+    /// Simulated makespan, seconds.
+    pub sim_seconds: f64,
+    /// Simulated resource statistics.
+    pub stats: ExecStats,
+}
+
+impl FtReport {
+    /// Total individual element corrections (H region).
+    pub fn corrections(&self) -> usize {
+        self.recoveries.iter().map(|r| r.corrected.len()).sum()
+    }
+
+    /// `true` if any detection episode failed to resolve error positions.
+    pub fn any_unresolved(&self) -> bool {
+        self.recoveries.iter().any(|r| !r.resolved)
+    }
+
+    /// Simulated GFLOP/s against the `10/3·n³` nominal flop count
+    /// (the y-axis of the paper's Figure 6).
+    pub fn gflops(&self) -> f64 {
+        if self.sim_seconds <= 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        (10.0 / 3.0) * n * n * n / self.sim_seconds / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_gflops() {
+        let mut r = FtReport {
+            n: 1000,
+            nb: 32,
+            sim_seconds: 1.0,
+            ..Default::default()
+        };
+        r.recoveries.push(RecoveryEvent {
+            iteration: 3,
+            mismatch: 1.0,
+            corrected: vec![(1, 2, 0.5), (3, 4, -0.5)],
+            resolved: true,
+        });
+        assert_eq!(r.corrections(), 2);
+        assert!(!r.any_unresolved());
+        let expect = (10.0 / 3.0) * 1e9 / 1e9;
+        assert!((r.gflops() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_gflops_is_zero() {
+        let r = FtReport::default();
+        assert_eq!(r.gflops(), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Detection threshold policy (paper §IV-C): "a value larger than the
+//! machine epsilon by 2 to 3 orders of magnitude", scaled to the data.
+
+use ft_matrix::Matrix;
+
+/// How the `|Sre − Sce| > threshold` comparison is scaled.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ThresholdPolicy {
+    /// Absolute threshold (caller-chosen units).
+    Absolute(f64),
+    /// `factor · ε · n · ‖A‖₁` computed from the input matrix — the
+    /// default, with `factor = 100` (two orders above ε as the paper
+    /// recommends, times the natural `n‖A‖₁` magnitude of the sums).
+    Scaled {
+        /// Multiples of machine epsilon.
+        factor: f64,
+    },
+}
+
+impl Default for ThresholdPolicy {
+    fn default() -> Self {
+        ThresholdPolicy::Scaled { factor: 100.0 }
+    }
+}
+
+impl ThresholdPolicy {
+    /// Resolves the policy against the input matrix.
+    pub fn resolve(&self, a: &Matrix) -> f64 {
+        match *self {
+            ThresholdPolicy::Absolute(v) => {
+                assert!(v > 0.0, "threshold must be positive");
+                v
+            }
+            ThresholdPolicy::Scaled { factor } => {
+                let n = a.rows() as f64;
+                let scale = (n * a.one_norm()).max(1.0);
+                factor * f64::EPSILON * scale
+            }
+        }
+    }
+
+    /// NaN-safe exceedance test: a non-finite difference (e.g. from a
+    /// bit flip that produced Inf/NaN) always counts as a detection.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // deliberate: NaN must count as exceeded
+    pub fn exceeded(diff: f64, threshold: f64) -> bool {
+        !(diff.abs() <= threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_threshold_grows_with_size_and_magnitude() {
+        let a1 = ft_matrix::random::uniform(64, 64, 1);
+        let a2 = ft_matrix::random::uniform(256, 256, 1);
+        let p = ThresholdPolicy::default();
+        assert!(p.resolve(&a2) > p.resolve(&a1));
+        let mut big = a1.clone();
+        big.scale(1e6);
+        assert!(p.resolve(&big) > 1e5 * p.resolve(&a1));
+    }
+
+    #[test]
+    fn absolute_passthrough() {
+        let a = Matrix::identity(4);
+        assert_eq!(ThresholdPolicy::Absolute(1e-8).resolve(&a), 1e-8);
+    }
+
+    #[test]
+    fn exceeded_is_nan_safe() {
+        assert!(ThresholdPolicy::exceeded(f64::NAN, 1e-8));
+        assert!(ThresholdPolicy::exceeded(f64::INFINITY, 1e-8));
+        assert!(ThresholdPolicy::exceeded(1e-7, 1e-8));
+        assert!(!ThresholdPolicy::exceeded(1e-9, 1e-8));
+        assert!(!ThresholdPolicy::exceeded(-1e-9, 1e-8));
+    }
+
+    #[test]
+    fn default_is_well_above_eps() {
+        let a = ft_matrix::random::uniform(100, 100, 2);
+        let t = ThresholdPolicy::default().resolve(&a);
+        assert!(t > 100.0 * f64::EPSILON);
+        assert!(t < 1.0, "but far below data magnitude");
+    }
+}

@@ -1,0 +1,303 @@
+//! The hybrid execution context: CUDA-like issue semantics over simulated
+//! resource timelines.
+
+use crate::cost::{CostModel, OpClass, Work};
+use crate::stats::ExecStats;
+
+/// Identifies one device stream (in-order queue of device work).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamId(pub usize);
+
+/// Whether closures actually execute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Run the real arithmetic (simulated time + real results).
+    Full,
+    /// Skip the arithmetic, advance the clocks only. Closure results are
+    /// `None`; drivers must not branch on numerics in this mode.
+    TimingOnly,
+}
+
+/// A simulated host + device + link platform.
+///
+/// Issue semantics mirror the CUDA runtime the paper's MAGMA code uses:
+///
+/// * [`HybridCtx::host`] blocks the host clock for the op's duration;
+/// * [`HybridCtx::device`] enqueues onto a stream: the op starts when both
+///   the stream is free **and** the host has issued it (`max(stream,
+///   host)`), and the call returns to the host immediately;
+/// * [`HybridCtx::h2d`]/[`HybridCtx::d2h`] occupy the link and the target
+///   stream, also asynchronously;
+/// * [`HybridCtx::sync_stream`]/[`HybridCtx::sync_all`] advance the host
+///   clock to the stream completion times (like `cudaStreamSynchronize`);
+/// * [`HybridCtx::stream_wait_stream`] is `cudaStreamWaitEvent`.
+///
+/// In [`ExecMode::Full`] the closures run immediately in program order.
+/// That is sound because the drivers issue operations in data-dependency
+/// order (as any correct CUDA program must); the *simulated* clocks replay
+/// what a genuinely concurrent platform would have achieved.
+pub struct HybridCtx {
+    cost: CostModel,
+    mode: ExecMode,
+    host_time: f64,
+    streams: Vec<f64>,
+    link_time: f64,
+    stats: ExecStats,
+}
+
+impl HybridCtx {
+    /// Creates a context with `nstreams` device streams.
+    pub fn new(cost: CostModel, mode: ExecMode, nstreams: usize) -> Self {
+        assert!(nstreams >= 1, "need at least one stream");
+        HybridCtx {
+            cost,
+            mode,
+            host_time: 0.0,
+            streams: vec![0.0; nstreams],
+            link_time: 0.0,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Current host clock.
+    pub fn host_time(&self) -> f64 {
+        self.host_time
+    }
+
+    /// Current clock of `stream`.
+    pub fn stream_time(&self, stream: StreamId) -> f64 {
+        self.streams[stream.0]
+    }
+
+    /// Makespan so far: the latest of all clocks.
+    pub fn elapsed(&self) -> f64 {
+        self.streams
+            .iter()
+            .copied()
+            .fold(self.host_time.max(self.link_time), f64::max)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Resets all clocks and statistics (the cost model and mode persist).
+    pub fn reset(&mut self) {
+        self.host_time = 0.0;
+        self.link_time = 0.0;
+        for s in &mut self.streams {
+            *s = 0.0;
+        }
+        self.stats = ExecStats::default();
+    }
+
+    fn run<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
+        match self.mode {
+            ExecMode::Full => Some(f()),
+            ExecMode::TimingOnly => None,
+        }
+    }
+
+    /// Synchronous host work: blocks the host clock.
+    pub fn host<R>(&mut self, class: OpClass, work: Work, f: impl FnOnce() -> R) -> Option<R> {
+        debug_assert!(
+            class.is_host(),
+            "host() called with non-host class {class:?}"
+        );
+        let dt = self.cost.seconds(class, work);
+        self.host_time += dt;
+        self.stats.record(class, dt);
+        self.run(f)
+    }
+
+    /// Advances the host clock without doing work (models driver overhead
+    /// or an explicit simulated delay).
+    pub fn host_delay(&mut self, seconds: f64) {
+        self.host_time += seconds.max(0.0);
+    }
+
+    /// Asynchronous device kernel on `stream`. Returns immediately (the
+    /// host clock is not advanced); the stream clock advances by the
+    /// kernel duration starting from `max(stream, host)`.
+    pub fn device<R>(
+        &mut self,
+        stream: StreamId,
+        class: OpClass,
+        work: Work,
+        f: impl FnOnce() -> R,
+    ) -> Option<R> {
+        debug_assert!(
+            class.is_device(),
+            "device() called with non-device class {class:?}"
+        );
+        let dt = self.cost.seconds(class, work);
+        let start = self.streams[stream.0].max(self.host_time);
+        self.streams[stream.0] = start + dt;
+        self.stats.record(class, dt);
+        self.run(f)
+    }
+
+    /// Asynchronous host→device transfer on `stream`: occupies the link
+    /// and serializes with prior work on `stream`.
+    pub fn h2d<R>(&mut self, stream: StreamId, bytes: usize, f: impl FnOnce() -> R) -> Option<R> {
+        self.transfer(stream, bytes, f)
+    }
+
+    /// Asynchronous device→host transfer on `stream`.
+    pub fn d2h<R>(&mut self, stream: StreamId, bytes: usize, f: impl FnOnce() -> R) -> Option<R> {
+        self.transfer(stream, bytes, f)
+    }
+
+    fn transfer<R>(&mut self, stream: StreamId, bytes: usize, f: impl FnOnce() -> R) -> Option<R> {
+        let dt = self
+            .cost
+            .seconds(OpClass::Transfer, Work::Bytes(bytes as f64));
+        let start = self.streams[stream.0]
+            .max(self.link_time)
+            .max(self.host_time);
+        let end = start + dt;
+        self.streams[stream.0] = end;
+        self.link_time = end;
+        self.stats.record(OpClass::Transfer, dt);
+        self.run(f)
+    }
+
+    /// Blocks the host until `stream` has drained.
+    pub fn sync_stream(&mut self, stream: StreamId) {
+        self.host_time = self.host_time.max(self.streams[stream.0]);
+    }
+
+    /// Blocks the host until every stream and the link have drained.
+    pub fn sync_all(&mut self) {
+        self.host_time = self.elapsed();
+    }
+
+    /// Makes `stream` wait for all work currently enqueued on `other`
+    /// (`cudaStreamWaitEvent` with an event recorded now).
+    pub fn stream_wait_stream(&mut self, stream: StreamId, other: StreamId) {
+        let t = self.streams[other.0];
+        let s = &mut self.streams[stream.0];
+        *s = s.max(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> HybridCtx {
+        HybridCtx::new(CostModel::unit_test_model(), ExecMode::Full, 2)
+    }
+
+    #[test]
+    fn host_work_blocks_host() {
+        let mut c = ctx();
+        let r = c.host(OpClass::HostPanel, Work::Flops(5.0), || 42);
+        assert_eq!(r, Some(42));
+        assert_eq!(c.host_time(), 5.0);
+        assert_eq!(c.elapsed(), 5.0);
+    }
+
+    #[test]
+    fn device_work_is_async() {
+        let mut c = ctx();
+        c.device(StreamId(0), OpClass::DeviceGemm, Work::Flops(10.0), || ());
+        // Host did not advance; stream did.
+        assert_eq!(c.host_time(), 0.0);
+        assert_eq!(c.stream_time(StreamId(0)), 10.0);
+        assert_eq!(c.elapsed(), 10.0);
+        // Host work overlaps with the in-flight kernel.
+        c.host(OpClass::HostPanel, Work::Flops(4.0), || ());
+        assert_eq!(c.host_time(), 4.0);
+        assert_eq!(c.elapsed(), 10.0, "overlap: makespan still 10");
+        c.sync_stream(StreamId(0));
+        assert_eq!(c.host_time(), 10.0);
+    }
+
+    #[test]
+    fn device_kernel_waits_for_host_issue() {
+        let mut c = ctx();
+        c.host(OpClass::HostPanel, Work::Flops(3.0), || ());
+        c.device(StreamId(0), OpClass::DeviceGemm, Work::Flops(2.0), || ());
+        // Kernel issued at t=3, runs 2 ⇒ stream at 5.
+        assert_eq!(c.stream_time(StreamId(0)), 5.0);
+    }
+
+    #[test]
+    fn same_stream_serializes_different_streams_overlap() {
+        let mut c = ctx();
+        c.device(StreamId(0), OpClass::DeviceGemm, Work::Flops(4.0), || ());
+        c.device(StreamId(0), OpClass::DeviceGemm, Work::Flops(4.0), || ());
+        c.device(StreamId(1), OpClass::DeviceGemm, Work::Flops(4.0), || ());
+        assert_eq!(c.stream_time(StreamId(0)), 8.0);
+        assert_eq!(c.stream_time(StreamId(1)), 4.0);
+        assert_eq!(c.elapsed(), 8.0);
+    }
+
+    #[test]
+    fn transfers_occupy_link_and_stream() {
+        let mut c = ctx();
+        // 1 byte = 1 s in the unit model.
+        c.h2d(StreamId(0), 3, || ());
+        assert_eq!(c.stream_time(StreamId(0)), 3.0);
+        // A second transfer on another stream serializes on the link.
+        c.h2d(StreamId(1), 3, || ());
+        assert_eq!(c.stream_time(StreamId(1)), 6.0);
+        assert_eq!(c.host_time(), 0.0, "transfers are async");
+    }
+
+    #[test]
+    fn stream_wait_stream_orders_cross_stream_work() {
+        let mut c = ctx();
+        c.device(StreamId(0), OpClass::DeviceGemm, Work::Flops(6.0), || ());
+        c.stream_wait_stream(StreamId(1), StreamId(0));
+        c.device(StreamId(1), OpClass::DeviceGemm, Work::Flops(1.0), || ());
+        assert_eq!(c.stream_time(StreamId(1)), 7.0);
+    }
+
+    #[test]
+    fn timing_only_skips_closures() {
+        let mut c = HybridCtx::new(CostModel::unit_test_model(), ExecMode::TimingOnly, 1);
+        let mut executed = false;
+        let r = c.host(OpClass::HostPanel, Work::Flops(2.0), || {
+            executed = true;
+            7
+        });
+        assert_eq!(r, None);
+        assert!(!executed);
+        assert_eq!(c.host_time(), 2.0, "time still advances");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = ctx();
+        c.host(OpClass::HostPanel, Work::Flops(1.0), || ());
+        c.device(StreamId(0), OpClass::DeviceGemm, Work::Flops(2.0), || ());
+        c.h2d(StreamId(0), 4, || ());
+        let s = c.stats();
+        assert_eq!(s.host_busy, 1.0);
+        assert_eq!(s.device_busy, 2.0);
+        assert_eq!(s.link_busy, 4.0);
+        assert_eq!(s.count(OpClass::Transfer), 1);
+    }
+
+    #[test]
+    fn reset_clears_clocks() {
+        let mut c = ctx();
+        c.host(OpClass::HostPanel, Work::Flops(1.0), || ());
+        c.reset();
+        assert_eq!(c.elapsed(), 0.0);
+        assert_eq!(c.stats().total_busy(), 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Execution statistics: per-resource busy time, per-class accounting,
+//! and the makespan the performance figures report.
+
+use crate::cost::OpClass;
+use std::collections::HashMap;
+
+/// Accumulated accounting for one simulated execution.
+#[derive(Clone, Debug, Default)]
+pub struct ExecStats {
+    /// Simulated seconds each op class spent busy on its resource.
+    pub class_seconds: HashMap<OpClass, f64>,
+    /// Number of operations issued per class.
+    pub class_counts: HashMap<OpClass, u64>,
+    /// Total host busy seconds.
+    pub host_busy: f64,
+    /// Total device busy seconds (all streams).
+    pub device_busy: f64,
+    /// Total link busy seconds.
+    pub link_busy: f64,
+}
+
+impl ExecStats {
+    /// Records one operation.
+    pub fn record(&mut self, class: OpClass, seconds: f64) {
+        *self.class_seconds.entry(class).or_insert(0.0) += seconds;
+        *self.class_counts.entry(class).or_insert(0) += 1;
+        if class.is_host() {
+            self.host_busy += seconds;
+        } else if class.is_device() {
+            self.device_busy += seconds;
+        } else {
+            self.link_busy += seconds;
+        }
+    }
+
+    /// Busy seconds for one class (0 if never used).
+    pub fn seconds(&self, class: OpClass) -> f64 {
+        self.class_seconds.get(&class).copied().unwrap_or(0.0)
+    }
+
+    /// Operation count for one class.
+    pub fn count(&self, class: OpClass) -> u64 {
+        self.class_counts.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Sum of all busy time across resources (an upper bound on the
+    /// makespan; the gap between the two is the overlap win).
+    pub fn total_busy(&self) -> f64 {
+        self.host_busy + self.device_busy + self.link_busy
+    }
+
+    /// Renders a small table for reports.
+    pub fn summary(&self) -> String {
+        let mut out = String::from("class            count      seconds\n");
+        for class in OpClass::ALL {
+            if self.count(class) > 0 {
+                out.push_str(&format!(
+                    "{:<16} {:>6} {:>12.6}\n",
+                    format!("{class:?}"),
+                    self.count(class),
+                    self.seconds(class)
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_by_resource() {
+        let mut s = ExecStats::default();
+        s.record(OpClass::HostPanel, 1.0);
+        s.record(OpClass::DeviceGemm, 2.0);
+        s.record(OpClass::DeviceGemv, 3.0);
+        s.record(OpClass::Transfer, 4.0);
+        assert_eq!(s.host_busy, 1.0);
+        assert_eq!(s.device_busy, 5.0);
+        assert_eq!(s.link_busy, 4.0);
+        assert_eq!(s.total_busy(), 10.0);
+        assert_eq!(s.count(OpClass::DeviceGemm), 1);
+        assert_eq!(s.seconds(OpClass::DeviceGemv), 3.0);
+        assert_eq!(s.count(OpClass::HostGemm), 0);
+    }
+
+    #[test]
+    fn summary_contains_used_classes_only() {
+        let mut s = ExecStats::default();
+        s.record(OpClass::Transfer, 1.5);
+        let text = s.summary();
+        assert!(text.contains("Transfer"));
+        assert!(!text.contains("HostPanel"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Blocked QR factorization (LAPACK `DGEQRF`) and `Q` formation.
+//!
+//! Substrate routines: the paper's related-work baselines are FT-LU and
+//! FT-QR, and the test suites here use QR to manufacture random orthogonal
+//! matrices with a known factor structure.
+
+use crate::householder::{larf, larfg, ReflectSide};
+use crate::wy::{larfb, larft};
+use ft_blas::{Side, Trans};
+use ft_matrix::Matrix;
+
+/// Unblocked QR factorization (LAPACK `DGEQR2`) of the `m × n` sub-block
+/// of `a` starting at `(k, k)`... applied over columns `k..k+w`.
+fn geqr2(a: &mut Matrix, col0: usize, width: usize, tau: &mut [f64]) {
+    let m = a.rows();
+    let mut v = vec![0.0; m];
+    for j in 0..width {
+        let c = col0 + j;
+        let piv = c; // QR reflector pivots on the diagonal
+        if piv >= m {
+            break;
+        }
+        let alpha = a[(piv, c)];
+        let mut tail: Vec<f64> = (piv + 1..m).map(|r| a[(r, c)]).collect();
+        let refl = larfg(alpha, &mut tail);
+        tau[j] = refl.tau;
+
+        let h = m - piv;
+        v[0] = 1.0;
+        v[1..h].copy_from_slice(&tail);
+        // Apply to the remaining columns *within the panel* only; the
+        // trailing columns get the blocked update afterwards.
+        let ncols = col0 + width - c - 1;
+        if ncols > 0 {
+            larf(
+                ReflectSide::Left,
+                &v[..h],
+                refl.tau,
+                &mut a.view_mut(piv, c + 1, h, ncols),
+            );
+        }
+        a[(piv, c)] = refl.beta;
+        for (off, &val) in tail.iter().enumerate() {
+            a[(piv + 1 + off, c)] = val;
+        }
+    }
+}
+
+/// Blocked QR factorization in place; returns `tau` (length `min(m, n)`).
+///
+/// On return the upper triangle of `a` holds `R` and the columns below the
+/// diagonal hold the reflector tails.
+pub fn geqrf(a: &mut Matrix, nb: usize) -> Vec<f64> {
+    let (m, n) = (a.rows(), a.cols());
+    let kmax = m.min(n);
+    let mut tau = vec![0.0; kmax];
+    let nb = nb.max(1);
+
+    let mut k = 0;
+    while k < kmax {
+        let ib = nb.min(kmax - k);
+        // Factorize the panel columns k..k+ib.
+        geqr2(a, k, ib, &mut tau[k..k + ib]);
+
+        // Build explicit V for the block update.
+        let h = m - k;
+        let mut v = Matrix::zeros(h, ib);
+        for j in 0..ib {
+            v[(j, j)] = 1.0;
+            for r in j + 1..h {
+                v[(r, j)] = a[(k + r, k + j)];
+            }
+        }
+        let t = larft(&v.as_view(), &tau[k..k + ib]);
+
+        // Apply Hᵀ to the trailing columns.
+        let ntrail = n - k - ib;
+        if ntrail > 0 {
+            larfb(
+                Side::Left,
+                Trans::Yes,
+                &v.as_view(),
+                &t.as_view(),
+                &mut a.view_mut(k, k + ib, h, ntrail),
+            );
+        }
+        k += ib;
+    }
+    tau
+}
+
+/// Forms the dense `m × m` orthogonal factor `Q` from a packed QR
+/// factorization (LAPACK `DORGQR` with `k = min(m, n)` reflectors).
+pub fn form_q_qr(packed: &Matrix, tau: &[f64]) -> Matrix {
+    let m = packed.rows();
+    let mut q = Matrix::identity(m);
+    let mut v = vec![0.0; m];
+    for j in (0..tau.len()).rev() {
+        if tau[j] == 0.0 {
+            continue;
+        }
+        let h = m - j;
+        v[0] = 1.0;
+        for r in 1..h {
+            v[r] = packed[(j + r, j)];
+        }
+        larf(
+            ReflectSide::Left,
+            &v[..h],
+            tau[j],
+            &mut q.view_mut(j, j, h, m - j),
+        );
+    }
+    q
+}
+
+/// A Haar-ish random orthogonal matrix: `Q` from the QR factorization of a
+/// Gaussian matrix, with the sign convention fixed so the result is
+/// deterministic in the seed.
+pub fn random_orthogonal(n: usize, seed: u64) -> Matrix {
+    let mut g = ft_matrix::random::gaussian(n, n, seed);
+    let tau = geqrf(&mut g, 32);
+    form_q_qr(&g, &tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_matrix::assert_matrix_eq;
+
+    fn check_qr(a0: &Matrix, nb: usize) {
+        let (m, n) = (a0.rows(), a0.cols());
+        let mut a = a0.clone();
+        let tau = geqrf(&mut a, nb);
+        assert_eq!(tau.len(), m.min(n));
+
+        // R upper triangular
+        let r = Matrix::from_fn(m, n, |i, j| if i <= j { a[(i, j)] } else { 0.0 });
+        let q = form_q_qr(&a, &tau);
+
+        // Q orthogonal
+        let mut qtq = Matrix::identity(m);
+        ft_blas::gemm(
+            Trans::Yes,
+            Trans::No,
+            1.0,
+            &q.as_view(),
+            &q.as_view(),
+            -1.0,
+            &mut qtq.as_view_mut(),
+        );
+        assert!(
+            qtq.max_abs() < 1e-13 * m as f64,
+            "QᵀQ − I = {}",
+            qtq.max_abs()
+        );
+
+        // A = Q·R
+        let mut qr = a0.clone();
+        ft_blas::gemm(
+            Trans::No,
+            Trans::No,
+            -1.0,
+            &q.as_view(),
+            &r.as_view(),
+            1.0,
+            &mut qr.as_view_mut(),
+        );
+        assert!(
+            qr.max_abs() < 1e-12 * a0.max_abs().max(1.0),
+            "A − QR = {}",
+            qr.max_abs()
+        );
+    }
+
+    #[test]
+    fn qr_square_tall_wide() {
+        check_qr(&ft_matrix::random::uniform(20, 20, 1), 5);
+        check_qr(&ft_matrix::random::uniform(30, 12, 2), 5);
+        check_qr(&ft_matrix::random::uniform(12, 30, 3), 4);
+        check_qr(&ft_matrix::random::uniform(17, 17, 4), 32); // nb > n
+        check_qr(&ft_matrix::random::uniform(16, 16, 5), 1); // fully unblocked
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        let a0 = ft_matrix::random::uniform(18, 18, 6);
+        let mut a1 = a0.clone();
+        let tau1 = geqrf(&mut a1, 1);
+        let mut a4 = a0.clone();
+        let tau4 = geqrf(&mut a4, 4);
+        assert_matrix_eq(&a1, &a4, 1e-11, "packed QR, nb=1 vs nb=4");
+        for (x, y) in tau1.iter().zip(&tau4) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_orthogonal_is_orthogonal() {
+        let q = random_orthogonal(25, 11);
+        let mut qtq = Matrix::identity(25);
+        ft_blas::gemm(
+            Trans::Yes,
+            Trans::No,
+            1.0,
+            &q.as_view(),
+            &q.as_view(),
+            -1.0,
+            &mut qtq.as_view_mut(),
+        );
+        assert!(qtq.max_abs() < 1e-13);
+        // deterministic
+        let q2 = random_orthogonal(25, 11);
+        assert_eq!(q, q2);
+    }
+}

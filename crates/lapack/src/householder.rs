@@ -1,0 +1,265 @@
+//! Elementary Householder reflectors (LAPACK `DLARFG` / `DLARF`).
+
+use ft_blas::{gemv, ger, Trans};
+use ft_matrix::MatViewMut;
+
+/// Result of generating an elementary reflector.
+#[derive(Clone, Copy, Debug)]
+pub struct Reflector {
+    /// The value the pivot element is mapped to (`beta`).
+    pub beta: f64,
+    /// The reflector scale (`tau`); `0` means `H = I`.
+    pub tau: f64,
+}
+
+/// Generates an elementary reflector `H = I − τ·[1; v]·[1; v]ᵀ` such that
+/// `Hᵀ·[α; x] = [β; 0]` (LAPACK `DLARFG`).
+///
+/// On return `x` holds the tail `v` and the result carries `β` and `τ`.
+/// Follows LAPACK's conventions: `τ ∈ [1, 2]` for a non-trivial reflector,
+/// `β` takes the sign opposite to `α`, and inputs so small they would
+/// underflow are rescaled before the arithmetic (the `safmin` loop).
+pub fn larfg(alpha: f64, x: &mut [f64]) -> Reflector {
+    let mut xnorm = ft_blas::nrm2(x);
+    if xnorm == 0.0 {
+        // H = I. LAPACK also returns beta = alpha.
+        return Reflector {
+            beta: alpha,
+            tau: 0.0,
+        };
+    }
+
+    let mut alpha = alpha;
+    let safmin = f64::MIN_POSITIVE / f64::EPSILON;
+    let rsafmn = 1.0 / safmin;
+    let mut knt = 0u32;
+    let mut beta = -alpha.signum() * hypot2(alpha, xnorm);
+    // Rescale if beta would be subnormal-small.
+    while beta.abs() < safmin && knt < 20 {
+        knt += 1;
+        ft_blas::scal(rsafmn, x);
+        alpha *= rsafmn;
+        xnorm = ft_blas::nrm2(x);
+        beta = -alpha.signum() * hypot2(alpha, xnorm);
+    }
+    let tau = (beta - alpha) / beta;
+    ft_blas::scal(1.0 / (alpha - beta), x);
+    for _ in 0..knt {
+        beta *= safmin;
+    }
+    Reflector { beta, tau }
+}
+
+/// `sqrt(a² + b²)` without intermediate overflow (LAPACK `DLAPY2`).
+fn hypot2(a: f64, b: f64) -> f64 {
+    let (a, b) = (a.abs(), b.abs());
+    let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+    if hi == 0.0 {
+        0.0
+    } else {
+        hi * (1.0 + (lo / hi).powi(2)).sqrt()
+    }
+}
+
+/// Which side an elementary reflector is applied from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReflectSide {
+    /// `C ← H·C` (H is symmetric, so this is also `Hᵀ·C`).
+    Left,
+    /// `C ← C·H`.
+    Right,
+}
+
+/// Applies an elementary reflector `H = I − τ·v·vᵀ` to `C` (LAPACK `DLARF`).
+///
+/// `v` is the **full** reflector vector (leading 1 included explicitly);
+/// its length must equal `C.rows()` for [`ReflectSide::Left`] and
+/// `C.cols()` for [`ReflectSide::Right`].
+pub fn larf(side: ReflectSide, v: &[f64], tau: f64, c: &mut MatViewMut<'_>) {
+    if tau == 0.0 || c.is_empty() {
+        return;
+    }
+    match side {
+        ReflectSide::Left => {
+            assert_eq!(
+                v.len(),
+                c.rows(),
+                "larf(Left): v length {} != rows {}",
+                v.len(),
+                c.rows()
+            );
+            // w = Cᵀ v;  C ← C − τ·v·wᵀ
+            let mut w = vec![0.0; c.cols()];
+            gemv(Trans::Yes, 1.0, &c.as_view(), v, 0.0, &mut w);
+            ger(-tau, v, &w, c);
+        }
+        ReflectSide::Right => {
+            assert_eq!(
+                v.len(),
+                c.cols(),
+                "larf(Right): v length {} != cols {}",
+                v.len(),
+                c.cols()
+            );
+            // w = C v;  C ← C − τ·w·vᵀ
+            let mut w = vec![0.0; c.rows()];
+            gemv(Trans::No, 1.0, &c.as_view(), v, 0.0, &mut w);
+            ger(-tau, &w, v, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_matrix::Matrix;
+
+    /// Builds the dense n×n reflector matrix `I − τ·u·uᵀ` with `u = [1; v]`.
+    fn dense_reflector(v_tail: &[f64], tau: f64) -> Matrix {
+        let n = v_tail.len() + 1;
+        let mut u = vec![1.0];
+        u.extend_from_slice(v_tail);
+        Matrix::from_fn(n, n, |i, j| {
+            let delta = if i == j { 1.0 } else { 0.0 };
+            delta - tau * u[i] * u[j]
+        })
+    }
+
+    #[test]
+    fn larfg_annihilates() {
+        let alpha = 3.0;
+        let mut x = vec![1.0, -2.0, 0.5];
+        let orig = [alpha, 1.0, -2.0, 0.5];
+        let r = larfg(alpha, &mut x);
+
+        // Hᵀ·[α; x] must equal [β; 0; 0; 0]; H is symmetric so use H.
+        let h = dense_reflector(&x, r.tau);
+        let mut result = vec![0.0; 4];
+        ft_blas::gemv(Trans::No, 1.0, &h.as_view(), &orig, 0.0, &mut result);
+        assert!(
+            (result[0] - r.beta).abs() < 1e-14,
+            "pivot: {} vs {}",
+            result[0],
+            r.beta
+        );
+        for &v in &result[1..] {
+            assert!(v.abs() < 1e-14, "tail not annihilated: {result:?}");
+        }
+        // norm preservation: |beta| = ||[alpha; x_orig]||
+        let norm = (orig.iter().map(|v| v * v).sum::<f64>()).sqrt();
+        assert!((r.beta.abs() - norm).abs() < 1e-14);
+        // LAPACK sign convention: beta opposes alpha's sign.
+        assert!(r.beta < 0.0);
+        assert!((1.0..=2.0).contains(&r.tau));
+    }
+
+    #[test]
+    fn larfg_reflector_is_orthogonal() {
+        let mut x = vec![0.3, 0.7, -0.2, 0.9];
+        let r = larfg(-1.2, &mut x);
+        let h = dense_reflector(&x, r.tau);
+        let mut hht = Matrix::zeros(5, 5);
+        ft_blas::gemm(
+            Trans::No,
+            Trans::Yes,
+            1.0,
+            &h.as_view(),
+            &h.as_view(),
+            0.0,
+            &mut hht.as_view_mut(),
+        );
+        ft_matrix::assert_matrix_eq(&hht, &Matrix::identity(5), 1e-14, "H·Hᵀ = I");
+    }
+
+    #[test]
+    fn larfg_zero_tail_is_identity() {
+        let mut x = vec![0.0, 0.0];
+        let r = larfg(5.0, &mut x);
+        assert_eq!(r.tau, 0.0);
+        assert_eq!(r.beta, 5.0);
+    }
+
+    #[test]
+    fn larfg_empty_tail() {
+        let mut x: Vec<f64> = vec![];
+        let r = larfg(2.5, &mut x);
+        assert_eq!(r.tau, 0.0);
+        assert_eq!(r.beta, 2.5);
+    }
+
+    #[test]
+    fn larfg_tiny_values_rescaled() {
+        let tiny = 1e-300;
+        let mut x = vec![tiny, tiny];
+        let r = larfg(tiny, &mut x);
+        assert!(r.beta.is_finite());
+        assert!(r.beta != 0.0);
+        assert!(x.iter().all(|v| v.is_finite()));
+        // |beta| = norm of the input vector
+        let norm = (3.0f64).sqrt() * tiny;
+        assert!((r.beta.abs() - norm).abs() / norm < 1e-12);
+    }
+
+    #[test]
+    fn larf_left_matches_dense() {
+        let mut x = vec![0.5, -1.0];
+        let r = larfg(1.0, &mut x);
+        let mut v = vec![1.0];
+        v.extend_from_slice(&x);
+
+        let c0 = ft_matrix::random::uniform(3, 4, 9);
+        let h = dense_reflector(&x, r.tau);
+        let mut expect = Matrix::zeros(3, 4);
+        ft_blas::gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &h.as_view(),
+            &c0.as_view(),
+            0.0,
+            &mut expect.as_view_mut(),
+        );
+
+        let mut c = c0.clone();
+        larf(ReflectSide::Left, &v, r.tau, &mut c.as_view_mut());
+        ft_matrix::assert_matrix_eq(&c, &expect, 1e-13, "larf left");
+    }
+
+    #[test]
+    fn larf_right_matches_dense() {
+        let mut x = vec![0.5, -1.0, 2.0];
+        let r = larfg(-0.7, &mut x);
+        let mut v = vec![1.0];
+        v.extend_from_slice(&x);
+
+        let c0 = ft_matrix::random::uniform(2, 4, 10);
+        let h = dense_reflector(&x, r.tau);
+        let mut expect = Matrix::zeros(2, 4);
+        ft_blas::gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &c0.as_view(),
+            &h.as_view(),
+            0.0,
+            &mut expect.as_view_mut(),
+        );
+
+        let mut c = c0.clone();
+        larf(ReflectSide::Right, &v, r.tau, &mut c.as_view_mut());
+        ft_matrix::assert_matrix_eq(&c, &expect, 1e-13, "larf right");
+    }
+
+    #[test]
+    fn larf_tau_zero_is_noop() {
+        let c0 = ft_matrix::random::uniform(3, 3, 11);
+        let mut c = c0.clone();
+        larf(
+            ReflectSide::Left,
+            &[1.0, 2.0, 3.0],
+            0.0,
+            &mut c.as_view_mut(),
+        );
+        assert_eq!(c, c0);
+    }
+}

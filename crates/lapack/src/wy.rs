@@ -1,0 +1,371 @@
+//! Compact WY representation of products of Householder reflectors
+//! (LAPACK `DLARFT` / `DLARFB`, forward columnwise storage).
+//!
+//! `H₀·H₁⋯H_{nb−1} = I − V·T·Vᵀ` where `V` is `m × nb` with `v_j` in column
+//! `j`, and `T` is `nb × nb` upper triangular (the paper's Eq. for `U₁` in
+//! §III-B, the Schreiber–Van Loan representation).
+//!
+//! Unlike LAPACK we store `V` **explicitly**: column `j` contains its
+//! leading zeros and its unit element, so the block kernels are plain GEMMs
+//! with no implicit-triangle fix-ups. This costs one panel of extra memory
+//! (the paper's storage analysis already budgets "a panel worth of work
+//! space") and keeps the fault-tolerant variants honest — the checksummed
+//! updates in `ft-hessenberg` extend exactly these kernels.
+
+use ft_blas::{gemm, trmm, Diag, Side, Trans, Uplo};
+use ft_matrix::{MatView, MatViewMut, Matrix};
+
+/// Builds the upper-triangular factor `T` from the reflector matrix `V`
+/// (explicit storage) and the scales `tau` (LAPACK `DLARFT`, direction
+/// "Forward", storage "Columnwise").
+pub fn larft(v: &MatView<'_>, tau: &[f64]) -> Matrix {
+    let nb = v.cols();
+    assert_eq!(
+        tau.len(),
+        nb,
+        "larft: tau length {} != V cols {nb}",
+        tau.len()
+    );
+    let mut t = Matrix::zeros(nb, nb);
+    for j in 0..nb {
+        if tau[j] == 0.0 {
+            // H_j = I: column j of T is zero (including the diagonal).
+            continue;
+        }
+        // T(0..j, j) = −τ_j · T(0..j, 0..j) · V(:, 0..j)ᵀ · v_j
+        if j > 0 {
+            let vj = v.col(j);
+            let mut w = vec![0.0; j];
+            ft_blas::gemv(
+                Trans::Yes,
+                -tau[j],
+                &v.subview(0, 0, v.rows(), j),
+                vj,
+                0.0,
+                &mut w,
+            );
+            ft_blas::trmv(Uplo::Upper, Trans::No, Diag::NonUnit, &t.as_view(), &mut w);
+            t.view_mut(0, j, j, 1).col_mut(0).copy_from_slice(&w);
+        }
+        t[(j, j)] = tau[j];
+    }
+    t
+}
+
+/// Applies a block reflector `H = I − V·T·Vᵀ` (or `Hᵀ`) to `C` in place
+/// (LAPACK `DLARFB`, forward columnwise).
+///
+/// * `Side::Left`:  `C ← op(H)·C`, with `V.rows() == C.rows()`;
+/// * `Side::Right`: `C ← C·op(H)`, with `V.rows() == C.cols()`;
+/// * `trans` selects `H` (`Trans::No`) or `Hᵀ` (`Trans::Yes`); since
+///   `Hᵀ = I − V·Tᵀ·Vᵀ`, this only changes which way `T` is applied.
+pub fn larfb(side: Side, trans: Trans, v: &MatView<'_>, t: &MatView<'_>, c: &mut MatViewMut<'_>) {
+    let nb = v.cols();
+    if nb == 0 || c.is_empty() {
+        return;
+    }
+    assert_eq!(t.rows(), nb, "larfb: T rows {} != nb {nb}", t.rows());
+    assert_eq!(t.cols(), nb, "larfb: T cols {} != nb {nb}", t.cols());
+    // `trans` selects whether T or Tᵀ is applied; pass it straight through.
+    let t_op = trans;
+
+    match side {
+        Side::Left => {
+            assert_eq!(
+                v.rows(),
+                c.rows(),
+                "larfb(Left): V rows {} != C rows {}",
+                v.rows(),
+                c.rows()
+            );
+            // W = Vᵀ·C                 (nb × n)
+            let mut w = Matrix::zeros(nb, c.cols());
+            gemm(
+                Trans::Yes,
+                Trans::No,
+                1.0,
+                v,
+                &c.as_view(),
+                0.0,
+                &mut w.as_view_mut(),
+            );
+            // W ← op(T)·W
+            trmm(
+                Side::Left,
+                Uplo::Upper,
+                t_op,
+                Diag::NonUnit,
+                1.0,
+                t,
+                &mut w.as_view_mut(),
+            );
+            // C ← C − V·W
+            gemm(Trans::No, Trans::No, -1.0, v, &w.as_view(), 1.0, c);
+        }
+        Side::Right => {
+            assert_eq!(
+                v.rows(),
+                c.cols(),
+                "larfb(Right): V rows {} != C cols {}",
+                v.rows(),
+                c.cols()
+            );
+            // W = C·V                  (m × nb)
+            let mut w = Matrix::zeros(c.rows(), nb);
+            gemm(
+                Trans::No,
+                Trans::No,
+                1.0,
+                &c.as_view(),
+                v,
+                0.0,
+                &mut w.as_view_mut(),
+            );
+            // W ← W·op(T)
+            trmm(
+                Side::Right,
+                Uplo::Upper,
+                t_op,
+                Diag::NonUnit,
+                1.0,
+                t,
+                &mut w.as_view_mut(),
+            );
+            // C ← C − W·Vᵀ
+            gemm(Trans::No, Trans::Yes, -1.0, &w.as_view(), v, 1.0, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::householder::larfg;
+    use ft_matrix::{assert_matrix_eq, Matrix};
+
+    /// Generates `nb` stacked reflectors over an m-vector space, returning
+    /// (V explicit, tau) with v_j's unit at row j.
+    fn random_reflectors(m: usize, nb: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let src = ft_matrix::random::uniform(m, nb, seed);
+        let mut v = Matrix::zeros(m, nb);
+        let mut tau = vec![0.0; nb];
+        for j in 0..nb {
+            let mut tail: Vec<f64> = (j + 1..m).map(|i| src[(i, j)]).collect();
+            let r = larfg(src[(j, j)], &mut tail);
+            tau[j] = r.tau;
+            v[(j, j)] = 1.0;
+            for (off, &val) in tail.iter().enumerate() {
+                v[(j + 1 + off, j)] = val;
+            }
+        }
+        (v, tau)
+    }
+
+    /// Dense product H₀·H₁⋯H_{nb−1}.
+    fn dense_product(v: &Matrix, tau: &[f64]) -> Matrix {
+        let m = v.rows();
+        let mut q = Matrix::identity(m);
+        for j in 0..v.cols() {
+            let vj: Vec<f64> = v.col(j).to_vec();
+            // q ← q · H_j  (accumulate in order: H₀·H₁⋯)
+            let mut w = vec![0.0; m];
+            ft_blas::gemv(Trans::No, 1.0, &q.as_view(), &vj, 0.0, &mut w);
+            ft_blas::ger(-tau[j], &w, &vj, &mut q.as_view_mut());
+        }
+        q
+    }
+
+    #[test]
+    fn larft_reproduces_product() {
+        let (v, tau) = random_reflectors(7, 3, 5);
+        let t = larft(&v.as_view(), &tau);
+        assert!(t.is_upper_triangular_tol(0.0));
+
+        // I − V·T·Vᵀ must equal H₀H₁H₂.
+        let mut vt = Matrix::zeros(7, 3);
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &v.as_view(),
+            &t.as_view(),
+            0.0,
+            &mut vt.as_view_mut(),
+        );
+        let mut block = Matrix::identity(7);
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            -1.0,
+            &vt.as_view(),
+            &v.as_view(),
+            1.0,
+            &mut block.as_view_mut(),
+        );
+
+        let expect = dense_product(&v, &tau);
+        assert_matrix_eq(&block, &expect, 1e-13, "compact WY");
+    }
+
+    #[test]
+    fn larft_handles_tau_zero_columns() {
+        let (v, mut tau) = random_reflectors(6, 3, 6);
+        tau[1] = 0.0; // middle reflector is the identity
+        let t = larft(&v.as_view(), &tau);
+        let mut vt = Matrix::zeros(6, 3);
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &v.as_view(),
+            &t.as_view(),
+            0.0,
+            &mut vt.as_view_mut(),
+        );
+        let mut block = Matrix::identity(6);
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            -1.0,
+            &vt.as_view(),
+            &v.as_view(),
+            1.0,
+            &mut block.as_view_mut(),
+        );
+        let expect = dense_product(&v, &tau);
+        assert_matrix_eq(&block, &expect, 1e-13, "compact WY with tau=0");
+    }
+
+    #[test]
+    fn larfb_left_and_right_match_dense() {
+        let (v, tau) = random_reflectors(6, 3, 7);
+        let t = larft(&v.as_view(), &tau);
+        let h = dense_product(&v, &tau);
+
+        let c0 = ft_matrix::random::uniform(6, 4, 8);
+        // Left, NoTrans: H·C
+        let mut expect = Matrix::zeros(6, 4);
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &h.as_view(),
+            &c0.as_view(),
+            0.0,
+            &mut expect.as_view_mut(),
+        );
+        let mut c = c0.clone();
+        larfb(
+            Side::Left,
+            Trans::No,
+            &v.as_view(),
+            &t.as_view(),
+            &mut c.as_view_mut(),
+        );
+        assert_matrix_eq(&c, &expect, 1e-13, "larfb left no-trans");
+
+        // Left, Trans: Hᵀ·C
+        let mut expect = Matrix::zeros(6, 4);
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            1.0,
+            &h.as_view(),
+            &c0.as_view(),
+            0.0,
+            &mut expect.as_view_mut(),
+        );
+        let mut c = c0.clone();
+        larfb(
+            Side::Left,
+            Trans::Yes,
+            &v.as_view(),
+            &t.as_view(),
+            &mut c.as_view_mut(),
+        );
+        assert_matrix_eq(&c, &expect, 1e-13, "larfb left trans");
+
+        // Right, NoTrans: C·H (C is 4×6 now)
+        let c0 = ft_matrix::random::uniform(4, 6, 9);
+        let mut expect = Matrix::zeros(4, 6);
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &c0.as_view(),
+            &h.as_view(),
+            0.0,
+            &mut expect.as_view_mut(),
+        );
+        let mut c = c0.clone();
+        larfb(
+            Side::Right,
+            Trans::No,
+            &v.as_view(),
+            &t.as_view(),
+            &mut c.as_view_mut(),
+        );
+        assert_matrix_eq(&c, &expect, 1e-13, "larfb right no-trans");
+
+        // Right, Trans: C·Hᵀ
+        let mut expect = Matrix::zeros(4, 6);
+        gemm(
+            Trans::No,
+            Trans::Yes,
+            1.0,
+            &c0.as_view(),
+            &h.as_view(),
+            0.0,
+            &mut expect.as_view_mut(),
+        );
+        let mut c = c0.clone();
+        larfb(
+            Side::Right,
+            Trans::Yes,
+            &v.as_view(),
+            &t.as_view(),
+            &mut c.as_view_mut(),
+        );
+        assert_matrix_eq(&c, &expect, 1e-13, "larfb right trans");
+    }
+
+    #[test]
+    fn larfb_roundtrip_identity() {
+        // Hᵀ·(H·C) = C since H is orthogonal.
+        let (v, tau) = random_reflectors(8, 4, 12);
+        let t = larft(&v.as_view(), &tau);
+        let c0 = ft_matrix::random::uniform(8, 5, 13);
+        let mut c = c0.clone();
+        larfb(
+            Side::Left,
+            Trans::No,
+            &v.as_view(),
+            &t.as_view(),
+            &mut c.as_view_mut(),
+        );
+        larfb(
+            Side::Left,
+            Trans::Yes,
+            &v.as_view(),
+            &t.as_view(),
+            &mut c.as_view_mut(),
+        );
+        assert_matrix_eq(&c, &c0, 1e-12, "H^T H C = C");
+    }
+
+    #[test]
+    fn larfb_empty_block_is_noop() {
+        let v = Matrix::zeros(4, 0);
+        let t = Matrix::zeros(0, 0);
+        let c0 = ft_matrix::random::uniform(4, 3, 14);
+        let mut c = c0.clone();
+        larfb(
+            Side::Left,
+            Trans::No,
+            &v.as_view(),
+            &t.as_view(),
+            &mut c.as_view_mut(),
+        );
+        assert_eq!(c, c0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Floating-point comparison helpers shared by tests across the workspace.
+
+use crate::Matrix;
+
+/// Relative difference `|a - b| / max(|a|, |b|, 1)`.
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1.0)
+}
+
+/// `true` iff the relative difference is at most `tol`.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    rel_diff(a, b) <= tol
+}
+
+/// Largest absolute element-wise difference between two same-shape matrices.
+pub fn max_abs_diff(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols()),
+        "max_abs_diff: shape mismatch"
+    );
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Panics with a diagnostic if the two matrices differ anywhere by more than
+/// `tol` (absolute).
+pub fn assert_matrix_eq(a: &Matrix, b: &Matrix, tol: f64, context: &str) {
+    assert_eq!(
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols()),
+        "{context}: shape mismatch {}x{} vs {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    for j in 0..a.cols() {
+        for i in 0..a.rows() {
+            let (x, y) = (a[(i, j)], b[(i, j)]);
+            assert!(
+                (x - y).abs() <= tol,
+                "{context}: element ({i},{j}) differs: {x} vs {y} (|diff|={}, tol={tol})",
+                (x - y).abs()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_diff_behaviour() {
+        assert_eq!(rel_diff(1.0, 1.0), 0.0);
+        assert!(rel_diff(1.0, 1.0 + 1e-12) < 1e-11);
+        // Small numbers are compared absolutely (denominator clamped at 1).
+        assert!(rel_diff(1e-300, 2e-300) < 1e-299);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_worst() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut b = a.clone();
+        b[(1, 0)] += 0.5;
+        b[(0, 1)] -= 0.25;
+        assert_eq!(max_abs_diff(&a, &b), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "differs")]
+    fn assert_matrix_eq_panics_on_mismatch() {
+        let a = Matrix::zeros(2, 2);
+        let mut b = a.clone();
+        b[(0, 0)] = 1.0;
+        assert_matrix_eq(&a, &b, 1e-9, "test");
+    }
+
+    #[test]
+    fn assert_matrix_eq_passes_within_tol() {
+        let a = Matrix::zeros(2, 2);
+        let mut b = a.clone();
+        b[(0, 0)] = 1e-12;
+        assert_matrix_eq(&a, &b, 1e-9, "test");
+    }
+}

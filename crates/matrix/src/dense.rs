@@ -1,0 +1,497 @@
+//! Owned dense matrix in column-major (Fortran) order.
+
+use crate::view::{MatView, MatViewMut};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// An owned, heap-allocated, column-major `rows × cols` matrix of `f64`.
+///
+/// Element `(i, j)` lives at linear offset `i + j * rows`; the leading
+/// dimension of an owned matrix always equals its row count. Use
+/// [`Matrix::view`] / [`Matrix::view_mut`] to obtain LDA-carrying views of
+/// rectangular sub-blocks for in-place kernels.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Creates a `rows × cols` matrix with every element set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            data: vec![value; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a function of the index: `a[(i, j)] = f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { data, rows, cols }
+    }
+
+    /// Wraps an existing column-major buffer. `data.len()` must equal
+    /// `rows * cols`.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_col_major: buffer length {} != {rows}x{cols}",
+            data.len()
+        );
+        Matrix { data, rows, cols }
+    }
+
+    /// Builds a matrix from row-major data (convenient for literals in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "from_rows: row {i} has ragged length");
+        }
+        Matrix::from_fn(r, c, |i, j| rows[i][j])
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` iff the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// `true` iff the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// The underlying column-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The underlying column-major buffer, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its column-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Unchecked read. Caller must guarantee `i < rows && j < cols`.
+    ///
+    /// # Safety
+    /// Out-of-bounds indices are undefined behaviour.
+    #[inline(always)]
+    pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
+        *self.data.get_unchecked(i + j * self.rows)
+    }
+
+    /// Unchecked write. Caller must guarantee `i < rows && j < cols`.
+    ///
+    /// # Safety
+    /// Out-of-bounds indices are undefined behaviour.
+    #[inline(always)]
+    pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: f64) {
+        *self.data.get_unchecked_mut(i + j * self.rows) = v;
+    }
+
+    /// Column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        assert!(
+            j < self.cols,
+            "col index {j} out of bounds ({} cols)",
+            self.cols
+        );
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Column `j` as a contiguous mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!(
+            j < self.cols,
+            "col index {j} out of bounds ({} cols)",
+            self.cols
+        );
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Copies row `i` into a freshly allocated vector.
+    pub fn row_to_vec(&self, i: usize) -> Vec<f64> {
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds ({} rows)",
+            self.rows
+        );
+        (0..self.cols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// An immutable view of the whole matrix.
+    #[inline]
+    pub fn as_view(&self) -> MatView<'_> {
+        MatView::new(&self.data, self.rows, self.cols, self.rows.max(1))
+    }
+
+    /// A mutable view of the whole matrix.
+    #[inline]
+    pub fn as_view_mut(&mut self) -> MatViewMut<'_> {
+        let (rows, cols) = (self.rows, self.cols);
+        MatViewMut::new(&mut self.data, rows, cols, rows.max(1))
+    }
+
+    /// An immutable view of the `m × n` sub-block whose top-left corner is
+    /// `(r0, c0)`.
+    pub fn view(&self, r0: usize, c0: usize, m: usize, n: usize) -> MatView<'_> {
+        self.as_view().subview(r0, c0, m, n)
+    }
+
+    /// A mutable view of the `m × n` sub-block whose top-left corner is
+    /// `(r0, c0)`.
+    pub fn view_mut(&mut self, r0: usize, c0: usize, m: usize, n: usize) -> MatViewMut<'_> {
+        self.as_view_mut().into_subview(r0, c0, m, n)
+    }
+
+    /// Copies the `m × n` sub-block at `(r0, c0)` into a new owned matrix.
+    pub fn sub_matrix(&self, r0: usize, c0: usize, m: usize, n: usize) -> Matrix {
+        self.view(r0, c0, m, n).to_owned_matrix()
+    }
+
+    /// Writes `block` into this matrix with its top-left corner at `(r0, c0)`.
+    pub fn set_sub_matrix(&mut self, r0: usize, c0: usize, block: &Matrix) {
+        self.view_mut(r0, c0, block.rows, block.cols)
+            .copy_from(&block.as_view());
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Element-wise map in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Multiplies every element by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        self.map_inplace(|v| alpha * v);
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// `self += alpha * other`, element-wise. Panics on shape mismatch.
+    pub fn axpy_matrix(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "axpy_matrix: shape mismatch"
+        );
+        for (d, s) in self.data.iter_mut().zip(other.data.iter()) {
+            *d += alpha * s;
+        }
+    }
+
+    /// Returns `self - other` as a new matrix. Panics on shape mismatch.
+    pub fn diff(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "diff: shape mismatch"
+        );
+        let mut out = self.clone();
+        out.axpy_matrix(-1.0, other);
+        out
+    }
+
+    /// Swaps rows `i1` and `i2` in place.
+    pub fn swap_rows(&mut self, i1: usize, i2: usize) {
+        assert!(
+            i1 < self.rows && i2 < self.rows,
+            "swap_rows: index out of bounds"
+        );
+        if i1 == i2 {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(i1 + j * self.rows, i2 + j * self.rows);
+        }
+    }
+
+    /// Swaps columns `j1` and `j2` in place.
+    pub fn swap_cols(&mut self, j1: usize, j2: usize) {
+        assert!(
+            j1 < self.cols && j2 < self.cols,
+            "swap_cols: index out of bounds"
+        );
+        if j1 == j2 {
+            return;
+        }
+        let rows = self.rows;
+        for i in 0..rows {
+            self.data.swap(i + j1 * rows, i + j2 * rows);
+        }
+    }
+
+    /// `true` iff every element below the first sub-diagonal is exactly zero,
+    /// i.e. the matrix is in upper Hessenberg form.
+    pub fn is_upper_hessenberg(&self) -> bool {
+        self.is_upper_hessenberg_tol(0.0)
+    }
+
+    /// `true` iff every element below the first sub-diagonal has absolute
+    /// value at most `tol`.
+    pub fn is_upper_hessenberg_tol(&self, tol: f64) -> bool {
+        for j in 0..self.cols {
+            for i in (j + 2)..self.rows {
+                if self[(i, j)].abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` iff every element below the main diagonal has absolute value at
+    /// most `tol` (upper triangular).
+    pub fn is_upper_triangular_tol(&self, tol: f64) -> bool {
+        for j in 0..self.cols {
+            for i in (j + 1)..self.rows {
+                if self[(i, j)].abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` iff any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_show = 8;
+        for i in 0..self.rows.min(max_show) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(max_show) {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            if self.cols > max_show {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_show {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 5);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 5);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert!(!m.is_square());
+        assert!(!m.is_empty());
+        assert!(Matrix::zeros(0, 4).is_empty());
+    }
+
+    #[test]
+    fn column_major_layout() {
+        // a = [1 3; 2 4] stored as [1, 2, 3, 4].
+        let a = Matrix::from_col_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a[(0, 0)], 1.0);
+        assert_eq!(a[(1, 0)], 2.0);
+        assert_eq!(a[(0, 1)], 3.0);
+        assert_eq!(a[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn from_rows_matches_indexing() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.cols(), 3);
+        assert_eq!(a[(0, 2)], 3.0);
+        assert_eq!(a[(1, 0)], 4.0);
+        assert_eq!(a.row_to_vec(1), vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i3 = Matrix::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(i3[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_and_transpose() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i * 10 + j) as f64);
+        let at = a.transpose();
+        assert_eq!(at.rows(), 2);
+        assert_eq!(at.cols(), 3);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(a[(i, j)], at[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn col_slices() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i + j * 4) as f64);
+        assert_eq!(a.col(1), &[4.0, 5.0, 6.0, 7.0]);
+        let mut b = a.clone();
+        b.col_mut(2)[0] = -1.0;
+        assert_eq!(b[(0, 2)], -1.0);
+    }
+
+    #[test]
+    fn sub_matrix_roundtrip() {
+        let a = Matrix::from_fn(5, 5, |i, j| (i * 5 + j) as f64);
+        let block = a.sub_matrix(1, 2, 3, 2);
+        assert_eq!(block.rows(), 3);
+        assert_eq!(block.cols(), 2);
+        assert_eq!(block[(0, 0)], a[(1, 2)]);
+        assert_eq!(block[(2, 1)], a[(3, 3)]);
+
+        let mut b = Matrix::zeros(5, 5);
+        b.set_sub_matrix(1, 2, &block);
+        assert_eq!(b[(1, 2)], a[(1, 2)]);
+        assert_eq!(b[(3, 3)], a[(3, 3)]);
+        assert_eq!(b[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn swap_rows_cols() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        a.swap_rows(0, 1);
+        assert_eq!(a, Matrix::from_rows(&[&[3.0, 4.0], &[1.0, 2.0]]));
+        a.swap_cols(0, 1);
+        assert_eq!(a, Matrix::from_rows(&[&[4.0, 3.0], &[2.0, 1.0]]));
+    }
+
+    #[test]
+    fn hessenberg_predicate() {
+        let h = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[0.0, 7.0, 8.0]]);
+        assert!(h.is_upper_hessenberg());
+        let mut nh = h.clone();
+        nh[(2, 0)] = 1e-13;
+        assert!(!nh.is_upper_hessenberg());
+        assert!(nh.is_upper_hessenberg_tol(1e-12));
+    }
+
+    #[test]
+    fn axpy_and_diff() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let mut c = a.clone();
+        c.axpy_matrix(2.0, &b);
+        assert_eq!(c, Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]));
+        let d = c.diff(&a);
+        assert_eq!(d, Matrix::from_rows(&[&[2.0, 2.0], &[2.0, 2.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a[(2, 0)];
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(!a.has_non_finite());
+        a[(0, 1)] = f64::NAN;
+        assert!(a.has_non_finite());
+    }
+}

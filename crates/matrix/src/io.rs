@@ -1,0 +1,263 @@
+//! MatrixMarket-format I/O (dense `array` and sparse `coordinate`
+//! flavours, `real general`/`symmetric`) — the lingua franca for
+//! exchanging test matrices with other linear-algebra stacks.
+
+use crate::Matrix;
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// Errors while parsing a MatrixMarket stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MmError {
+    /// Missing or malformed `%%MatrixMarket` header.
+    BadHeader(String),
+    /// Unsupported qualifier (e.g. complex/pattern).
+    Unsupported(String),
+    /// Malformed size or entry line.
+    BadLine(usize, String),
+    /// Fewer entries than the size line promised.
+    Truncated,
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::BadHeader(s) => write!(f, "bad MatrixMarket header: {s}"),
+            MmError::Unsupported(s) => write!(f, "unsupported MatrixMarket qualifier: {s}"),
+            MmError::BadLine(n, s) => write!(f, "malformed line {n}: {s}"),
+            MmError::Truncated => write!(f, "stream ended before all entries were read"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+/// Renders a dense matrix in MatrixMarket `array real general` format.
+pub fn write_matrix_market(a: &Matrix) -> String {
+    let mut out = String::new();
+    out.push_str("%%MatrixMarket matrix array real general\n");
+    out.push_str("% written by ft-matrix\n");
+    let _ = writeln!(out, "{} {}", a.rows(), a.cols());
+    // Array format is column-major — matching our storage.
+    for j in 0..a.cols() {
+        for i in 0..a.rows() {
+            let _ = writeln!(out, "{:e}", a[(i, j)]);
+        }
+    }
+    out
+}
+
+/// Parses a MatrixMarket stream into a dense [`Matrix`].
+///
+/// Supports `array` (dense, column-major) and `coordinate` (sparse,
+/// 1-based indices) formats with `real`/`integer` fields and
+/// `general`/`symmetric` symmetry.
+pub fn read_matrix_market(text: &str) -> Result<Matrix, MmError> {
+    let mut lines = text.lines().enumerate();
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| MmError::BadHeader("empty input".into()))?;
+    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
+        return Err(MmError::BadHeader(header.to_string()));
+    }
+    let format = toks[2].as_str();
+    let field = toks[3].as_str();
+    let symmetry = toks[4].as_str();
+    if !matches!(format, "array" | "coordinate") {
+        return Err(MmError::Unsupported(format.into()));
+    }
+    if !matches!(field, "real" | "integer" | "double") {
+        return Err(MmError::Unsupported(field.into()));
+    }
+    if !matches!(symmetry, "general" | "symmetric") {
+        return Err(MmError::Unsupported(symmetry.into()));
+    }
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for (n, line) in lines.by_ref() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some((n, t.to_string()));
+        break;
+    }
+    let (size_no, size) = size_line.ok_or(MmError::Truncated)?;
+    let dims: Vec<usize> = size
+        .split_whitespace()
+        .map(usize::from_str)
+        .collect::<Result<_, _>>()
+        .map_err(|_| MmError::BadLine(size_no + 1, size.clone()))?;
+
+    match format {
+        "array" => {
+            if dims.len() != 2 {
+                return Err(MmError::BadLine(size_no + 1, size));
+            }
+            let (rows, cols) = (dims[0], dims[1]);
+            let mut m = Matrix::zeros(rows, cols);
+            let mut idx = 0usize;
+            let needed = if symmetry == "symmetric" {
+                // Lower triangle, column by column.
+                cols * (cols + 1) / 2
+            } else {
+                rows * cols
+            };
+            let mut positions: Vec<(usize, usize)> = Vec::with_capacity(needed);
+            if symmetry == "symmetric" {
+                for j in 0..cols {
+                    for i in j..rows {
+                        positions.push((i, j));
+                    }
+                }
+            } else {
+                for j in 0..cols {
+                    for i in 0..rows {
+                        positions.push((i, j));
+                    }
+                }
+            }
+            for (n, line) in lines {
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                let v: f64 = t
+                    .parse()
+                    .map_err(|_| MmError::BadLine(n + 1, t.to_string()))?;
+                if idx >= positions.len() {
+                    return Err(MmError::BadLine(n + 1, "too many entries".into()));
+                }
+                let (i, j) = positions[idx];
+                m[(i, j)] = v;
+                if symmetry == "symmetric" && i != j {
+                    m[(j, i)] = v;
+                }
+                idx += 1;
+            }
+            if idx != positions.len() {
+                return Err(MmError::Truncated);
+            }
+            Ok(m)
+        }
+        _ => {
+            // coordinate
+            if dims.len() != 3 {
+                return Err(MmError::BadLine(size_no + 1, size));
+            }
+            let (rows, cols, nnz) = (dims[0], dims[1], dims[2]);
+            let mut m = Matrix::zeros(rows, cols);
+            let mut count = 0usize;
+            for (n, line) in lines {
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                let parts: Vec<&str> = t.split_whitespace().collect();
+                if parts.len() != 3 {
+                    return Err(MmError::BadLine(n + 1, t.to_string()));
+                }
+                let i: usize = parts[0]
+                    .parse()
+                    .map_err(|_| MmError::BadLine(n + 1, t.to_string()))?;
+                let j: usize = parts[1]
+                    .parse()
+                    .map_err(|_| MmError::BadLine(n + 1, t.to_string()))?;
+                let v: f64 = parts[2]
+                    .parse()
+                    .map_err(|_| MmError::BadLine(n + 1, t.to_string()))?;
+                if i == 0 || j == 0 || i > rows || j > cols {
+                    return Err(MmError::BadLine(n + 1, t.to_string()));
+                }
+                m[(i - 1, j - 1)] = v;
+                if symmetry == "symmetric" && i != j {
+                    m[(j - 1, i - 1)] = v;
+                }
+                count += 1;
+            }
+            if count != nnz {
+                return Err(MmError::Truncated);
+            }
+            Ok(m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip() {
+        let a = crate::random::uniform(7, 5, 3);
+        let text = write_matrix_market(&a);
+        let b = read_matrix_market(&text).unwrap();
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        assert!(crate::max_abs_diff(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn coordinate_parse() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 3 3\n\
+                    1 1 2.5\n\
+                    2 3 -1.0\n\
+                    3 2 4.0\n";
+        let m = read_matrix_market(text).unwrap();
+        assert_eq!(m[(0, 0)], 2.5);
+        assert_eq!(m[(1, 2)], -1.0);
+        assert_eq!(m[(2, 1)], 4.0);
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn symmetric_coordinate_mirrors() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 1.0\n\
+                    2 1 5.0\n";
+        let m = read_matrix_market(text).unwrap();
+        assert_eq!(m[(1, 0)], 5.0);
+        assert_eq!(m[(0, 1)], 5.0);
+    }
+
+    #[test]
+    fn symmetric_array_lower_triangle() {
+        // 2x2 symmetric array: entries (1,1), (2,1), (2,2).
+        let text = "%%MatrixMarket matrix array real symmetric\n\
+                    2 2\n\
+                    1.0\n\
+                    3.0\n\
+                    2.0\n";
+        let m = read_matrix_market(text).unwrap();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 1)], 2.0);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            read_matrix_market("nonsense"),
+            Err(MmError::BadHeader(_))
+        ));
+        assert!(matches!(
+            read_matrix_market("%%MatrixMarket matrix array complex general\n1 1\n1.0\n"),
+            Err(MmError::Unsupported(_))
+        ));
+        assert!(matches!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n2 2\n1.0\n"),
+            Err(MmError::Truncated)
+        ));
+        assert!(matches!(
+            read_matrix_market("%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n"),
+            Err(MmError::BadLine(..))
+        ));
+    }
+}

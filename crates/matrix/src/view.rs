@@ -1,0 +1,564 @@
+//! LDA-carrying matrix views.
+//!
+//! A view is the Rust analogue of the `(pointer, lda)` pair every BLAS and
+//! LAPACK routine takes: an `m × n` window onto a column-major buffer whose
+//! consecutive columns are `lda` elements apart. Views let the factorization
+//! code operate **in place** on panels, trailing matrices and checksum
+//! borders of one backing allocation, exactly like the Fortran codes the
+//! paper builds on.
+//!
+//! [`MatView`] borrows immutably and is a thin wrapper over `&[f64]`.
+//! [`MatViewMut`] borrows exclusively; internally it stores a raw pointer so
+//! that it can be split into *disjoint* mutable sub-views (by row ranges,
+//! which interleave in memory and therefore cannot be expressed as two
+//! `&mut [f64]`). The safety invariant is the usual one: a `MatViewMut`
+//! exclusively owns every element `(i, j)` with `i < rows`, `j < cols` at
+//! offset `i + j * lda`, and splitting hands out views over disjoint index
+//! sets.
+
+use crate::dense::Matrix;
+use std::marker::PhantomData;
+
+/// Immutable `m × n` window onto a column-major buffer with leading
+/// dimension `lda`.
+#[derive(Clone, Copy)]
+pub struct MatView<'a> {
+    data: &'a [f64],
+    rows: usize,
+    cols: usize,
+    lda: usize,
+}
+
+impl<'a> MatView<'a> {
+    /// Wraps `data` as a `rows × cols` view with leading dimension `lda`.
+    ///
+    /// Panics if `lda < rows` or the buffer is too short to hold the window.
+    pub fn new(data: &'a [f64], rows: usize, cols: usize, lda: usize) -> Self {
+        assert!(lda >= rows.max(1), "lda {lda} < rows {rows}");
+        if rows > 0 && cols > 0 {
+            let need = (cols - 1) * lda + rows;
+            assert!(
+                data.len() >= need,
+                "buffer too short: {} < {need}",
+                data.len()
+            );
+        }
+        MatView {
+            data,
+            rows,
+            cols,
+            lda,
+        }
+    }
+
+    /// Number of rows in the window.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns in the window.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension of the backing buffer.
+    #[inline]
+    pub fn lda(&self) -> usize {
+        self.lda
+    }
+
+    /// `true` iff the window has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Checked element access.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "view index ({i},{j}) out of bounds"
+        );
+        self.data[i + j * self.lda]
+    }
+
+    /// Unchecked element access.
+    ///
+    /// # Safety
+    /// `i < rows && j < cols` must hold.
+    #[inline(always)]
+    pub unsafe fn at_unchecked(&self, i: usize, j: usize) -> f64 {
+        *self.data.get_unchecked(i + j * self.lda)
+    }
+
+    /// Column `j` as a contiguous slice of length `rows`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &'a [f64] {
+        assert!(j < self.cols, "view col {j} out of bounds");
+        if self.rows == 0 {
+            // A zero-row window may sit past the end of the buffer.
+            return &[];
+        }
+        &self.data[j * self.lda..j * self.lda + self.rows]
+    }
+
+    /// The `m × n` sub-window with top-left corner `(r0, c0)`.
+    pub fn subview(&self, r0: usize, c0: usize, m: usize, n: usize) -> MatView<'a> {
+        assert!(
+            r0 + m <= self.rows && c0 + n <= self.cols,
+            "subview ({r0},{c0})+{m}x{n} exceeds {}x{}",
+            self.rows,
+            self.cols
+        );
+        let offset = r0 + c0 * self.lda;
+        let data = if m == 0 || n == 0 {
+            &self.data[self.data.len()..]
+        } else {
+            &self.data[offset..]
+        };
+        MatView {
+            data,
+            rows: m,
+            cols: n,
+            lda: self.lda,
+        }
+    }
+
+    /// Copies the window into a freshly allocated owned [`Matrix`].
+    pub fn to_owned_matrix(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            out.col_mut(j).copy_from_slice(self.col(j));
+        }
+        out
+    }
+
+    /// Copies row `i` into a vector (strided gather).
+    pub fn row_to_vec(&self, i: usize) -> Vec<f64> {
+        assert!(i < self.rows, "view row {i} out of bounds");
+        (0..self.cols)
+            .map(|j| self.data[i + j * self.lda])
+            .collect()
+    }
+}
+
+/// Exclusive `m × n` window onto a column-major buffer with leading
+/// dimension `lda`.
+///
+/// Unlike [`MatView`] this stores a raw pointer so it can be split into
+/// disjoint mutable parts along either axis (row splits interleave in
+/// memory). All public constructors take `&mut [f64]`, so safety reduces to
+/// the internal splitting functions maintaining disjointness.
+pub struct MatViewMut<'a> {
+    ptr: *mut f64,
+    rows: usize,
+    cols: usize,
+    lda: usize,
+    _marker: PhantomData<&'a mut [f64]>,
+}
+
+// SAFETY: a MatViewMut exclusively owns its index set; ownership of disjoint
+// index sets may be transferred across threads (used by the parallel GEMM).
+unsafe impl Send for MatViewMut<'_> {}
+
+impl<'a> MatViewMut<'a> {
+    /// Wraps `data` as a `rows × cols` mutable view with leading dimension
+    /// `lda`.
+    ///
+    /// Panics if `lda < rows` or the buffer is too short.
+    pub fn new(data: &'a mut [f64], rows: usize, cols: usize, lda: usize) -> Self {
+        assert!(lda >= rows.max(1), "lda {lda} < rows {rows}");
+        if rows > 0 && cols > 0 {
+            let need = (cols - 1) * lda + rows;
+            assert!(
+                data.len() >= need,
+                "buffer too short: {} < {need}",
+                data.len()
+            );
+        }
+        MatViewMut {
+            ptr: data.as_mut_ptr(),
+            rows,
+            cols,
+            lda,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of rows in the window.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns in the window.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Leading dimension of the backing buffer.
+    #[inline]
+    pub fn lda(&self) -> usize {
+        self.lda
+    }
+
+    /// `true` iff the window has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Checked element read.
+    #[inline(always)]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "view index ({i},{j}) out of bounds"
+        );
+        unsafe { *self.ptr.add(i + j * self.lda) }
+    }
+
+    /// Checked element write.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(
+            i < self.rows && j < self.cols,
+            "view index ({i},{j}) out of bounds"
+        );
+        unsafe { *self.ptr.add(i + j * self.lda) = v }
+    }
+
+    /// Unchecked element read.
+    ///
+    /// # Safety
+    /// `i < rows && j < cols` must hold.
+    #[inline(always)]
+    pub unsafe fn at_unchecked(&self, i: usize, j: usize) -> f64 {
+        *self.ptr.add(i + j * self.lda)
+    }
+
+    /// Unchecked element write.
+    ///
+    /// # Safety
+    /// `i < rows && j < cols` must hold.
+    #[inline(always)]
+    pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: f64) {
+        *self.ptr.add(i + j * self.lda) = v
+    }
+
+    /// Column `j` as a contiguous mutable slice of length `rows`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!(j < self.cols, "view col {j} out of bounds");
+        if self.rows == 0 {
+            // Never offset the pointer past the allocation for an empty
+            // column (ptr::add beyond the buffer would be UB).
+            return &mut [];
+        }
+        // SAFETY: the view owns rows 0..rows of column j exclusively.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(j * self.lda), self.rows) }
+    }
+
+    /// Column `j` as a contiguous immutable slice of length `rows`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        assert!(j < self.cols, "view col {j} out of bounds");
+        if self.rows == 0 {
+            return &[];
+        }
+        // SAFETY: the view owns rows 0..rows of column j.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(j * self.lda), self.rows) }
+    }
+
+    /// Reborrows as an immutable view with a shorter lifetime.
+    #[inline]
+    pub fn as_view(&self) -> MatView<'_> {
+        let len = if self.rows == 0 || self.cols == 0 {
+            0
+        } else {
+            (self.cols - 1) * self.lda + self.rows
+        };
+        // SAFETY: the view owns this window.
+        let data = unsafe { std::slice::from_raw_parts(self.ptr, len) };
+        MatView {
+            data,
+            rows: self.rows,
+            cols: self.cols,
+            lda: self.lda,
+        }
+    }
+
+    /// Reborrows mutably with a shorter lifetime (like `&mut *x`).
+    #[inline]
+    pub fn rb_mut(&mut self) -> MatViewMut<'_> {
+        MatViewMut {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            lda: self.lda,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Consumes the view and returns the `m × n` sub-window with top-left
+    /// corner `(r0, c0)`, keeping the original lifetime.
+    pub fn into_subview(self, r0: usize, c0: usize, m: usize, n: usize) -> MatViewMut<'a> {
+        assert!(
+            r0 + m <= self.rows && c0 + n <= self.cols,
+            "subview ({r0},{c0})+{m}x{n} exceeds {}x{}",
+            self.rows,
+            self.cols
+        );
+        if m == 0 || n == 0 {
+            // Keep the base pointer: offsetting past the allocation for a
+            // zero-sized window would be UB.
+            return MatViewMut {
+                ptr: self.ptr,
+                rows: m,
+                cols: n,
+                lda: self.lda,
+                _marker: PhantomData,
+            };
+        }
+        // SAFETY: the sub-window's index set is contained in the parent's.
+        MatViewMut {
+            ptr: unsafe { self.ptr.add(r0 + c0 * self.lda) },
+            rows: m,
+            cols: n,
+            lda: self.lda,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Mutable sub-window with a shorter lifetime (non-consuming).
+    pub fn subview_mut(&mut self, r0: usize, c0: usize, m: usize, n: usize) -> MatViewMut<'_> {
+        self.rb_mut().into_subview(r0, c0, m, n)
+    }
+
+    /// Splits into the first `c` columns and the remaining `cols - c`
+    /// columns. The two views own disjoint element sets.
+    pub fn split_at_col(self, c: usize) -> (MatViewMut<'a>, MatViewMut<'a>) {
+        assert!(c <= self.cols, "split_at_col {c} > cols {}", self.cols);
+        let left = MatViewMut {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: c,
+            lda: self.lda,
+            _marker: PhantomData,
+        };
+        let right = if c == self.cols || self.rows == 0 {
+            // Empty right half: keep the base pointer (no past-the-end
+            // offset arithmetic).
+            MatViewMut {
+                ptr: self.ptr,
+                rows: self.rows,
+                cols: self.cols - c,
+                lda: self.lda,
+                _marker: PhantomData,
+            }
+        } else {
+            MatViewMut {
+                // SAFETY: column c starts at offset c * lda inside the window.
+                ptr: unsafe { self.ptr.add(c * self.lda) },
+                rows: self.rows,
+                cols: self.cols - c,
+                lda: self.lda,
+                _marker: PhantomData,
+            }
+        };
+        (left, right)
+    }
+
+    /// Splits into the first `r` rows and the remaining `rows - r` rows.
+    /// The parts interleave in memory but own disjoint element sets.
+    pub fn split_at_row(self, r: usize) -> (MatViewMut<'a>, MatViewMut<'a>) {
+        assert!(r <= self.rows, "split_at_row {r} > rows {}", self.rows);
+        let top = MatViewMut {
+            ptr: self.ptr,
+            rows: r,
+            cols: self.cols,
+            lda: self.lda,
+            _marker: PhantomData,
+        };
+        let bottom = if r == self.rows || self.cols == 0 {
+            MatViewMut {
+                ptr: self.ptr,
+                rows: self.rows - r,
+                cols: self.cols,
+                lda: self.lda,
+                _marker: PhantomData,
+            }
+        } else {
+            MatViewMut {
+                // SAFETY: row r of the window starts at offset r.
+                ptr: unsafe { self.ptr.add(r) },
+                rows: self.rows - r,
+                cols: self.cols,
+                lda: self.lda,
+                _marker: PhantomData,
+            }
+        };
+        (top, bottom)
+    }
+
+    /// Overwrites this window with the contents of `src` (same shape).
+    pub fn copy_from(&mut self, src: &MatView<'_>) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (src.rows(), src.cols()),
+            "copy_from: shape mismatch"
+        );
+        for j in 0..self.cols {
+            self.col_mut(j).copy_from_slice(src.col(j));
+        }
+    }
+
+    /// Sets every element of the window to `value`.
+    pub fn fill(&mut self, value: f64) {
+        for j in 0..self.cols {
+            self.col_mut(j).fill(value);
+        }
+    }
+
+    /// `self += alpha * other`, element-wise over the window.
+    pub fn axpy_from(&mut self, alpha: f64, other: &MatView<'_>) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows(), other.cols()),
+            "axpy_from: shape mismatch"
+        );
+        for j in 0..self.cols {
+            let src = other.col(j);
+            for (d, s) in self.col_mut(j).iter_mut().zip(src) {
+                *d += alpha * s;
+            }
+        }
+    }
+
+    /// Multiplies every element of the window by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for j in 0..self.cols {
+            for v in self.col_mut(j) {
+                *v *= alpha;
+            }
+        }
+    }
+
+    /// Copies the window into an owned [`Matrix`].
+    pub fn to_owned_matrix(&self) -> Matrix {
+        self.as_view().to_owned_matrix()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numbered(rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |i, j| (i * 100 + j) as f64)
+    }
+
+    #[test]
+    fn view_basics() {
+        let a = numbered(4, 3);
+        let v = a.as_view();
+        assert_eq!(v.rows(), 4);
+        assert_eq!(v.cols(), 3);
+        assert_eq!(v.lda(), 4);
+        assert_eq!(v.at(2, 1), 201.0);
+        assert_eq!(v.col(2), a.col(2));
+    }
+
+    #[test]
+    fn subview_indexing() {
+        let a = numbered(6, 6);
+        let v = a.view(2, 3, 3, 2);
+        assert_eq!(v.at(0, 0), a[(2, 3)]);
+        assert_eq!(v.at(2, 1), a[(4, 4)]);
+        assert_eq!(v.lda(), 6);
+        let vv = v.subview(1, 1, 2, 1);
+        assert_eq!(vv.at(0, 0), a[(3, 4)]);
+    }
+
+    #[test]
+    fn mut_view_writes_through() {
+        let mut a = numbered(5, 5);
+        {
+            let mut v = a.view_mut(1, 1, 3, 3);
+            v.set(0, 0, -7.0);
+            v.col_mut(2)[2] = -9.0;
+        }
+        assert_eq!(a[(1, 1)], -7.0);
+        assert_eq!(a[(3, 3)], -9.0);
+    }
+
+    #[test]
+    fn split_at_col_disjoint() {
+        let mut a = numbered(4, 6);
+        let v = a.as_view_mut();
+        let (mut l, mut r) = v.split_at_col(2);
+        assert_eq!(l.cols(), 2);
+        assert_eq!(r.cols(), 4);
+        l.fill(1.0);
+        r.fill(2.0);
+        assert_eq!(a[(0, 1)], 1.0);
+        assert_eq!(a[(0, 2)], 2.0);
+    }
+
+    #[test]
+    fn split_at_row_disjoint() {
+        let mut a = numbered(6, 4);
+        let v = a.as_view_mut();
+        let (mut t, mut b) = v.split_at_row(2);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(b.rows(), 4);
+        t.fill(1.0);
+        b.fill(2.0);
+        assert_eq!(a[(1, 3)], 1.0);
+        assert_eq!(a[(2, 0)], 2.0);
+    }
+
+    #[test]
+    fn copy_and_axpy() {
+        let a = numbered(4, 4);
+        let mut b = Matrix::zeros(2, 2);
+        b.as_view_mut().copy_from(&a.view(1, 1, 2, 2));
+        assert_eq!(b[(0, 0)], a[(1, 1)]);
+        b.as_view_mut().axpy_from(2.0, &a.view(1, 1, 2, 2));
+        assert_eq!(b[(1, 1)], 3.0 * a[(2, 2)]);
+    }
+
+    #[test]
+    fn to_owned_matches() {
+        let a = numbered(5, 5);
+        let sub = a.view(1, 2, 3, 2).to_owned_matrix();
+        assert_eq!(sub, a.sub_matrix(1, 2, 3, 2));
+    }
+
+    #[test]
+    fn zero_sized_views() {
+        let a = numbered(4, 4);
+        let v = a.view(4, 4, 0, 0);
+        assert!(v.is_empty());
+        let v2 = a.view(0, 0, 0, 4);
+        assert_eq!(v2.cols(), 4);
+        assert!(v2.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn subview_out_of_bounds_panics() {
+        let a = numbered(3, 3);
+        let _ = a.view(1, 1, 3, 3);
+    }
+
+    #[test]
+    fn row_to_vec_strided() {
+        let a = numbered(4, 3);
+        assert_eq!(a.as_view().row_to_vec(2), vec![200.0, 201.0, 202.0]);
+    }
+}

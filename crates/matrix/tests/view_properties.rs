@@ -1,0 +1,104 @@
+//! Property-based tests of the view system: LDA-carrying windows must be
+//! indistinguishable from materialized copies under every composition.
+
+use proptest::prelude::*;
+
+/// Strategy: a matrix plus a valid sub-window.
+fn window() -> impl Strategy<Value = (usize, usize, usize, usize, usize, usize, u64)> {
+    (1usize..24, 1usize..24, any::<u64>()).prop_flat_map(|(rows, cols, seed)| {
+        (0..rows, 0..cols, Just(rows), Just(cols), Just(seed)).prop_flat_map(
+            move |(r0, c0, rows, cols, seed)| {
+                (
+                    Just(rows),
+                    Just(cols),
+                    Just(r0),
+                    Just(c0),
+                    0..=(rows - r0),
+                    0..=(cols - c0),
+                    Just(seed),
+                )
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// view → to_owned equals sub_matrix for any window.
+    #[test]
+    fn view_equals_submatrix((rows, cols, r0, c0, m, n, seed) in window()) {
+        let a = ft_matrix::random::uniform(rows, cols, seed);
+        let v = a.view(r0, c0, m, n).to_owned_matrix();
+        let s = a.sub_matrix(r0, c0, m, n);
+        prop_assert_eq!(v, s);
+    }
+
+    /// Nested subviews compose like index arithmetic.
+    #[test]
+    fn subview_composition((rows, cols, r0, c0, m, n, seed) in window()) {
+        prop_assume!(m >= 1 && n >= 1);
+        let a = ft_matrix::random::uniform(rows, cols, seed);
+        let outer = a.view(r0, c0, m, n);
+        // Take the lower-right quadrant of the window twice over.
+        let (hr, hc) = (m / 2, n / 2);
+        let inner = outer.subview(hr, hc, m - hr, n - hc);
+        for i in 0..inner.rows() {
+            for j in 0..inner.cols() {
+                prop_assert_eq!(inner.at(i, j), a[(r0 + hr + i, c0 + hc + j)]);
+            }
+        }
+    }
+
+    /// Split + mutate through both halves touches disjoint elements and
+    /// reaches every element exactly once.
+    #[test]
+    fn split_partition(rows in 1usize..16, cols in 1usize..16, cut in 0usize..16, seed in any::<u64>(), by_col in prop::bool::ANY) {
+        let mut a = ft_matrix::random::uniform(rows, cols, seed);
+        let limit = if by_col { cols } else { rows };
+        let cut = cut.min(limit);
+        {
+            let v = a.as_view_mut();
+            let (mut l, mut r) = if by_col { v.split_at_col(cut) } else { v.split_at_row(cut) };
+            for j in 0..l.cols() {
+                for i in 0..l.rows() {
+                    let old = l.at(i, j);
+                    l.set(i, j, old + 1000.0);
+                }
+            }
+            for j in 0..r.cols() {
+                for i in 0..r.rows() {
+                    let old = r.at(i, j);
+                    r.set(i, j, old + 1000.0);
+                }
+            }
+        }
+        // Every element incremented exactly once.
+        let b = ft_matrix::random::uniform(rows, cols, seed);
+        for j in 0..cols {
+            for i in 0..rows {
+                prop_assert!((a[(i, j)] - b[(i, j)] - 1000.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// Transpose is an involution and swaps norms.
+    #[test]
+    fn transpose_involution(rows in 0usize..16, cols in 0usize..16, seed in any::<u64>()) {
+        let a = ft_matrix::random::uniform(rows, cols, seed);
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        prop_assert!((a.one_norm() - a.transpose().inf_norm()).abs() < 1e-12);
+    }
+
+    /// Grand sum is invariant under row/column swaps.
+    #[test]
+    fn grand_sum_swap_invariant(n in 2usize..16, seed in any::<u64>(), i in 0usize..16, j in 0usize..16) {
+        let a = ft_matrix::random::uniform(n, n, seed);
+        let (i, j) = (i % n, j % n);
+        let mut b = a.clone();
+        b.swap_rows(i, j);
+        b.swap_cols(i, j);
+        prop_assert!((a.grand_sum() - b.grand_sum()).abs() < 1e-11);
+        prop_assert!((a.fro_norm() - b.fro_norm()).abs() < 1e-11);
+    }
+}

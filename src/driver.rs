@@ -1,0 +1,266 @@
+//! High-level one-call drivers: the API a downstream user reaches for
+//! first, wrapping the reduction → Schur → eigenvector pipeline with
+//! fault tolerance on by default.
+
+use ft_fault::FaultPlan;
+use ft_hessenberg::{ft_gehrd_hybrid, FtConfig, FtReport};
+use ft_hybrid::{CostModel, ExecMode, HybridCtx};
+use ft_lapack::hseqr::Eigenvalue;
+use ft_lapack::real_schur;
+use ft_lapack::schur::SchurDecomposition;
+use ft_matrix::Matrix;
+
+/// Errors a driver can report.
+#[derive(Debug)]
+pub enum DriverError {
+    /// The matrix is not square.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// The QR iteration failed to converge.
+    NoConvergence(ft_lapack::hseqr::NoConvergence),
+    /// Fault recovery could not fully repair the data (e.g. an
+    /// overflow-scale corruption); the computation is unreliable.
+    Unrecovered(Box<FtReport>),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            DriverError::NoConvergence(e) => write!(f, "{e}"),
+            DriverError::Unrecovered(r) => write!(
+                f,
+                "fault recovery incomplete ({} unresolved episode(s))",
+                r.recoveries.iter().filter(|e| !e.resolved).count()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// The complete spectral result of [`eigen`].
+#[derive(Debug)]
+pub struct Eigen {
+    /// All eigenvalues (complex pairs adjacent).
+    pub values: Vec<Eigenvalue>,
+    /// Real eigenvalues with explicit eigenvectors (columns of
+    /// `vectors`); complex pairs are represented by the Schur form.
+    pub real_values: Vec<f64>,
+    /// Unit eigenvectors for `real_values`, one column each.
+    pub vectors: Matrix,
+    /// The full real Schur decomposition `A = Z·T·Zᵀ`.
+    pub schur: SchurDecomposition,
+    /// Fault-tolerance telemetry of the reduction phase.
+    pub report: FtReport,
+}
+
+fn check_square(a: &Matrix) -> Result<(), DriverError> {
+    if a.is_square() {
+        Ok(())
+    } else {
+        Err(DriverError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        })
+    }
+}
+
+/// Reduces `a` to Hessenberg form with the fault-tolerant hybrid
+/// algorithm under a caller-supplied fault plan (use
+/// [`FaultPlan::none`] in production; tests inject through it).
+pub fn hessenberg_ft(
+    a: &Matrix,
+    cfg: &FtConfig,
+    plan: &mut FaultPlan,
+) -> Result<(ft_lapack::HessFactorization, FtReport), DriverError> {
+    check_square(a)?;
+    let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+    let out = ft_gehrd_hybrid(a, cfg, &mut ctx, plan);
+    if out.report.any_unresolved() {
+        return Err(DriverError::Unrecovered(Box::new(out.report)));
+    }
+    let f = out.result.expect("full mode returns the factorization");
+    Ok((f, out.report))
+}
+
+/// Options for the spectral drivers.
+#[derive(Clone, Copy, Debug)]
+pub struct EigenOptions {
+    /// Fault-tolerance configuration for the reduction phase.
+    pub ft: FtConfig,
+    /// Balance the matrix (exact diagonal similarity) before reducing —
+    /// improves accuracy dramatically on badly scaled inputs, at zero
+    /// eigenvalue perturbation. Eigenvectors are back-transformed; the
+    /// Schur factors then refer to the *balanced* matrix.
+    pub balance: bool,
+}
+
+impl Default for EigenOptions {
+    fn default() -> Self {
+        EigenOptions {
+            ft: FtConfig::default(),
+            balance: true,
+        }
+    }
+}
+
+/// All eigenvalues of a general square matrix, computed through the
+/// fault-tolerant reduction (with balancing).
+pub fn eigenvalues(a: &Matrix) -> Result<Vec<Eigenvalue>, DriverError> {
+    check_square(a)?;
+    let mut work = a.clone();
+    let _bal = ft_lapack::balance(&mut work);
+    let (f, _report) = hessenberg_ft(&work, &FtConfig::default(), &mut FaultPlan::none())?;
+    ft_lapack::eigenvalues_hessenberg(&f.h()).map_err(DriverError::NoConvergence)
+}
+
+/// Full spectral decomposition: eigenvalues, Schur form, and explicit
+/// eigenvectors for the real part of the spectrum.
+pub fn eigen(a: &Matrix) -> Result<Eigen, DriverError> {
+    eigen_opts(a, &EigenOptions::default(), &mut FaultPlan::none())
+}
+
+/// [`eigen`] with an explicit FT configuration and fault plan
+/// (no balancing, so fault coordinates refer to `a` itself).
+pub fn eigen_with(a: &Matrix, cfg: &FtConfig, plan: &mut FaultPlan) -> Result<Eigen, DriverError> {
+    eigen_opts(
+        a,
+        &EigenOptions {
+            ft: *cfg,
+            balance: false,
+        },
+        plan,
+    )
+}
+
+/// [`eigen`] with full options.
+pub fn eigen_opts(
+    a: &Matrix,
+    opts: &EigenOptions,
+    plan: &mut FaultPlan,
+) -> Result<Eigen, DriverError> {
+    check_square(a)?;
+    let (work, bal) = if opts.balance {
+        let mut w = a.clone();
+        let b = ft_lapack::balance(&mut w);
+        (w, Some(b))
+    } else {
+        (a.clone(), None)
+    };
+    let (f, report) = hessenberg_ft(&work, &opts.ft, plan)?;
+    let schur = real_schur(&f.h(), Some(f.q())).map_err(DriverError::NoConvergence)?;
+    let (real_values, mut vectors) = schur.real_eigenvectors();
+    if let Some(b) = &bal {
+        for j in 0..vectors.cols() {
+            let y: Vec<f64> = vectors.col(j).to_vec();
+            let v = b.back_transform(&y);
+            vectors.col_mut(j).copy_from_slice(&v);
+        }
+    }
+    Ok(Eigen {
+        values: schur.eigenvalues.clone(),
+        real_values,
+        vectors,
+        schur,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_fault::Fault;
+
+    #[test]
+    fn eigen_of_symmetric_matrix() {
+        let n = 24;
+        let a = ft_matrix::random::symmetric(n, 5);
+        let e = eigen(&a).unwrap();
+        assert_eq!(e.values.len(), n);
+        assert_eq!(e.real_values.len(), n, "symmetric spectrum is real");
+        // A v = λ v for every returned vector.
+        for (j, &lambda) in e.real_values.iter().enumerate() {
+            let v: Vec<f64> = e.vectors.col(j).to_vec();
+            let mut av = vec![0.0; n];
+            ft_blas::gemv(ft_blas::Trans::No, 1.0, &a.as_view(), &v, 0.0, &mut av);
+            for i in 0..n {
+                assert!((av[i] - lambda * v[i]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_survives_injection() {
+        let n = 48;
+        let a = ft_matrix::random::uniform(n, n, 6);
+        let clean = eigenvalues(&a).unwrap();
+        let mut plan = FaultPlan::one(1, Fault::add(30, 40, 0.5));
+        let e = eigen_with(&a, &FtConfig::default(), &mut plan).unwrap();
+        assert!(!e.report.recoveries.is_empty());
+        let mut c = clean.clone();
+        let mut d = e.values.clone();
+        ft_lapack::hseqr::sort_eigenvalues(&mut c);
+        ft_lapack::hseqr::sort_eigenvalues(&mut d);
+        for (x, y) in c.iter().zip(&d) {
+            assert!((x.re - y.re).abs() < 1e-7 && (x.im - y.im).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn balancing_improves_badly_scaled_spectrum() {
+        // Exact diagonal similarity of a well-conditioned base: the true
+        // spectrum is the base's.
+        let n = 16;
+        let base = ft_matrix::random::uniform(n, n, 9);
+        let mut bad = base.clone();
+        for i in 0..n {
+            let f = 2f64.powf(((i % 7) as f64 - 3.0) * 4.0);
+            for j in 0..n {
+                let v = bad[(i, j)];
+                bad[(i, j)] = v * f;
+            }
+            for j in 0..n {
+                let v = bad[(j, i)];
+                bad[(j, i)] = v / f;
+            }
+        }
+        let mut truth = eigenvalues(&base).unwrap();
+        let mut got = eigenvalues(&bad).unwrap();
+        ft_lapack::hseqr::sort_eigenvalues(&mut truth);
+        ft_lapack::hseqr::sort_eigenvalues(&mut got);
+        for (x, y) in truth.iter().zip(&got) {
+            let s = x.abs().max(1.0);
+            assert!(
+                (x.re - y.re).hypot(x.im - y.im) / s < 1e-9,
+                "{x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(3, 4);
+        assert!(matches!(
+            eigenvalues(&a),
+            Err(DriverError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn unrecoverable_corruption_surfaces_as_error() {
+        let n = 48;
+        let a = ft_matrix::random::uniform(n, n, 7);
+        // Overflow-scale corruption: must surface as an error, not a
+        // silently wrong answer.
+        let mut plan = FaultPlan::one(1, Fault::bitflip(30, 40, 62));
+        let r = eigen_with(&a, &FtConfig::default(), &mut plan);
+        assert!(matches!(r, Err(DriverError::Unrecovered(_))), "{r:?}");
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+//! FT-Hess: a reproduction of *"Hessenberg Reduction with Transient Error
+//! Resilience on GPU-Based Hybrid Architectures"* (Jia, Luszczek,
+//! Dongarra — IPDPS Workshops 2016) in pure Rust.
+//!
+//! This facade crate re-exports the workspace so examples and downstream
+//! users can depend on one crate:
+//!
+//! * [`matrix`] — dense column-major matrices and views;
+//! * [`blas`] — from-scratch level-1/2/3 kernels;
+//! * [`lapack`] — Householder machinery, Hessenberg/QR factorizations and
+//!   a Hessenberg eigensolver;
+//! * [`hybrid`] — the simulated GPU+CPU platform (cost model + timelines);
+//! * [`fault`] — the transient soft-error model and injection campaigns;
+//! * [`hessenberg`] — the paper's contribution: checksum-encoded,
+//!   self-detecting, self-correcting hybrid Hessenberg reduction.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ft_hess_repro::prelude::*;
+//!
+//! let a = ft_hess_repro::matrix::random::uniform(64, 64, 42);
+//! let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+//! let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(16), &mut ctx, &mut FaultPlan::none());
+//! let f = out.result.unwrap();
+//! assert!(f.h().is_upper_hessenberg());
+//! ```
+
+pub mod driver;
+
+pub use ft_blas as blas;
+pub use ft_fault as fault;
+pub use ft_hessenberg as hessenberg;
+pub use ft_hybrid as hybrid;
+pub use ft_lapack as lapack;
+pub use ft_matrix as matrix;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use crate::driver::{eigen, eigen_with, eigenvalues, Eigen};
+    pub use ft_fault::{Fault, FaultKind, FaultPlan, Moment, Phase, Region, ScheduledFault};
+    pub use ft_hessenberg::{
+        ft_gehrd_hybrid, gehrd_hybrid, FtConfig, FtOutcome, HybridConfig, ThresholdPolicy,
+    };
+    pub use ft_hybrid::{CostModel, ExecMode, HybridCtx};
+    pub use ft_lapack::{eigenvalues_hessenberg, gehrd, GehrdConfig, HessFactorization};
+    pub use ft_matrix::Matrix;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_quickstart_compiles_and_runs() {
+        let a = crate::matrix::random::uniform(32, 32, 1);
+        let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+        let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(8), &mut ctx, &mut FaultPlan::none());
+        assert!(out.result.unwrap().h().is_upper_hessenberg());
+    }
+}

@@ -1,0 +1,136 @@
+//! Exhaustive fault-injection sweep: every (area × moment) cell of the
+//! paper's evaluation protocol, across panel widths, must end in a
+//! correct factorization.
+
+use ft_hess_repro::fault::{Campaign, CampaignConfig};
+use ft_hess_repro::hessenberg::verify::ResidualReport;
+use ft_hess_repro::prelude::*;
+
+fn run_campaign(n: usize, nb: usize, magnitude: Option<f64>, seed: u64) {
+    let config = CampaignConfig {
+        n,
+        nb,
+        regions: vec![Region::Area1, Region::Area2, Region::Area3],
+        moments: Moment::ALL.to_vec(),
+        trials: 2,
+        seed,
+        magnitude,
+    };
+    let campaign = Campaign::generate(config);
+    assert!(!campaign.trials.is_empty());
+    let a = ft_hess_repro::matrix::random::uniform(n, n, seed ^ 0xABCD);
+
+    for trial in &campaign.trials {
+        let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+        let mut plan = trial.plan.clone();
+        let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(nb), &mut ctx, &mut plan);
+        assert_eq!(plan.applied().len(), 1, "exactly one injection per trial");
+        let f = out.result.unwrap();
+        let r = ResidualReport::compute(&a, &f.q(), &f.h());
+        assert!(
+            r.factorization < 1e-11 && r.orthogonality < 1e-11 && r.hessenberg_defect == 0.0,
+            "{} {} trial {} at ({},{}): residuals {r:?}, report: recoveries={} q_fixes={}",
+            trial.region.label(),
+            trial.moment.label(),
+            trial.trial_index,
+            trial.fault.fault.row,
+            trial.fault.fault.col,
+            out.report.recoveries.len(),
+            out.report.q_corrections.len()
+        );
+    }
+}
+
+#[test]
+fn additive_faults_all_cells_nb16() {
+    run_campaign(96, 16, Some(0.5), 1);
+}
+
+#[test]
+fn additive_faults_all_cells_nb32() {
+    run_campaign(128, 32, Some(0.25), 2);
+}
+
+#[test]
+fn additive_faults_odd_nb() {
+    // nb that does not divide n - 2: ragged final panel.
+    run_campaign(100, 24, Some(0.4), 3);
+}
+
+#[test]
+fn bitflip_faults_all_cells() {
+    // Random mantissa bit flips (20..52): realistic silent corruptions of
+    // widely varying magnitude.
+    run_campaign(96, 16, None, 4);
+}
+
+#[test]
+fn tiny_faults_below_threshold_are_harmless() {
+    // A perturbation below the detection threshold may go unnoticed — but
+    // then it must also be too small to matter. This probes the
+    // false-negative edge the paper's threshold discussion worries about.
+    let n = 96usize;
+    let a = ft_hess_repro::matrix::random::uniform(n, n, 5);
+    let mut plan = FaultPlan::one(1, Fault::add(50, 60, 1e-13));
+    let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+    let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(16), &mut ctx, &mut plan);
+    let f = out.result.unwrap();
+    let r = ResidualReport::compute(&a, &f.q(), &f.h());
+    assert!(r.factorization < 1e-11, "{r:?}");
+}
+
+#[test]
+fn faults_in_final_iteration() {
+    // The last panel has a degenerate trailing matrix; recovery there
+    // exercises the smallest code paths.
+    let n = 96usize;
+    let nb = 16;
+    let iters = (n - 2usize).div_ceil(nb);
+    let a = ft_hess_repro::matrix::random::uniform(n, n, 6);
+    let mut plan = FaultPlan::one(iters - 1, Fault::add(n - 2, n - 1, 0.9));
+    let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+    let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(nb), &mut ctx, &mut plan);
+    let f = out.result.unwrap();
+    let r = ResidualReport::compute(&a, &f.q(), &f.h());
+    assert!(r.acceptable(1e-11), "{r:?}");
+}
+
+#[test]
+fn q_checksum_ablation_device_placement_still_correct() {
+    // The ablation variant (Q checksums on the device stream) changes
+    // timing, never numerics.
+    let n = 96usize;
+    let a = ft_hess_repro::matrix::random::uniform(n, n, 7);
+    let cfg = FtConfig {
+        q_checksums_on_host: false,
+        ..FtConfig::with_nb(16)
+    };
+    let mut plan = FaultPlan::one(2, Fault::add(70, 30, 0.3)); // Area 3
+    let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+    let out = ft_gehrd_hybrid(&a, &cfg, &mut ctx, &mut plan);
+    assert!(!out.report.q_corrections.is_empty());
+    let f = out.result.unwrap();
+    let r = ResidualReport::compute(&a, &f.q(), &f.h());
+    assert!(r.acceptable(1e-11), "{r:?}");
+}
+
+#[test]
+fn protection_can_be_disabled() {
+    // With protect_q = false an Area-3 fault goes unrepaired — the
+    // negative control that shows the Q checksums are load-bearing.
+    let n = 96usize;
+    let a = ft_hess_repro::matrix::random::uniform(n, n, 8);
+    let cfg = FtConfig {
+        protect_q: false,
+        ..FtConfig::with_nb(16)
+    };
+    let mut plan = FaultPlan::one(2, Fault::add(70, 10, 5.0)); // deep in Q storage
+    let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+    let out = ft_gehrd_hybrid(&a, &cfg, &mut ctx, &mut plan);
+    let f = out.result.unwrap();
+    let r = ResidualReport::compute(&a, &f.q(), &f.h());
+    assert!(
+        r.orthogonality > 1e-12,
+        "without Q protection the damage must show: {r:?}"
+    );
+}

@@ -1,0 +1,174 @@
+//! Property-based tests on the workspace's core invariants:
+//!
+//! * Theorem 1 of the paper — checksum validity is preserved by the
+//!   extended two-sided block updates — checked on random matrices,
+//!   panel positions and widths;
+//! * reverse computation round-trips;
+//! * detection fires for perturbations above threshold and localization
+//!   pinpoints them;
+//! * BLAS/LAPACK algebraic identities that everything above rests on.
+
+use ft_hess_repro::blas::Trans;
+use ft_hess_repro::hessenberg::encode::{extend_v, extend_y, ExtMatrix};
+use ft_hess_repro::hessenberg::recovery::locate_errors;
+use ft_hess_repro::hessenberg::reverse::{
+    left_update_ext, reverse_left_update_ext, reverse_right_update_ext, right_update_ext,
+};
+use ft_hess_repro::lapack::lahr2_within;
+use ft_hess_repro::matrix::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: (n, k = 0, ib, seed) — the first panel of an n×n problem.
+///
+/// `k = 0` is the only *synthetically constructible* mid-factorization
+/// state: for `k > 0` the columns left of the panel must already be
+/// reduced (otherwise the left update mathematically touches them), which
+/// requires running the whole driver — and the driver-level tests cover
+/// exactly that.
+fn panel_scenario() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    (8usize..40, any::<u64>()).prop_flat_map(|(n, seed)| {
+        (2usize..=(n - 2).min(8), Just(n), Just(seed))
+            .prop_map(move |(ib, n, seed)| (n, 0, ib, seed))
+    })
+}
+
+/// Builds a genuine mid-factorization update set, factorizing the panel
+/// **in place** on the extended matrix exactly as the driver does.
+fn build_updates(n: usize, k: usize, ib: usize, seed: u64) -> (ExtMatrix, Matrix, Matrix, Matrix) {
+    let a = ft_hess_repro::matrix::random::uniform(n, n, seed);
+    let mut ax = ExtMatrix::encode(&a);
+    let panel = lahr2_within(ax.raw_mut(), n, k, ib);
+    let seg: Vec<f64> = (k + 1..n).map(|j| ax.chk_row(j)).collect();
+    let yx = extend_y(&panel.y, &seg, &panel.v, &panel.t);
+    let vx = extend_v(&panel.v);
+    (ax, yx, vx, panel.t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1: after the extended right + left updates, the checksum
+    /// column still equals the row sums and the checksum row the column
+    /// sums *of the updated trailing region*.
+    #[test]
+    fn theorem1_checksums_survive_block_updates((n, k, ib, seed) in panel_scenario()) {
+        let (mut ax, yx, vx, t) = build_updates(n, k, ib, seed);
+        right_update_ext(&mut ax, k, ib, &yx, &vx);
+        let _w = left_update_ext(&mut ax, k, ib, &vx, &t);
+
+        // Validity over the trailing columns (the panel columns' storage
+        // switched representation and is re-checksummed by the driver).
+        let tol = 1e-10 * (n as f64);
+        for j in (k + ib)..n {
+            let colsum: f64 = ax.raw().col(j)[..n].iter().sum();
+            prop_assert!(
+                (colsum - ax.chk_row(j)).abs() < tol,
+                "column checksum {j}: {} vs {}", colsum, ax.chk_row(j)
+            );
+        }
+        // Row checksums: the mathematical row sums must match the
+        // maintained checksum column for every row — the full strength of
+        // Theorem 1. In this synthetic scenario only the panel columns
+        // k..k+ib were reduced (the driver always reduces 0..k first), so
+        // the Hessenberg mask applies to exactly those columns.
+        let chk = ax.chk_col();
+        for (i, &chki) in chk.iter().enumerate() {
+            let mut rs = 0.0;
+            for j in 0..n {
+                let masked = (k..k + ib).contains(&j) && i > j + 1;
+                if !masked {
+                    rs += ax.raw()[(i, j)];
+                }
+            }
+            prop_assert!(
+                (rs - chki).abs() < tol,
+                "row checksum {i}: {} vs {}", rs, chki
+            );
+        }
+    }
+
+    /// Reversal restores the trailing + checksum region to the pre-update
+    /// state (up to one rounding of the add/sub pair).
+    #[test]
+    fn reversal_roundtrip((n, k, ib, seed) in panel_scenario()) {
+        let (ax0, yx, vx, t) = build_updates(n, k, ib, seed);
+        let mut ax = ax0.clone();
+        right_update_ext(&mut ax, k, ib, &yx, &vx);
+        let w = left_update_ext(&mut ax, k, ib, &vx, &t);
+        reverse_left_update_ext(&mut ax, k, ib, &vx, &t, &w);
+        reverse_right_update_ext(&mut ax, k, ib, &yx, &vx);
+        for j in (k + ib)..=n {
+            for i in 0..=n {
+                let d = (ax.raw()[(i, j)] - ax0.raw()[(i, j)]).abs();
+                prop_assert!(d < 1e-10, "({i},{j}) differs by {d}");
+            }
+        }
+    }
+
+    /// A perturbation anywhere in the (unreduced) matrix is located at
+    /// exactly its coordinates with its exact magnitude.
+    #[test]
+    fn localization_is_exact(
+        n in 8usize..48,
+        seed in any::<u64>(),
+        delta in prop_oneof![0.001f64..100.0, -100.0f64..-0.001],
+    ) {
+        let a = ft_hess_repro::matrix::random::uniform(n, n, seed);
+        let mut ax = ExtMatrix::encode(&a);
+        let (i, j) = ((seed as usize) % n, (seed as usize / 7) % n);
+        let old = ax.raw()[(i, j)];
+        ax.raw_mut()[(i, j)] = old + delta;
+        let out = locate_errors(&ax, 0, 1e-9);
+        prop_assert!(out.resolved);
+        prop_assert_eq!(out.errors.len(), 1);
+        prop_assert_eq!((out.errors[0].row, out.errors[0].col), (i, j));
+        prop_assert!((out.errors[0].delta - delta).abs() < 1e-9 * delta.abs().max(1.0));
+    }
+
+    /// GEMM distributes over addition: A(B + C) = AB + AC — checked across
+    /// the blocked kernel used by the updates.
+    #[test]
+    fn gemm_distributivity(m in 1usize..20, n in 1usize..20, kk in 1usize..20, seed in any::<u64>()) {
+        let a = ft_hess_repro::matrix::random::uniform(m, kk, seed);
+        let b = ft_hess_repro::matrix::random::uniform(kk, n, seed ^ 1);
+        let c = ft_hess_repro::matrix::random::uniform(kk, n, seed ^ 2);
+        let mut bc = b.clone();
+        bc.axpy_matrix(1.0, &c);
+
+        let mut left = Matrix::zeros(m, n);
+        ft_hess_repro::blas::gemm(Trans::No, Trans::No, 1.0, &a.as_view(), &bc.as_view(), 0.0, &mut left.as_view_mut());
+        let mut right = Matrix::zeros(m, n);
+        ft_hess_repro::blas::gemm(Trans::No, Trans::No, 1.0, &a.as_view(), &b.as_view(), 0.0, &mut right.as_view_mut());
+        ft_hess_repro::blas::gemm(Trans::No, Trans::No, 1.0, &a.as_view(), &c.as_view(), 1.0, &mut right.as_view_mut());
+        prop_assert!(ft_hess_repro::matrix::max_abs_diff(&left, &right) < 1e-10);
+    }
+
+    /// Householder reflectors preserve the 2-norm.
+    #[test]
+    fn reflectors_preserve_norm(len in 2usize..30, seed in any::<u64>()) {
+        let src = ft_hess_repro::matrix::random::uniform(len, 1, seed);
+        let x: Vec<f64> = src.col(0).to_vec();
+        let norm0 = ft_hess_repro::blas::nrm2(&x);
+        let mut tail = x[1..].to_vec();
+        let r = ft_hess_repro::lapack::larfg(x[0], &mut tail);
+        // After reflection the vector is [beta, 0, ..., 0].
+        prop_assert!((r.beta.abs() - norm0).abs() < 1e-12 * norm0.max(1.0));
+    }
+
+    /// The full FT factorization is similarity-preserving: the trace of H
+    /// equals the trace of A even when an error strikes and is repaired.
+    #[test]
+    fn trace_preserved_under_fault(seed in any::<u64>()) {
+        use ft_hess_repro::prelude::*;
+        let n = 40;
+        let a = ft_hess_repro::matrix::random::uniform(n, n, seed);
+        let trace0: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let fault_row = 20 + (seed as usize % 15);
+        let mut plan = FaultPlan::one(1, Fault::add(fault_row, 30, 0.5));
+        let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+        let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(8), &mut ctx, &mut plan);
+        let h = out.result.unwrap().h();
+        let trace1: f64 = (0..n).map(|i| h[(i, i)]).sum();
+        prop_assert!((trace0 - trace1).abs() < 1e-10, "{trace0} vs {trace1}");
+    }
+}
