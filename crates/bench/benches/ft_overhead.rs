@@ -1,10 +1,13 @@
 //! Criterion bench: the fault-tolerance micro-costs in isolation —
 //! encoding, extension construction, detection, localization — i.e. the
-//! components §V budgets as `O(N²)`.
+//! components §V budgets as `O(N²)` — and how localization's fresh
+//! row/column sums respond to the threaded backend.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ft_blas::{with_backend, Backend};
 use ft_hessenberg::encode::{extend_v, extend_y, ExtMatrix};
 use ft_hessenberg::recovery::locate_errors;
+use std::time::Instant;
 
 fn bench_ft_components(c: &mut Criterion) {
     let mut group = c.benchmark_group("ft_components");
@@ -48,5 +51,53 @@ fn bench_ft_components(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ft_components);
+/// Localization (fresh masked row/column sums) under the serial vs
+/// threaded backend. The fork gate keys off the matrix order, so the
+/// non-smoke size is chosen past `ft_blas::backend::PARALLEL_MIN_VOLUME`
+/// (order² element-operations); the smoke size stays serial under every
+/// backend and just exercises the path.
+fn bench_locate_backend(c: &mut Criterion) {
+    let smoke = std::env::var("FT_BENCH_SMOKE")
+        .map(|v| v != "0")
+        .unwrap_or(false);
+    let n = if smoke { 256usize } else { 1536usize };
+    let a = ft_matrix::random::uniform(n, n, 9);
+    let ax = ExtMatrix::encode(&a);
+    let mut group = c.benchmark_group("locate_backend");
+    group.sample_size(10);
+    for backend in [Backend::Serial, Backend::Threaded(4)] {
+        let label = match backend {
+            Backend::Serial => "serial".to_string(),
+            Backend::Threaded(t) => format!("threaded{t}"),
+        };
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |bench, _| {
+            bench.iter(|| {
+                with_backend(backend, || {
+                    std::hint::black_box(locate_errors(&ax, 0, 1e-10).errors.len())
+                })
+            });
+        });
+    }
+    group.finish();
+    let iters = if smoke { 1 } else { 5 };
+    let time = |backend: Backend| {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            with_backend(backend, || {
+                std::hint::black_box(locate_errors(&ax, 0, 1e-10).errors.len())
+            });
+        }
+        t0.elapsed().as_secs_f64() / iters as f64
+    };
+    let ts = time(Backend::Serial);
+    let tt = time(Backend::Threaded(4));
+    println!(
+        "locate backend speedup @ n={n}: serial {:.2} ms, threaded(4) {:.2} ms -> {:.2}x",
+        ts * 1e3,
+        tt * 1e3,
+        ts / tt
+    );
+}
+
+criterion_group!(benches, bench_ft_components, bench_locate_backend);
 criterion_main!(benches);

@@ -1,11 +1,14 @@
 //! Criterion bench: Hessenberg reduction variants — unblocked (`gehd2`)
-//! vs blocked (`gehrd`) vs the simulated hybrid driver (Algorithm 2).
+//! vs blocked (`gehrd`) vs the simulated hybrid driver (Algorithm 2) —
+//! plus the FT driver under the serial vs threaded level-3 backend.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ft_blas::Backend;
 use ft_fault::FaultPlan;
-use ft_hessenberg::{gehrd_hybrid, HybridConfig};
+use ft_hessenberg::{ft_gehrd_hybrid, gehrd_hybrid, FtConfig, HybridConfig};
 use ft_hybrid::{CostModel, ExecMode, HybridCtx};
 use ft_lapack::{gehd2, gehrd, GehrdConfig};
+use std::time::Instant;
 
 fn bench_gehrd(c: &mut Criterion) {
     let mut group = c.benchmark_group("gehrd");
@@ -42,5 +45,65 @@ fn bench_gehrd(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gehrd);
+/// The FT driver's wall-clock time under the serial vs threaded level-3
+/// backend. `n` and `nb` are sized so the trailing updates clear
+/// `ft_blas::backend::PARALLEL_MIN_VOLUME` and the threaded backend
+/// genuinely forks (the smoke run uses a smaller, sub-gate size).
+fn bench_ft_backend(c: &mut Criterion) {
+    let smoke = std::env::var("FT_BENCH_SMOKE")
+        .map(|v| v != "0")
+        .unwrap_or(false);
+    let (n, nb) = if smoke {
+        (96usize, 16usize)
+    } else {
+        (384usize, 64usize)
+    };
+    let a = ft_matrix::random::uniform(n, n, 7);
+    let mut group = c.benchmark_group("ft_gehrd_backend");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements((10 * n * n * n / 3) as u64));
+    for backend in [Backend::Serial, Backend::Threaded(4)] {
+        let label = match backend {
+            Backend::Serial => "serial".to_string(),
+            Backend::Threaded(t) => format!("threaded{t}"),
+        };
+        let cfg = FtConfig {
+            backend,
+            ..FtConfig::with_nb(nb)
+        };
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+                let out = ft_gehrd_hybrid(&a, &cfg, &mut ctx, &mut FaultPlan::none());
+                std::hint::black_box(out.report.sim_seconds);
+            });
+        });
+    }
+    group.finish();
+    // Direct wall-clock speedup report.
+    let iters = if smoke { 1 } else { 2 };
+    let time = |backend: Backend| {
+        let cfg = FtConfig {
+            backend,
+            ..FtConfig::with_nb(nb)
+        };
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+            let out = ft_gehrd_hybrid(&a, &cfg, &mut ctx, &mut FaultPlan::none());
+            std::hint::black_box(out.report.sim_seconds);
+        }
+        t0.elapsed().as_secs_f64() / iters as f64
+    };
+    let ts = time(Backend::Serial);
+    let tt = time(Backend::Threaded(4));
+    println!(
+        "ft_gehrd backend speedup @ n={n}, nb={nb}: serial {:.1} ms, threaded(4) {:.1} ms -> {:.2}x",
+        ts * 1e3,
+        tt * 1e3,
+        ts / tt
+    );
+}
+
+criterion_group!(benches, bench_gehrd, bench_ft_backend);
 criterion_main!(benches);

@@ -1,9 +1,17 @@
 //! Criterion bench: GEMM kernel variants (the device workhorse of the
-//! trailing-matrix updates).
+//! trailing-matrix updates), plus the serial-vs-threaded backend
+//! comparison behind the `FT_BLAS_BACKEND` knob.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ft_blas::{gemm_with_algo, GemmAlgo, Trans};
+use ft_blas::{gemm, gemm_with_algo, with_backend, Backend, GemmAlgo, Trans};
 use ft_matrix::Matrix;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var("FT_BENCH_SMOKE")
+        .map(|v| v != "0")
+        .unwrap_or(false)
+}
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
@@ -34,5 +42,74 @@ fn bench_gemm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gemm);
+/// Serial vs threaded backend on the default `gemm` entry point. The
+/// threaded backend only engages above
+/// `ft_blas::backend::PARALLEL_MIN_VOLUME`, so the sizes here are chosen
+/// past the gate (the smoke run stays small and fast).
+fn bench_gemm_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_backend");
+    group.sample_size(10);
+    let sizes: &[usize] = if smoke() { &[256] } else { &[512, 1024] };
+    for &n in sizes {
+        let a = ft_matrix::random::uniform(n, n, 1);
+        let b = ft_matrix::random::uniform(n, n, 2);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        for backend in [Backend::Serial, Backend::Threaded(2), Backend::Threaded(4)] {
+            let label = match backend {
+                Backend::Serial => "serial".to_string(),
+                Backend::Threaded(t) => format!("threaded{t}"),
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |bench, _| {
+                let mut cmat = Matrix::zeros(n, n);
+                bench.iter(|| {
+                    with_backend(backend, || {
+                        gemm(
+                            Trans::No,
+                            Trans::No,
+                            1.0,
+                            &a.as_view(),
+                            &b.as_view(),
+                            0.0,
+                            &mut cmat.as_view_mut(),
+                        );
+                    });
+                    std::hint::black_box(cmat.as_slice()[0]);
+                });
+            });
+        }
+        // Headline number: direct wall-clock speedup of Threaded(4) over
+        // Serial at this size.
+        let iters = if smoke() { 1 } else { 3 };
+        let time = |backend: Backend| {
+            let mut cmat = Matrix::zeros(n, n);
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                with_backend(backend, || {
+                    gemm(
+                        Trans::No,
+                        Trans::No,
+                        1.0,
+                        &a.as_view(),
+                        &b.as_view(),
+                        0.0,
+                        &mut cmat.as_view_mut(),
+                    );
+                });
+                std::hint::black_box(cmat.as_slice()[0]);
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        };
+        let ts = time(Backend::Serial);
+        let tt = time(Backend::Threaded(4));
+        println!(
+            "gemm backend speedup @ n={n}: serial {:.1} ms, threaded(4) {:.1} ms -> {:.2}x",
+            ts * 1e3,
+            tt * 1e3,
+            ts / tt
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_gemm_backends);
 criterion_main!(benches);

@@ -16,18 +16,16 @@ use ft_matrix::Matrix;
 
 fn main() {
     let args = Args::from_env();
-    let sizes = args.sizes.clone().unwrap_or_else(|| vec![2046, 6014, 10110]);
+    let sizes = args
+        .sizes
+        .clone()
+        .unwrap_or_else(|| vec![2046, 6014, 10110]);
     let nbs = [8usize, 16, 32, 64, 128, 256];
 
     println!("Panel-width sweep (timing simulator)\n");
     for &n in &sizes {
         let a = Matrix::zeros(n, n);
-        let mut t = Table::new(vec![
-            "nb",
-            "MAGMA Hess GF/s",
-            "FT-Hess GF/s",
-            "FT overhead",
-        ]);
+        let mut t = Table::new(vec!["nb", "MAGMA Hess GF/s", "FT-Hess GF/s", "FT overhead"]);
         let mut best = (0usize, 0.0f64);
         for &nb in &nbs {
             let mut c = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::TimingOnly, 2);

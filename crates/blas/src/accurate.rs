@@ -143,7 +143,7 @@ mod tests {
     /// accumulation loses them all.
     fn adversarial(n: usize) -> (Vec<f64>, f64) {
         let mut x = vec![1e8];
-        x.extend(std::iter::repeat(1e-8).take(n));
+        x.extend(std::iter::repeat_n(1e-8, n));
         x.push(-1e8);
         let exact = 1e-8 * n as f64; // the tiny parts survive exactly
         (x, exact)
@@ -184,7 +184,11 @@ mod tests {
     fn all_schemes_agree_on_easy_input() {
         let x: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
         let exact = 500500.0;
-        for scheme in [SumScheme::Naive, SumScheme::Superblock, SumScheme::Compensated] {
+        for scheme in [
+            SumScheme::Naive,
+            SumScheme::Superblock,
+            SumScheme::Compensated,
+        ] {
             assert_eq!(scheme.sum(&x), exact, "{scheme:?}");
         }
     }
@@ -196,7 +200,11 @@ mod tests {
         let b = ft_matrix::random::uniform(n, 1, 4);
         let (x, y) = (a.as_slice(), b.as_slice());
         let reference = dot_compensated(x, y);
-        for scheme in [SumScheme::Naive, SumScheme::Superblock, SumScheme::Compensated] {
+        for scheme in [
+            SumScheme::Naive,
+            SumScheme::Superblock,
+            SumScheme::Compensated,
+        ] {
             let v = scheme.dot(x, y);
             assert!(
                 (v - reference).abs() < 1e-10,
@@ -207,7 +215,11 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        for scheme in [SumScheme::Naive, SumScheme::Superblock, SumScheme::Compensated] {
+        for scheme in [
+            SumScheme::Naive,
+            SumScheme::Superblock,
+            SumScheme::Compensated,
+        ] {
             assert_eq!(scheme.sum(&[]), 0.0);
             assert_eq!(scheme.sum(&[42.0]), 42.0);
             assert_eq!(scheme.dot(&[2.0], &[3.0]), 6.0);

@@ -1,0 +1,348 @@
+//! Execution backend for the level-3 kernels.
+//!
+//! Two implementations sit behind one knob: [`Backend::Serial`] (the
+//! historical single-threaded behavior) and [`Backend::Threaded`], which
+//! fans level-3 work out over `std::thread::scope` workers. There is no
+//! thread pool and no external dependency: OS threads are spawned per
+//! kernel call, which is far below measurement noise for the matrix sizes
+//! where the threaded path engages (see [`PARALLEL_MIN_VOLUME`]).
+//!
+//! **Determinism contract:** every parallel path partitions *output*
+//! elements (row blocks, column blocks) and leaves each element's
+//! floating-point reduction order exactly as in the serial kernel. The two
+//! backends therefore produce **bit-identical** results for any thread
+//! count — checksum aggregates (`Sre`/`Sce` in `ft-hessenberg`) drift by
+//! the same rounding error regardless of parallelism, so detection
+//! thresholds need no re-tuning. The property tests in
+//! `crates/blas/tests/backend_properties.rs` pin this down.
+//!
+//! The backend is tracked per thread (a thread-local), initialized from
+//! the `FT_BLAS_BACKEND` environment variable on first use:
+//!
+//! * `serial` — single-threaded (the default);
+//! * `threaded` — threaded, worker count = available parallelism;
+//! * `threaded:4` — threaded with exactly 4 workers.
+
+use ft_matrix::MatViewMut;
+use std::cell::Cell;
+
+/// Minimum per-kernel work volume (`m·n·k`-style element-operation count)
+/// before the threaded backend actually forks; below it, thread spawn
+/// latency dominates and the serial path runs instead. Selection depends
+/// only on the problem size — never on the thread count — so the chosen
+/// algorithm (and hence the bit pattern of the result) is the same for
+/// every backend.
+pub const PARALLEL_MIN_VOLUME: usize = 128 * 128 * 128;
+
+/// Which execution backend the level-3 kernels use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Single-threaded kernels (the historical behavior).
+    Serial,
+    /// `std::thread::scope`-based workers; `Threaded(0)` means "use the
+    /// machine's available parallelism", `Threaded(n)` pins `n` workers.
+    Threaded(usize),
+}
+
+impl Backend {
+    /// Parses the `FT_BLAS_BACKEND` environment variable (see the module
+    /// docs for the accepted forms); unset or unrecognized values fall
+    /// back to [`Backend::Serial`].
+    pub fn from_env() -> Backend {
+        match std::env::var("FT_BLAS_BACKEND") {
+            Ok(v) => Backend::parse(&v).unwrap_or(Backend::Serial),
+            Err(_) => Backend::Serial,
+        }
+    }
+
+    /// Parses `"serial"`, `"threaded"` or `"threaded:N"`.
+    pub fn parse(s: &str) -> Option<Backend> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("serial") {
+            return Some(Backend::Serial);
+        }
+        if s.eq_ignore_ascii_case("threaded") {
+            return Some(Backend::Threaded(0));
+        }
+        if let Some(rest) = s
+            .strip_prefix("threaded:")
+            .or_else(|| s.strip_prefix("THREADED:"))
+        {
+            return rest.parse::<usize>().ok().map(|n| {
+                if n <= 1 {
+                    Backend::Serial
+                } else {
+                    Backend::Threaded(n)
+                }
+            });
+        }
+        None
+    }
+
+    /// The worker count this backend runs with (`Serial` → 1,
+    /// `Threaded(0)` → available parallelism).
+    pub fn threads(self) -> usize {
+        match self {
+            Backend::Serial => 1,
+            Backend::Threaded(0) => available_parallelism(),
+            Backend::Threaded(n) => n,
+        }
+    }
+
+    /// `true` for the threaded backend.
+    pub fn is_threaded(self) -> bool {
+        matches!(self, Backend::Threaded(_))
+    }
+}
+
+/// The machine's available parallelism (1 if unknown).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<Backend>> = const { Cell::new(None) };
+}
+
+/// The calling thread's active backend (initialized from `FT_BLAS_BACKEND`
+/// on first use).
+pub fn current_backend() -> Backend {
+    CURRENT.with(|c| match c.get() {
+        Some(b) => b,
+        None => {
+            let b = Backend::from_env();
+            c.set(Some(b));
+            b
+        }
+    })
+}
+
+/// Sets the calling thread's backend for all subsequent kernel calls.
+pub fn set_backend(backend: Backend) {
+    CURRENT.with(|c| c.set(Some(backend)));
+}
+
+/// Runs `f` with `backend` active, restoring the previous backend
+/// afterwards (also on panic).
+pub fn with_backend<R>(backend: Backend, f: impl FnOnce() -> R) -> R {
+    struct Restore(Backend);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_backend(self.0);
+        }
+    }
+    let _restore = Restore(current_backend());
+    set_backend(backend);
+    f()
+}
+
+/// Worker count the current backend grants a kernel of the given work
+/// volume: 1 (don't fork) unless the backend is threaded **and** the
+/// volume clears [`PARALLEL_MIN_VOLUME`].
+pub(crate) fn fork_threads(volume: usize) -> usize {
+    let b = current_backend();
+    if b.is_threaded() && volume >= PARALLEL_MIN_VOLUME {
+        b.threads().max(1)
+    } else {
+        1
+    }
+}
+
+/// Splits `b` into up to `workers` near-equal contiguous **column** blocks
+/// and runs `f(first_global_col, block)` on each, one OS thread per extra
+/// block. `f` must treat columns independently; determinism then follows
+/// because each column is processed by exactly the serial code.
+pub(crate) fn for_each_col_chunk<F>(b: MatViewMut<'_>, workers: usize, f: F)
+where
+    F: Fn(usize, MatViewMut<'_>) + Sync,
+{
+    let n = b.cols();
+    let t = workers.min(n.max(1)).max(1);
+    if t <= 1 {
+        f(0, b);
+        return;
+    }
+    let (base, extra) = (n / t, n % t);
+    let mut chunks = Vec::with_capacity(t);
+    let mut rest = b;
+    let mut j0 = 0usize;
+    for w in 0..t {
+        let width = base + usize::from(w < extra);
+        let (head, tail) = rest.split_at_col(width);
+        chunks.push((j0, head));
+        rest = tail;
+        j0 += width;
+    }
+    let fr = &f;
+    std::thread::scope(|s| {
+        let mut it = chunks.into_iter();
+        let local = it.next();
+        for (c0, chunk) in it {
+            s.spawn(move || fr(c0, chunk));
+        }
+        if let Some((c0, chunk)) = local {
+            fr(c0, chunk);
+        }
+    });
+}
+
+/// Row-block analogue of [`for_each_col_chunk`]: `f(first_global_row,
+/// block)` over near-equal contiguous row blocks.
+pub(crate) fn for_each_row_chunk<F>(b: MatViewMut<'_>, workers: usize, f: F)
+where
+    F: Fn(usize, MatViewMut<'_>) + Sync,
+{
+    let m = b.rows();
+    let t = workers.min(m.max(1)).max(1);
+    if t <= 1 {
+        f(0, b);
+        return;
+    }
+    let (base, extra) = (m / t, m % t);
+    let mut chunks = Vec::with_capacity(t);
+    let mut rest = b;
+    let mut i0 = 0usize;
+    for w in 0..t {
+        let height = base + usize::from(w < extra);
+        let (head, tail) = rest.split_at_row(height);
+        chunks.push((i0, head));
+        rest = tail;
+        i0 += height;
+    }
+    let fr = &f;
+    std::thread::scope(|s| {
+        let mut it = chunks.into_iter();
+        let local = it.next();
+        for (r0, chunk) in it {
+            s.spawn(move || fr(r0, chunk));
+        }
+        if let Some((r0, chunk)) = local {
+            fr(r0, chunk);
+        }
+    });
+}
+
+/// Fills `out[i] = f(i)` for every index, fanning contiguous index ranges
+/// out over the current backend's workers. Each element is computed by the
+/// same pure function regardless of the worker count, so the result is
+/// bit-identical to the serial loop — this is what keeps the FT driver's
+/// fresh row/column checksum sums deterministic under the threaded
+/// backend.
+pub fn parallel_map_into<T, F>(out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let len = out.len();
+    let t = fork_threads(len.saturating_mul(len)).min(len.max(1));
+    if t <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(t);
+    let fr = &f;
+    std::thread::scope(|s| {
+        for (ci, block) in out.chunks_mut(chunk).enumerate() {
+            let base = ci * chunk;
+            s.spawn(move || {
+                for (off, slot) in block.iter_mut().enumerate() {
+                    *slot = fr(base + off);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_matrix::Matrix;
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!(Backend::parse("serial"), Some(Backend::Serial));
+        assert_eq!(Backend::parse("threaded"), Some(Backend::Threaded(0)));
+        assert_eq!(Backend::parse("threaded:4"), Some(Backend::Threaded(4)));
+        assert_eq!(Backend::parse("threaded:1"), Some(Backend::Serial));
+        assert_eq!(Backend::parse(" Threaded "), Some(Backend::Threaded(0)));
+        assert_eq!(Backend::parse("gpu"), None);
+    }
+
+    #[test]
+    fn with_backend_restores_on_exit_and_panic() {
+        set_backend(Backend::Serial);
+        with_backend(Backend::Threaded(2), || {
+            assert_eq!(current_backend(), Backend::Threaded(2));
+        });
+        assert_eq!(current_backend(), Backend::Serial);
+        let result = std::panic::catch_unwind(|| {
+            with_backend(Backend::Threaded(3), || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert_eq!(current_backend(), Backend::Serial);
+    }
+
+    #[test]
+    fn threads_resolution() {
+        assert_eq!(Backend::Serial.threads(), 1);
+        assert_eq!(Backend::Threaded(4).threads(), 4);
+        assert!(Backend::Threaded(0).threads() >= 1);
+    }
+
+    #[test]
+    fn col_chunks_cover_exactly_once() {
+        for workers in [1usize, 2, 3, 5, 16] {
+            let mut a = Matrix::zeros(7, 11);
+            for_each_col_chunk(a.as_view_mut(), workers, |j0, mut chunk| {
+                for j in 0..chunk.cols() {
+                    for i in 0..chunk.rows() {
+                        let old = chunk.at(i, j);
+                        chunk.set(i, j, old + (j0 + j + 1) as f64);
+                    }
+                }
+            });
+            for j in 0..11 {
+                for i in 0..7 {
+                    assert_eq!(a[(i, j)], (j + 1) as f64, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_chunks_cover_exactly_once() {
+        for workers in [1usize, 2, 4, 9] {
+            let mut a = Matrix::zeros(10, 3);
+            for_each_row_chunk(a.as_view_mut(), workers, |i0, mut chunk| {
+                for j in 0..chunk.cols() {
+                    for i in 0..chunk.rows() {
+                        let old = chunk.at(i, j);
+                        chunk.set(i, j, old + (i0 + i) as f64);
+                    }
+                }
+            });
+            for j in 0..3 {
+                for i in 0..10 {
+                    assert_eq!(a[(i, j)], i as f64, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_matches_serial() {
+        let mut serial = vec![0.0f64; 301];
+        for (i, s) in serial.iter_mut().enumerate() {
+            *s = (i as f64).sin();
+        }
+        let mut par = vec![0.0f64; 301];
+        with_backend(Backend::Threaded(4), || {
+            parallel_map_into(&mut par, |i| (i as f64).sin());
+        });
+        assert_eq!(serial, par);
+    }
+}

@@ -1,5 +1,6 @@
 //! General matrix–matrix multiply: `C ← α·op(A)·op(B) + β·C`.
 
+use crate::backend;
 use crate::flops::{model, record};
 use crate::types::Trans;
 use ft_matrix::{MatView, MatViewMut};
@@ -26,7 +27,8 @@ pub enum GemmAlgo {
     Reference,
     /// Cache-blocked with packed panels.
     Blocked,
-    /// [`GemmAlgo::Blocked`] with the N dimension split across rayon tasks.
+    /// [`GemmAlgo::Blocked`] with rows of `C` split across OS threads.
+    /// Bit-identical to [`GemmAlgo::Blocked`] for every thread count.
     Parallel,
 }
 
@@ -252,10 +254,19 @@ pub fn gemm_blocked(
     }
 }
 
-/// Parallel GEMM: recursively splits `C` (and the matching columns of
-/// `op(B)`) with `rayon::join`. Each task owns a disjoint `MatViewMut`, so
+/// Threaded GEMM: splits `C` into contiguous row blocks (`threads` of
+/// them, `0` = available parallelism) and runs [`gemm_blocked`] on each
+/// block with the matching row slice of `op(A)`, one `std::thread::scope`
+/// worker per extra block. Each worker owns a disjoint `MatViewMut`, so
 /// the parallelism is data-race free by construction.
-pub fn gemm_parallel(
+///
+/// Because every element of `C` is accumulated in exactly the order the
+/// serial blocked kernel uses (the row partition never changes a per-
+/// element reduction), the result is **bit-identical** to
+/// [`gemm_blocked`] for any thread count.
+#[allow(clippy::too_many_arguments)] // standard BLAS gemm signature + thread count
+pub fn gemm_threaded(
+    threads: usize,
     transa: Trans,
     transb: Trans,
     alpha: f64,
@@ -264,66 +275,23 @@ pub fn gemm_parallel(
     beta: f64,
     c: &mut MatViewMut<'_>,
 ) {
-    let (m, n, k) = check_dims(transa, transb, a, b, c);
-    let threads = rayon::current_num_threads();
-    let cols_per_task = (n / threads.max(1)).max(NR).max(1);
-    split_cols(
-        transa,
-        transb,
-        alpha,
-        a,
-        b,
-        beta,
-        c.rb_mut(),
-        m,
-        k,
-        cols_per_task,
-    );
+    let (_m, _n, k) = check_dims(transa, transb, a, b, c);
+    let t = if threads == 0 {
+        backend::available_parallelism()
+    } else {
+        threads
+    };
+    backend::for_each_row_chunk(c.rb_mut(), t, |i0, mut chunk| {
+        let av = op_row_slice(transa, a, i0, chunk.rows(), k);
+        gemm_blocked(transa, transb, alpha, &av, b, beta, &mut chunk);
+    });
 }
 
-#[allow(clippy::too_many_arguments)]
-fn split_cols(
-    transa: Trans,
-    transb: Trans,
-    alpha: f64,
-    a: &MatView<'_>,
-    b: &MatView<'_>,
-    beta: f64,
-    c: MatViewMut<'_>,
-    m: usize,
-    k: usize,
-    cols_per_task: usize,
-) {
-    let n = c.cols();
-    if n <= cols_per_task {
-        let mut c = c;
-        gemm_blocked(
-            transa,
-            transb,
-            alpha,
-            a,
-            &op_col_slice(transb, b, 0, n, k),
-            beta,
-            &mut c,
-        );
-        return;
-    }
-    let half = n / 2;
-    let (cl, cr) = c.split_at_col(half);
-    let bl = op_col_slice(transb, b, 0, half, k);
-    let br = op_col_slice(transb, b, half, n - half, k);
-    let _ = m;
-    rayon::join(
-        || split_cols(transa, transb, alpha, a, &bl, beta, cl, m, k, cols_per_task),
-        || split_cols(transa, transb, alpha, a, &br, beta, cr, m, k, cols_per_task),
-    );
-}
-
-/// The sub-view of `b` corresponding to columns `[j0, j0+w)` of `op(B)`.
-fn op_col_slice<'a>(transb: Trans, b: &MatView<'a>, j0: usize, w: usize, k: usize) -> MatView<'a> {
-    match transb {
-        Trans::No => b.subview(0, j0, k, w),
-        Trans::Yes => b.subview(j0, 0, w, k),
+/// The sub-view of `a` corresponding to rows `[i0, i0+h)` of `op(A)`.
+fn op_row_slice<'a>(transa: Trans, a: &MatView<'a>, i0: usize, h: usize, k: usize) -> MatView<'a> {
+    match transa {
+        Trans::No => a.subview(i0, 0, h, k),
+        Trans::Yes => a.subview(0, i0, k, h),
     }
 }
 
@@ -342,13 +310,23 @@ pub fn gemm_with_algo(
     match algo {
         GemmAlgo::Reference => gemm_ref(transa, transb, alpha, a, b, beta, c),
         GemmAlgo::Blocked => gemm_blocked(transa, transb, alpha, a, b, beta, c),
-        GemmAlgo::Parallel => gemm_parallel(transa, transb, alpha, a, b, beta, c),
+        GemmAlgo::Parallel => {
+            // Explicit request for the threaded kernel: use the current
+            // backend's worker count, or the whole machine when the
+            // ambient backend is Serial.
+            let workers = match backend::current_backend() {
+                b @ backend::Backend::Threaded(_) => b.threads(),
+                backend::Backend::Serial => backend::available_parallelism(),
+            };
+            gemm_threaded(workers, transa, transb, alpha, a, b, beta, c);
+        }
         GemmAlgo::Auto => {
             let (m, ka) = op_dims(transa, a);
             let n = c.cols();
             let volume = m * n * ka;
-            if volume >= PARALLEL_THRESHOLD && rayon::current_num_threads() > 1 {
-                gemm_parallel(transa, transb, alpha, a, b, beta, c);
+            let workers = backend::current_backend().threads();
+            if volume >= PARALLEL_THRESHOLD && workers > 1 {
+                gemm_threaded(workers, transa, transb, alpha, a, b, beta, c);
             } else if volume >= BLOCKED_THRESHOLD {
                 gemm_blocked(transa, transb, alpha, a, b, beta, c);
             } else {

@@ -3,16 +3,19 @@
 //! `gemm` is the performance-critical kernel (the paper's trailing-matrix
 //! updates are almost entirely GEMM) and comes in three implementations
 //! selected by [`GemmAlgo`]: a reference triple loop (test oracle), a
-//! cache-blocked packed kernel, and a rayon-parallel variant that splits the
-//! result into column panels (data-race free by construction — each task
-//! owns a disjoint `MatViewMut`).
+//! cache-blocked packed kernel, and a threaded variant that splits the
+//! result into row blocks over `std::thread::scope` workers (data-race
+//! free by construction — each worker owns a disjoint `MatViewMut`, and
+//! bit-identical to the serial kernel by the contract in
+//! [`crate::backend`]). `trmm`, `trsm` and `syrk` gain the same threaded
+//! split when the active [`crate::backend::Backend`] is threaded.
 
 mod gemm;
 mod syrk;
 mod trmm;
 mod trsm;
 
-pub use gemm::{gemm, gemm_ref, gemm_with_algo, GemmAlgo};
+pub use gemm::{gemm, gemm_ref, gemm_threaded, gemm_with_algo, GemmAlgo};
 pub use syrk::syrk;
 pub use trmm::trmm;
 pub use trsm::trsm;

@@ -3,6 +3,7 @@
 //! Used by the orthogonality verification (`QQᵀ − I`) and as a substrate
 //! kernel; only the requested triangle of `C` is referenced or written.
 
+use crate::backend;
 use crate::flops::{model, record};
 use crate::types::{Trans, Uplo};
 use ft_matrix::{MatView, MatViewMut};
@@ -28,6 +29,29 @@ pub fn syrk(
     assert_eq!(c.cols(), n, "syrk: C cols {} != {n}", c.cols());
     record(model::gemm(n, n, k) / 2);
 
+    // Each (i, j) entry is an independent dot product: partition columns
+    // of C; every element keeps the serial accumulation order, so the
+    // threaded and serial backends are bit-identical.
+    let workers = backend::fork_threads(n * n * k / 2);
+    backend::for_each_col_chunk(c.rb_mut(), workers, |j0, mut chunk| {
+        syrk_cols(uplo, trans, alpha, a, beta, n, k, j0, &mut chunk);
+    });
+}
+
+/// Serial SYRK on columns `[j0, j0 + chunk.cols())` of the `n × n` result;
+/// `chunk` holds all `n` rows of that column block.
+#[allow(clippy::too_many_arguments)]
+fn syrk_cols(
+    uplo: Uplo,
+    trans: Trans,
+    alpha: f64,
+    a: &MatView<'_>,
+    beta: f64,
+    n: usize,
+    k: usize,
+    j0: usize,
+    chunk: &mut MatViewMut<'_>,
+) {
     let at = |i: usize, p: usize| -> f64 {
         match trans {
             Trans::No => a.at(i, p),
@@ -35,7 +59,8 @@ pub fn syrk(
         }
     };
 
-    for j in 0..n {
+    for jj in 0..chunk.cols() {
+        let j = j0 + jj;
         let (lo, hi) = match uplo {
             Uplo::Upper => (0, j + 1),
             Uplo::Lower => (j, n),
@@ -45,8 +70,8 @@ pub fn syrk(
             for p in 0..k {
                 s += at(i, p) * at(j, p);
             }
-            let old = c.at(i, j);
-            c.set(i, j, alpha * s + beta * old);
+            let old = chunk.at(i, jj);
+            chunk.set(i, jj, alpha * s + beta * old);
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Triangular matrix–matrix multiply:
 //! `B ← α·op(T)·B` (left) or `B ← α·B·op(T)` (right).
 
+use crate::backend;
 use crate::flops::{model, record};
 use crate::level1::axpy;
 use crate::level2::trmv;
@@ -43,71 +44,110 @@ pub fn trmm(
         return;
     }
     let unit = matches!(diag, Diag::Unit);
+    // Both backends run the same per-element code (`trmm_left` /
+    // `trmm_right`); the threaded path only partitions independent
+    // columns (left) or rows (right), so results are bit-identical.
+    let workers = backend::fork_threads(order * order * order.max(m.max(n)));
 
     match side {
-        // Each column of B is an independent trmv.
+        // Each column of B is an independent trmv: partition columns.
         Side::Left => {
-            for j in 0..n {
-                let col = b.col_mut(j);
-                if alpha != 1.0 {
-                    for v in col.iter_mut() {
-                        *v *= alpha;
-                    }
-                }
-                trmv(uplo, trans, diag, a, col);
+            backend::for_each_col_chunk(b.rb_mut(), workers, |_, mut chunk| {
+                trmm_left(uplo, trans, diag, alpha, a, &mut chunk);
+            });
+        }
+        // The right-side column sweeps update every column at each step,
+        // but each update is elementwise per row: partition rows and run
+        // the identical sweep on each row slice.
+        Side::Right => {
+            backend::for_each_row_chunk(b.rb_mut(), workers, |_, mut chunk| {
+                trmm_right(uplo, trans, unit, alpha, a, &mut chunk);
+            });
+        }
+    }
+}
+
+/// Serial `B ← α·op(T)·B` on (a column slice of) `B`.
+fn trmm_left(
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    alpha: f64,
+    a: &MatView<'_>,
+    b: &mut MatViewMut<'_>,
+) {
+    for j in 0..b.cols() {
+        let col = b.col_mut(j);
+        if alpha != 1.0 {
+            for v in col.iter_mut() {
+                *v *= alpha;
             }
         }
-        Side::Right => match (uplo, trans) {
-            // B·U: result col j = Σ_{k≤j} B(:,k)·U(k,j); descending j keeps
-            // the needed source columns unmodified.
-            (Uplo::Upper, Trans::No) => {
-                for j in (0..n).rev() {
-                    scale_col(b, j, alpha * diag_val(a, j, unit));
-                    for k in 0..j {
-                        let akj = a.at(k, j);
-                        if akj != 0.0 {
-                            add_col(b, k, j, alpha * akj);
-                        }
+        trmv(uplo, trans, diag, a, col);
+    }
+}
+
+/// Serial `B ← α·B·op(T)` on (a row slice of) `B`; the sweep structure
+/// only depends on the column count, which row slicing preserves.
+fn trmm_right(
+    uplo: Uplo,
+    trans: Trans,
+    unit: bool,
+    alpha: f64,
+    a: &MatView<'_>,
+    b: &mut MatViewMut<'_>,
+) {
+    let n = b.cols();
+    match (uplo, trans) {
+        // B·U: result col j = Σ_{k≤j} B(:,k)·U(k,j); descending j keeps
+        // the needed source columns unmodified.
+        (Uplo::Upper, Trans::No) => {
+            for j in (0..n).rev() {
+                scale_col(b, j, alpha * diag_val(a, j, unit));
+                for k in 0..j {
+                    let akj = a.at(k, j);
+                    if akj != 0.0 {
+                        add_col(b, k, j, alpha * akj);
                     }
                 }
             }
-            // B·L: result col j = Σ_{k≥j} B(:,k)·L(k,j); ascending j.
-            (Uplo::Lower, Trans::No) => {
-                for j in 0..n {
-                    scale_col(b, j, alpha * diag_val(a, j, unit));
-                    for k in (j + 1)..n {
-                        let akj = a.at(k, j);
-                        if akj != 0.0 {
-                            add_col(b, k, j, alpha * akj);
-                        }
+        }
+        // B·L: result col j = Σ_{k≥j} B(:,k)·L(k,j); ascending j.
+        (Uplo::Lower, Trans::No) => {
+            for j in 0..n {
+                scale_col(b, j, alpha * diag_val(a, j, unit));
+                for k in (j + 1)..n {
+                    let akj = a.at(k, j);
+                    if akj != 0.0 {
+                        add_col(b, k, j, alpha * akj);
                     }
                 }
             }
-            // B·Uᵀ: result col j = Σ_{k≥j} B(:,k)·U(j,k); ascending j.
-            (Uplo::Upper, Trans::Yes) => {
-                for j in 0..n {
-                    scale_col(b, j, alpha * diag_val(a, j, unit));
-                    for k in (j + 1)..n {
-                        let ajk = a.at(j, k);
-                        if ajk != 0.0 {
-                            add_col(b, k, j, alpha * ajk);
-                        }
+        }
+        // B·Uᵀ: result col j = Σ_{k≥j} B(:,k)·U(j,k); ascending j.
+        (Uplo::Upper, Trans::Yes) => {
+            for j in 0..n {
+                scale_col(b, j, alpha * diag_val(a, j, unit));
+                for k in (j + 1)..n {
+                    let ajk = a.at(j, k);
+                    if ajk != 0.0 {
+                        add_col(b, k, j, alpha * ajk);
                     }
                 }
             }
-            // B·Lᵀ: result col j = Σ_{k≤j} B(:,k)·L(j,k); descending j.
-            (Uplo::Lower, Trans::Yes) => {
-                for j in (0..n).rev() {
-                    scale_col(b, j, alpha * diag_val(a, j, unit));
-                    for k in 0..j {
-                        let ajk = a.at(j, k);
-                        if ajk != 0.0 {
-                            add_col(b, k, j, alpha * ajk);
-                        }
+        }
+        // B·Lᵀ: result col j = Σ_{k≤j} B(:,k)·L(j,k); descending j.
+        (Uplo::Lower, Trans::Yes) => {
+            for j in (0..n).rev() {
+                scale_col(b, j, alpha * diag_val(a, j, unit));
+                for k in 0..j {
+                    let ajk = a.at(j, k);
+                    if ajk != 0.0 {
+                        add_col(b, k, j, alpha * ajk);
                     }
                 }
             }
-        },
+        }
     }
 }
 

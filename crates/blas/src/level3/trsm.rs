@@ -1,6 +1,7 @@
 //! Triangular solve with multiple right-hand sides:
 //! `B ← α·op(T)⁻¹·B` (left) or `B ← α·B·op(T)⁻¹` (right).
 
+use crate::backend;
 use crate::flops::{model, record};
 use crate::level1::axpy;
 use crate::level2::trsv;
@@ -40,68 +41,92 @@ pub fn trsm(
         b.scale(alpha);
     }
     let unit = matches!(diag, Diag::Unit);
+    // As in `trmm`, the threaded path only partitions independent columns
+    // (left) or rows (right) around the shared serial solves, so the two
+    // backends produce bit-identical results.
+    let workers = backend::fork_threads(order * order * order.max(m.max(n)));
+
+    match side {
+        // Each column of B is an independent trsv: partition columns.
+        Side::Left => {
+            backend::for_each_col_chunk(b.rb_mut(), workers, |_, mut chunk| {
+                trsm_left(uplo, trans, diag, a, &mut chunk);
+            });
+        }
+        // The right-side column sweeps are elementwise per row: partition
+        // rows and run the identical sweep on each row slice.
+        Side::Right => {
+            backend::for_each_row_chunk(b.rb_mut(), workers, |_, mut chunk| {
+                trsm_right(uplo, trans, unit, a, &mut chunk);
+            });
+        }
+    }
+}
+
+/// Serial `B ← op(T)⁻¹·B` on (a column slice of) `B`.
+fn trsm_left(uplo: Uplo, trans: Trans, diag: Diag, a: &MatView<'_>, b: &mut MatViewMut<'_>) {
+    for j in 0..b.cols() {
+        trsv(uplo, trans, diag, a, b.col_mut(j));
+    }
+}
+
+/// Serial `B ← B·op(T)⁻¹` on (a row slice of) `B`: solves X·op(T) = B
+/// column by column; the sweep only depends on the column count, which
+/// row slicing preserves.
+fn trsm_right(uplo: Uplo, trans: Trans, unit: bool, a: &MatView<'_>, b: &mut MatViewMut<'_>) {
+    let n = b.cols();
     let dinv = |a: &MatView<'_>, j: usize| -> f64 {
         let d = a.at(j, j);
         assert!(d != 0.0, "trsm: zero diagonal at {j}");
         1.0 / d
     };
-
-    match side {
-        // Each column of B is an independent trsv.
-        Side::Left => {
+    match (uplo, trans) {
+        // X·U = B: X(:,j) = (B(:,j) − Σ_{k<j} X(:,k)·U(k,j)) / U(j,j),
+        // ascending j.
+        (Uplo::Upper, Trans::No) => {
             for j in 0..n {
-                trsv(uplo, trans, diag, a, b.col_mut(j));
+                for k in 0..j {
+                    sub_col(b, k, j, a.at(k, j));
+                }
+                if !unit {
+                    scale_col(b, j, dinv(a, j));
+                }
             }
         }
-        // Solve X·op(T) = B column by column.
-        Side::Right => match (uplo, trans) {
-            // X·U = B: X(:,j) = (B(:,j) − Σ_{k<j} X(:,k)·U(k,j)) / U(j,j),
-            // ascending j.
-            (Uplo::Upper, Trans::No) => {
-                for j in 0..n {
-                    for k in 0..j {
-                        sub_col(b, k, j, a.at(k, j));
-                    }
-                    if !unit {
-                        scale_col(b, j, dinv(a, j));
-                    }
+        // X·L = B: descending j, uses k > j.
+        (Uplo::Lower, Trans::No) => {
+            for j in (0..n).rev() {
+                for k in (j + 1)..n {
+                    sub_col(b, k, j, a.at(k, j));
+                }
+                if !unit {
+                    scale_col(b, j, dinv(a, j));
                 }
             }
-            // X·L = B: descending j, uses k > j.
-            (Uplo::Lower, Trans::No) => {
-                for j in (0..n).rev() {
-                    for k in (j + 1)..n {
-                        sub_col(b, k, j, a.at(k, j));
-                    }
-                    if !unit {
-                        scale_col(b, j, dinv(a, j));
-                    }
+        }
+        // X·Uᵀ = B: Uᵀ(k,j) = U(j,k), lower-triangular pattern in (k,j):
+        // descending j, uses k > j.
+        (Uplo::Upper, Trans::Yes) => {
+            for j in (0..n).rev() {
+                for k in (j + 1)..n {
+                    sub_col(b, k, j, a.at(j, k));
+                }
+                if !unit {
+                    scale_col(b, j, dinv(a, j));
                 }
             }
-            // X·Uᵀ = B: Uᵀ(k,j) = U(j,k), lower-triangular pattern in (k,j):
-            // descending j, uses k > j.
-            (Uplo::Upper, Trans::Yes) => {
-                for j in (0..n).rev() {
-                    for k in (j + 1)..n {
-                        sub_col(b, k, j, a.at(j, k));
-                    }
-                    if !unit {
-                        scale_col(b, j, dinv(a, j));
-                    }
+        }
+        // X·Lᵀ = B: ascending j, uses k < j.
+        (Uplo::Lower, Trans::Yes) => {
+            for j in 0..n {
+                for k in 0..j {
+                    sub_col(b, k, j, a.at(j, k));
+                }
+                if !unit {
+                    scale_col(b, j, dinv(a, j));
                 }
             }
-            // X·Lᵀ = B: ascending j, uses k < j.
-            (Uplo::Lower, Trans::Yes) => {
-                for j in 0..n {
-                    for k in 0..j {
-                        sub_col(b, k, j, a.at(j, k));
-                    }
-                    if !unit {
-                        scale_col(b, j, dinv(a, j));
-                    }
-                }
-            }
-        },
+        }
     }
 }
 

@@ -9,7 +9,10 @@
 //!   strided vectors (rows of a column-major matrix are strided);
 //! * **level 2** — `gemv`, `ger`, `trmv`, `trsv` on [`ft_matrix`] views;
 //! * **level 3** — `gemm` (reference, cache-blocked packed, and
-//!   rayon-parallel), `trmm`, `trsm`, `syrk`;
+//!   threaded), `trmm`, `trsm`, `syrk`;
+//! * **execution backends** — a [`backend`] knob selecting between the
+//!   serial kernels and a `std::thread::scope`-based threaded path that
+//!   is bit-identical to serial for every thread count;
 //! * **FLOP accounting** — an optional global counter ([`flops`]) that the
 //!   overhead analysis of the paper's §V is verified against.
 //!
@@ -19,6 +22,7 @@
 //! LAPACK-style panel factorizations without copying.
 
 pub mod accurate;
+pub mod backend;
 pub mod flops;
 pub mod level1;
 pub mod level2;
@@ -26,8 +30,9 @@ pub mod level3;
 pub mod types;
 
 pub use accurate::{dot_compensated, dot_superblock, sum_compensated, sum_superblock, SumScheme};
+pub use backend::{current_backend, parallel_map_into, set_backend, with_backend, Backend};
 pub use flops::{flop_count, reset_flops, set_flop_counting, FlopGuard};
 pub use level1::{asum, axpy, copy, dot, iamax, nrm2, scal, swap};
 pub use level2::{gemv, ger, symv, syr, syr2, trmv, trsv};
-pub use level3::{gemm, gemm_ref, gemm_with_algo, syrk, trmm, trsm, GemmAlgo};
+pub use level3::{gemm, gemm_ref, gemm_threaded, gemm_with_algo, syrk, trmm, trsm, GemmAlgo};
 pub use types::{Diag, Side, Trans, Uplo};

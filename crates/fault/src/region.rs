@@ -39,6 +39,16 @@ impl Region {
 
 /// Classifies element `(row, col)` of an `n × n` matrix when `k` columns
 /// have been fully reduced (`k` = iterations-completed × `nb`).
+///
+/// Detection-frontier contract (relied on by the FT driver's `detect`):
+/// the per-iteration `Sre − Sce` aggregates see a fault iff its column is
+/// at or right of the frontier *at injection time* — i.e. anywhere in the
+/// in-flight panel (including below its sub-diagonal) or the trailing
+/// matrix. [`Region::Area3`] and [`Region::FinishedH`] faults land in
+/// data the aggregates no longer cover; they are repaired by the
+/// end-of-run `Q`/whole-matrix checks with **no rollback**. A fault
+/// injected after an iteration's detection point surfaces one iteration
+/// later, after the updates have run over the inconsistent data.
 pub fn classify(n: usize, k: usize, row: usize, col: usize) -> Region {
     assert!(row < n && col < n, "classify: ({row},{col}) out of {n}x{n}");
     if col >= k {

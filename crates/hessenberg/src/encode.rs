@@ -153,32 +153,35 @@ impl ExtMatrix {
     }
 
     /// Mathematical row sums (length `n`) under the frontier mask.
+    ///
+    /// Rows are distributed over the active [`ft_blas::backend`] workers;
+    /// each row sum accumulates in ascending column order regardless of
+    /// the worker count, so the result is bit-identical to a serial sweep
+    /// and error localization behaves the same under every backend.
     pub fn math_row_sums(&self, frontier: usize) -> Vec<f64> {
-        let mut sums = vec![0.0; self.n];
-        for j in 0..self.n {
-            let lim = if j < frontier {
-                (j + 2).min(self.n)
-            } else {
-                self.n
-            };
-            for (i, s) in sums.iter_mut().enumerate().take(lim) {
-                *s += self.data[(i, j)];
+        let n = self.n;
+        let mut sums = vec![0.0; n];
+        ft_blas::parallel_map_into(&mut sums, |i| {
+            let mut s = 0.0;
+            for j in 0..n {
+                if !(j < frontier && i > j + 1) {
+                    s += self.data[(i, j)];
+                }
             }
-        }
+            s
+        });
         sums
     }
 
-    /// Mathematical column sums (length `n`) under the frontier mask.
+    /// Mathematical column sums (length `n`) under the frontier mask;
+    /// columns are independent, so the same worker split applies.
     pub fn math_col_sums(&self, frontier: usize) -> Vec<f64> {
-        let mut sums = vec![0.0; self.n];
-        for (j, s) in sums.iter_mut().enumerate() {
-            let lim = if j < frontier {
-                (j + 2).min(self.n)
-            } else {
-                self.n
-            };
-            *s = self.data.col(j)[..lim].iter().sum();
-        }
+        let n = self.n;
+        let mut sums = vec![0.0; n];
+        ft_blas::parallel_map_into(&mut sums, |j| {
+            let lim = if j < frontier { (j + 2).min(n) } else { n };
+            self.data.col(j)[..lim].iter().sum()
+        });
         sums
     }
 

@@ -58,6 +58,13 @@ pub struct FtConfig {
     /// reference 27): more accurate schemes reduce `Sre`/`Sce` drift and
     /// allow tighter detection thresholds.
     pub checksum_scheme: ft_blas::SumScheme,
+    /// Execution backend for the level-3 host kernels the simulation
+    /// actually runs (trailing updates, reversal, checksum sums). The
+    /// default follows the `FT_BLAS_BACKEND` environment variable; the
+    /// threaded backend is bit-identical to the serial one (see
+    /// [`ft_blas::backend`]), so it changes wall-clock time only — never
+    /// results, checksums or detection behavior.
+    pub backend: ft_blas::Backend,
 }
 
 impl Default for FtConfig {
@@ -69,6 +76,7 @@ impl Default for FtConfig {
             q_checksums_on_host: true,
             max_recovery_attempts: 3,
             checksum_scheme: ft_blas::SumScheme::Naive,
+            backend: ft_blas::Backend::from_env(),
         }
     }
 }
@@ -102,7 +110,19 @@ struct IterArtifacts {
 }
 
 /// Runs Algorithm 3 on the simulated hybrid platform.
+///
+/// The level-3 kernels execute under [`FtConfig::backend`] for the whole
+/// call (restored afterwards, also on panic).
 pub fn ft_gehrd_hybrid(
+    a: &Matrix,
+    cfg: &FtConfig,
+    ctx: &mut HybridCtx,
+    plan: &mut FaultPlan,
+) -> FtOutcome {
+    ft_blas::with_backend(cfg.backend, || ft_gehrd_hybrid_inner(a, cfg, ctx, plan))
+}
+
+fn ft_gehrd_hybrid_inner(
     a: &Matrix,
     cfg: &FtConfig,
     ctx: &mut HybridCtx,
@@ -138,6 +158,11 @@ pub fn ft_gehrd_hybrid(
     let total = n.saturating_sub(2);
     let mut k = 0;
     let mut iter = 0usize;
+    // Timing-only: faults that struck after an iteration's updates ran
+    // (Phase::BeforeDetection) cannot perturb that iteration's aggregates;
+    // they become visible — if at all — once the *next* iteration's
+    // updates run over them, so they are carried forward one boundary.
+    let mut carried_faults: Vec<ft_fault::ScheduledFault> = vec![];
     while k < total {
         let ib = nb.min(total - k);
 
@@ -148,7 +173,11 @@ pub fn ft_gehrd_hybrid(
                 report.injected.extend_from_slice(&applied);
                 vec![]
             }
-            None => plan.peek_due(iter, Phase::IterationStart),
+            None => {
+                let mut due = std::mem::take(&mut carried_faults);
+                due.extend(plan.peek_due(iter, Phase::IterationStart));
+                due
+            }
         };
         if ax.is_none() {
             plan.consume_due(iter, Phase::IterationStart);
@@ -166,11 +195,12 @@ pub fn ft_gehrd_hybrid(
             let applied = plan.apply_due(iter, Phase::BeforeDetection, axm.raw_mut());
             report.injected.extend_from_slice(&applied);
         } else {
+            carried_faults.extend(plan.peek_due(iter, Phase::BeforeDetection));
             plan.consume_due(iter, Phase::BeforeDetection);
         }
 
         // ---- detection (lines 12–13): two device reductions -------------
-        let mut detected = detect(ctx, &ax, n, threshold, s0, &timing_faults, k, nb);
+        let mut detected = detect(ctx, &ax, n, threshold, s0, &timing_faults, k, ib);
 
         // ---- recovery loop (lines 14–16) ---------------------------------
         let mut attempts = 0;
@@ -253,7 +283,7 @@ pub fn ft_gehrd_hybrid(
             // Re-execute the iteration (line: "the entire iteration is
             // repeated after the error correction").
             artifacts = run_iteration(ctx, &mut ax, n, k, ib, cfg, s0, s1);
-            detected = detect(ctx, &ax, n, threshold, s0, &[], k, nb);
+            detected = detect(ctx, &ax, n, threshold, s0, &[], k, ib);
         }
         if detected {
             // Give up on surgical repair: refresh all checksums from the
@@ -323,7 +353,9 @@ pub fn ft_gehrd_hybrid(
         if let Some(axm) = &mut ax {
             let fixes = qprot.verify_and_correct(axm.raw_mut(), loc_tol.max(1e-12));
             report.q_corrections = fixes.iter().map(|f| (f.row, f.col, f.delta)).collect();
-            let _ = qprot.verify_taus(&mut tau, 1e-10);
+            if let Some(idx) = qprot.verify_taus(&mut tau, 1e-10) {
+                report.tau_corrections.push(idx);
+            }
         }
     }
 
@@ -478,7 +510,7 @@ fn detect(
     s0: StreamId,
     timing_faults: &[ft_fault::ScheduledFault],
     k: usize,
-    nb: usize,
+    ib: usize,
 ) -> bool {
     // Two device reductions + a tiny transfer + host compare.
     ctx.device(
@@ -495,17 +527,37 @@ fn detect(
             ThresholdPolicy::exceeded(diff, threshold)
         }
         None => {
-            // Timing-only: a scheduled fault in the checksummed region
-            // (anything but Q storage) is assumed caught here.
+            // Timing-only mirror of the aggregate test above.
             timing_faults.iter().any(|f| {
-                let frontier = (k).min(n.saturating_sub(1));
                 let row = f.fault.row.min(n - 1);
                 let col = f.fault.col.min(n - 1);
-                let _ = nb;
-                classify(n, frontier, row, col) != Region::Area3
+                aggregate_visible(n, k, ib, row, col)
             })
         }
     }
+}
+
+/// Whether a strike at `(row, col)`, present when the iteration reducing
+/// columns `k..k + ib` started, perturbs the `Sre − Sce` aggregate test
+/// run at that iteration's end.
+///
+/// Detection runs after the iteration completes, so in the
+/// [`classify`] frontier convention (`k` = columns already reduced) the
+/// frontier is `k + ib`. The in-flight panel needs its own carve-out,
+/// though: a strike inside columns `k..k + ib` happened *before* they
+/// were reduced, fed `lahr2` and both extended block updates, and thus
+/// drives `Sre` and `Sce` apart — even where `classify` at the advanced
+/// frontier would already call the location `Q` storage (Area 3) or
+/// finished `H`. Strikes left of the panel touch data this iteration
+/// never reads: the aggregates cannot see them, and they are repaired by
+/// the end-of-run whole-matrix and `Q`/`tau` checks without any rollback.
+fn aggregate_visible(n: usize, k: usize, ib: usize, row: usize, col: usize) -> bool {
+    let in_flight_panel = (k..k + ib).contains(&col);
+    in_flight_panel
+        || matches!(
+            classify(n, (k + ib).min(n), row, col),
+            Region::Area1 | Region::Area2
+        )
 }
 
 /// Rebuilds both checksum borders from the stored data under the frontier
@@ -559,6 +611,81 @@ mod tests {
     }
 
     #[test]
+    fn clean_run_no_false_positives_threaded_backend() {
+        // The threaded backend must not perturb the checksum aggregates:
+        // zero detections on clean runs, and the factorization must be
+        // *bitwise* the run produced by the serial backend.
+        for &(n, nb) in &[(64usize, 16usize), (50, 7)] {
+            let a = ft_matrix::random::uniform(n, n, n as u64);
+            let serial_cfg = FtConfig {
+                backend: ft_blas::Backend::Serial,
+                ..FtConfig::with_nb(nb)
+            };
+            let threaded_cfg = FtConfig {
+                backend: ft_blas::Backend::Threaded(4),
+                ..FtConfig::with_nb(nb)
+            };
+            let s = ft_gehrd_hybrid(&a, &serial_cfg, &mut full_ctx(), &mut FaultPlan::none());
+            let t = ft_gehrd_hybrid(&a, &threaded_cfg, &mut full_ctx(), &mut FaultPlan::none());
+            assert!(
+                t.report.recoveries.is_empty(),
+                "false positive under threaded backend at n={n}: {:?}",
+                t.report.recoveries
+            );
+            let fs = s.result.unwrap();
+            let ft = t.result.unwrap();
+            assert_eq!(fs.tau, ft.tau, "taus must be bit-identical");
+            for j in 0..n {
+                for i in 0..n {
+                    assert_eq!(
+                        fs.packed[(i, j)].to_bits(),
+                        ft.packed[(i, j)].to_bits(),
+                        "packed output differs at ({i},{j}) for n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gehrd_output_bit_identical_above_fork_gate() {
+        // n = 320, nb = 64: the first trailing updates exceed
+        // ft_blas::backend::PARALLEL_MIN_VOLUME, so the threaded backend
+        // genuinely forks — the output must still match serial bitwise.
+        let n = 320;
+        let a = ft_matrix::random::uniform(n, n, 17);
+        let mk = |backend| FtConfig {
+            backend,
+            ..FtConfig::with_nb(64)
+        };
+        let s = ft_gehrd_hybrid(
+            &a,
+            &mk(ft_blas::Backend::Serial),
+            &mut full_ctx(),
+            &mut FaultPlan::none(),
+        );
+        let t = ft_gehrd_hybrid(
+            &a,
+            &mk(ft_blas::Backend::Threaded(4)),
+            &mut full_ctx(),
+            &mut FaultPlan::none(),
+        );
+        assert!(t.report.recoveries.is_empty(), "{:?}", t.report.recoveries);
+        let fs = s.result.unwrap();
+        let ft = t.result.unwrap();
+        assert_eq!(fs.tau, ft.tau);
+        for j in 0..n {
+            for i in 0..n {
+                assert_eq!(
+                    fs.packed[(i, j)].to_bits(),
+                    ft.packed[(i, j)].to_bits(),
+                    "packed output differs at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn area2_fault_detected_and_corrected() {
         let n = 64;
         // Fault in the trailing matrix at the start of iteration 1.
@@ -605,6 +732,14 @@ mod tests {
             !out.report.q_corrections.is_empty(),
             "Q check must fire: {:?}",
             out.report
+        );
+        // The strike hit Q *storage*, not a reflector scale: the tau
+        // scalar checksum must verify clean (and its outcome is recorded,
+        // not discarded).
+        assert!(
+            out.report.tau_corrections.is_empty(),
+            "no tau should need repair: {:?}",
+            out.report.tau_corrections
         );
         let f = out.result.unwrap();
         let r = ResidualReport::compute(&a, &f.q(), &f.h());
@@ -663,6 +798,54 @@ mod tests {
             full.report.sim_seconds,
             timing.report.sim_seconds
         );
+    }
+
+    #[test]
+    fn timing_only_matches_full_under_faults() {
+        // The timing-only detector must charge a rollback exactly when the
+        // real Sre/Sce aggregate test would. Scenarios, at nb = 16:
+        //  * a strike inside the *active* panel (iteration 1 reduces
+        //    columns 16..32; (40, 20) is below that panel's sub-diagonal)
+        //    feeds the factorization and is detected that iteration;
+        //  * a finished-H strike ((2, 3) at iteration 2) touches data no
+        //    later iteration reads: no rollback, fixed by the final check;
+        //  * a Q-storage strike ((30, 5) at iteration 2) likewise costs
+        //    nothing per-iteration;
+        //  * a BeforeDetection strike in the trailing matrix lands after
+        //    the updates ran and is only detected one iteration later.
+        let n = 96;
+        let nb = 16;
+        let cfg = FtConfig::with_nb(nb);
+        let a = ft_matrix::random::uniform(n, n, 13);
+        let scenarios: [(usize, Phase, usize, usize); 4] = [
+            (1, Phase::IterationStart, 40, 20),
+            (2, Phase::IterationStart, 2, 3),
+            (2, Phase::IterationStart, 30, 5),
+            (1, Phase::BeforeDetection, 40, 50),
+        ];
+        for &(iteration, phase, row, col) in &scenarios {
+            let make_plan = || {
+                FaultPlan::new(vec![ft_fault::ScheduledFault {
+                    iteration,
+                    phase,
+                    fault: Fault::add(row, col, 0.29),
+                }])
+            };
+            let mut cf = full_ctx();
+            let full = ft_gehrd_hybrid(&a, &cfg, &mut cf, &mut make_plan());
+            let mut ct = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::TimingOnly, 2);
+            let timing = ft_gehrd_hybrid(&a, &cfg, &mut ct, &mut make_plan());
+            assert!(timing.result.is_none());
+            assert!(
+                (full.report.sim_seconds - timing.report.sim_seconds).abs() < 1e-9,
+                "({iteration}, {phase:?}, {row}, {col}): full {} vs timing {} \
+                 (full redone={}, timing redone={})",
+                full.report.sim_seconds,
+                timing.report.sim_seconds,
+                full.report.redone_iterations,
+                timing.report.redone_iterations,
+            );
+        }
     }
 
     #[test]

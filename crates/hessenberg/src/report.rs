@@ -32,6 +32,9 @@ pub struct FtReport {
     pub recoveries: Vec<RecoveryEvent>,
     /// Errors corrected in `Q` storage by the end-of-run check.
     pub q_corrections: Vec<(usize, usize, f64)>,
+    /// Indices of reflector scales repaired via the `tau` scalar checksum
+    /// by the end-of-run check.
+    pub tau_corrections: Vec<usize>,
     /// Faults injected by the test harness (provenance for reports).
     pub injected: Vec<AppliedFault>,
     /// Resolved detection threshold used.

@@ -20,7 +20,12 @@ fn residual(a0: &Matrix, f: &ft_lapack::HessFactorization) -> f64 {
 fn tiny_matrices_all_sizes() {
     for n in 0..8usize {
         let a = ft_matrix::random::uniform(n, n, 100 + n as u64);
-        let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(4), &mut ctx(), &mut FaultPlan::none());
+        let out = ft_gehrd_hybrid(
+            &a,
+            &FtConfig::with_nb(4),
+            &mut ctx(),
+            &mut FaultPlan::none(),
+        );
         let f = out.result.unwrap();
         assert_eq!(f.packed.rows(), n);
         if n >= 1 {
@@ -39,7 +44,12 @@ fn tiny_matrices_all_sizes() {
 fn nb_larger_than_matrix() {
     let n = 20;
     let a = ft_matrix::random::uniform(n, n, 5);
-    let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(256), &mut ctx(), &mut FaultPlan::none());
+    let out = ft_gehrd_hybrid(
+        &a,
+        &FtConfig::with_nb(256),
+        &mut ctx(),
+        &mut FaultPlan::none(),
+    );
     let f = out.result.unwrap();
     assert!(residual(&a, &f) < 1e-13);
 }
@@ -94,17 +104,30 @@ fn zero_recovery_attempts_reencodes_and_flags() {
 fn zero_matrix_input() {
     let n = 32;
     let a = Matrix::zeros(n, n);
-    let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(8), &mut ctx(), &mut FaultPlan::none());
+    let out = ft_gehrd_hybrid(
+        &a,
+        &FtConfig::with_nb(8),
+        &mut ctx(),
+        &mut FaultPlan::none(),
+    );
     let f = out.result.unwrap();
     assert_eq!(f.h().max_abs(), 0.0);
-    assert!(out.report.recoveries.is_empty(), "zero matrix must not false-positive");
+    assert!(
+        out.report.recoveries.is_empty(),
+        "zero matrix must not false-positive"
+    );
 }
 
 #[test]
 fn identity_matrix_input() {
     let n = 32;
     let a = Matrix::identity(n);
-    let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(8), &mut ctx(), &mut FaultPlan::none());
+    let out = ft_gehrd_hybrid(
+        &a,
+        &FtConfig::with_nb(8),
+        &mut ctx(),
+        &mut FaultPlan::none(),
+    );
     let f = out.result.unwrap();
     assert!(residual(&a, &f) < 1e-14);
     assert!(out.report.recoveries.is_empty());
@@ -117,8 +140,17 @@ fn large_magnitude_data() {
     let n = 48;
     let mut a = ft_matrix::random::uniform(n, n, 9);
     a.scale(1e9);
-    let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(16), &mut ctx(), &mut FaultPlan::none());
-    assert!(out.report.recoveries.is_empty(), "{:?}", out.report.recoveries.len());
+    let out = ft_gehrd_hybrid(
+        &a,
+        &FtConfig::with_nb(16),
+        &mut ctx(),
+        &mut FaultPlan::none(),
+    );
+    assert!(
+        out.report.recoveries.is_empty(),
+        "{:?}",
+        out.report.recoveries.len()
+    );
     let mut plan = FaultPlan::one(1, Fault::add(30, 40, 1e6));
     let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(16), &mut ctx(), &mut plan);
     assert!(!out.report.recoveries.is_empty());
@@ -133,7 +165,10 @@ fn tiny_magnitude_data() {
     a.scale(1e-9);
     let mut plan = FaultPlan::one(1, Fault::add(30, 40, 1e-11));
     let out = ft_gehrd_hybrid(&a, &FtConfig::with_nb(16), &mut ctx(), &mut plan);
-    assert!(!out.report.recoveries.is_empty(), "relative fault must be caught");
+    assert!(
+        !out.report.recoveries.is_empty(),
+        "relative fault must be caught"
+    );
     let f = out.result.unwrap();
     assert!(residual(&a, &f) < 1e-12);
 }
@@ -142,7 +177,12 @@ fn tiny_magnitude_data() {
 fn baseline_hybrid_tiny_sizes() {
     for n in 0..6usize {
         let a = ft_matrix::random::uniform(n, n, 200 + n as u64);
-        let out = gehrd_hybrid(&a, &HybridConfig { nb: 4 }, &mut ctx(), &mut FaultPlan::none());
+        let out = gehrd_hybrid(
+            &a,
+            &HybridConfig { nb: 4 },
+            &mut ctx(),
+            &mut FaultPlan::none(),
+        );
         assert_eq!(out.result.unwrap().packed.rows(), n);
     }
 }
@@ -171,5 +211,8 @@ fn multiple_streams_full_mode() {
     let f4 = ft_gehrd_hybrid(&a, &FtConfig::with_nb(16), &mut c4, &mut FaultPlan::none())
         .result
         .unwrap();
-    assert_eq!(f1.packed, f4.packed, "numerics must be stream-count independent");
+    assert_eq!(
+        f1.packed, f4.packed,
+        "numerics must be stream-count independent"
+    );
 }

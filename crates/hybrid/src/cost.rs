@@ -103,6 +103,15 @@ pub struct CostModel {
     pub link_latency_s: f64,
     /// Fixed latency per device kernel launch, seconds.
     pub kernel_latency_s: f64,
+    /// Effective host-core speedup for throughput-bound host work
+    /// ([`OpClass::HostGemm`] and [`OpClass::HostVector`]): the simulated
+    /// counterpart of running the host BLAS on a threaded backend.
+    /// `1.0` (the default) is the historical single-core model; values
+    /// below `1.0` are clamped. [`OpClass::HostPanel`] is deliberately
+    /// *not* scaled — the panel factorization is latency-bound (DLAHR2's
+    /// chained GEMVs), which is exactly why the paper offloads its GEMVs
+    /// to the device instead of adding host cores.
+    pub host_parallelism: f64,
 }
 
 impl CostModel {
@@ -121,6 +130,7 @@ impl CostModel {
             link_bandwidth_gbs: 6.0,
             link_latency_s: 10e-6,
             kernel_latency_s: 5e-6,
+            host_parallelism: 1.0,
         }
     }
 
@@ -138,15 +148,24 @@ impl CostModel {
             link_bandwidth_gbs: 1e-9,
             link_latency_s: 0.0,
             kernel_latency_s: 0.0,
+            host_parallelism: 1.0,
         }
+    }
+
+    /// Returns the model with the host-parallelism factor set (builder
+    /// form; see [`CostModel::host_parallelism`]).
+    pub fn with_host_parallelism(mut self, factor: f64) -> Self {
+        self.host_parallelism = factor;
+        self
     }
 
     /// Simulated seconds for `work` of class `class`.
     pub fn seconds(&self, class: OpClass, work: Work) -> f64 {
+        let hp = self.host_parallelism.max(1.0);
         let base = match (class, work) {
             (OpClass::HostPanel, Work::Flops(f)) => f / (self.host_panel_gflops * 1e9),
-            (OpClass::HostVector, Work::Flops(f)) => f / (self.host_vector_gflops * 1e9),
-            (OpClass::HostGemm, Work::Flops(f)) => f / (self.host_gemm_gflops * 1e9),
+            (OpClass::HostVector, Work::Flops(f)) => f / (self.host_vector_gflops * 1e9 * hp),
+            (OpClass::HostGemm, Work::Flops(f)) => f / (self.host_gemm_gflops * 1e9 * hp),
             (OpClass::DeviceGemm, Work::Flops(f)) => {
                 self.kernel_latency_s + f / (self.device_gemm_gflops * 1e9)
             }
@@ -216,6 +235,27 @@ mod tests {
             tv > 3.0 * tm,
             "gemv {tv} should be much slower than gemm {tm} at equal flops"
         );
+    }
+
+    #[test]
+    fn host_parallelism_scales_throughput_classes_only() {
+        let base = CostModel::unit_test_model();
+        let par = CostModel::unit_test_model().with_host_parallelism(4.0);
+        let w = Work::Flops(8.0);
+        assert_eq!(par.seconds(OpClass::HostGemm, w), 2.0);
+        assert_eq!(par.seconds(OpClass::HostVector, w), 2.0);
+        // Latency-bound panel work and all device work are unaffected.
+        assert_eq!(
+            par.seconds(OpClass::HostPanel, w),
+            base.seconds(OpClass::HostPanel, w)
+        );
+        assert_eq!(
+            par.seconds(OpClass::DeviceGemm, w),
+            base.seconds(OpClass::DeviceGemm, w)
+        );
+        // Sub-unit factors clamp to the serial model.
+        let slow = CostModel::unit_test_model().with_host_parallelism(0.25);
+        assert_eq!(slow.seconds(OpClass::HostGemm, w), 8.0);
     }
 
     #[test]

@@ -69,6 +69,14 @@ impl HybridCtx {
         &self.cost
     }
 
+    /// Sets the simulated host-parallelism factor (see
+    /// [`CostModel::host_parallelism`]) — typically the worker count of
+    /// the active `ft-blas` backend, so simulated host time tracks the
+    /// threading knob the kernels actually run under.
+    pub fn set_host_parallelism(&mut self, factor: f64) {
+        self.cost.host_parallelism = factor;
+    }
+
     /// Current host clock.
     pub fn host_time(&self) -> f64 {
         self.host_time

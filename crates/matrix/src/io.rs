@@ -58,7 +58,10 @@ pub fn read_matrix_market(text: &str) -> Result<Matrix, MmError> {
     let (_, header) = lines
         .next()
         .ok_or_else(|| MmError::BadHeader("empty input".into()))?;
-    let toks: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let toks: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
         return Err(MmError::BadHeader(header.to_string()));
     }

@@ -44,6 +44,77 @@ fn build_updates(n: usize, k: usize, ib: usize, seed: u64) -> (ExtMatrix, Matrix
     (ax, yx, vx, panel.t)
 }
 
+/// Theorem 1 invariant for one `(n, k, ib, seed)` scenario; shared by the
+/// property below and the pinned regression case.
+fn check_theorem1(n: usize, k: usize, ib: usize, seed: u64) -> Result<(), String> {
+    let (mut ax, yx, vx, t) = build_updates(n, k, ib, seed);
+    right_update_ext(&mut ax, k, ib, &yx, &vx);
+    let _w = left_update_ext(&mut ax, k, ib, &vx, &t);
+
+    // Validity over the trailing columns (the panel columns' storage
+    // switched representation and is re-checksummed by the driver).
+    let tol = 1e-10 * (n as f64);
+    for j in (k + ib)..n {
+        let colsum: f64 = ax.raw().col(j)[..n].iter().sum();
+        if (colsum - ax.chk_row(j)).abs() >= tol {
+            return Err(format!(
+                "column checksum {j}: {} vs {}",
+                colsum,
+                ax.chk_row(j)
+            ));
+        }
+    }
+    // Row checksums: the mathematical row sums must match the maintained
+    // checksum column for every row — the full strength of Theorem 1. In
+    // this synthetic scenario only the panel columns k..k+ib were reduced
+    // (the driver always reduces 0..k first), so the Hessenberg mask
+    // applies to exactly those columns.
+    let chk = ax.chk_col();
+    for (i, &chki) in chk.iter().enumerate() {
+        let mut rs = 0.0;
+        for j in 0..n {
+            let masked = (k..k + ib).contains(&j) && i > j + 1;
+            if !masked {
+                rs += ax.raw()[(i, j)];
+            }
+        }
+        if (rs - chki).abs() >= tol {
+            return Err(format!("row checksum {i}: {} vs {}", rs, chki));
+        }
+    }
+    Ok(())
+}
+
+/// Reversal round-trip invariant for one `(n, k, ib, seed)` scenario.
+fn check_reversal(n: usize, k: usize, ib: usize, seed: u64) -> Result<(), String> {
+    let (ax0, yx, vx, t) = build_updates(n, k, ib, seed);
+    let mut ax = ax0.clone();
+    right_update_ext(&mut ax, k, ib, &yx, &vx);
+    let w = left_update_ext(&mut ax, k, ib, &vx, &t);
+    reverse_left_update_ext(&mut ax, k, ib, &vx, &t, &w);
+    reverse_right_update_ext(&mut ax, k, ib, &yx, &vx);
+    for j in (k + ib)..=n {
+        for i in 0..=n {
+            let d = (ax.raw()[(i, j)] - ax0.raw()[(i, j)]).abs();
+            if d >= 1e-10 {
+                return Err(format!("({i},{j}) differs by {d}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Pinned replay of the checked-in proptest regression
+/// `tests/properties.proptest-regressions`:
+/// `(n, k, ib, seed) = (8, 0, 3, 5223378419537523)` — the small-`ib`
+/// panel path through `extend_y` and the extended two-sided updates.
+#[test]
+fn regression_small_ib_panel_8_0_3_5223378419537523() {
+    let (n, k, ib, seed) = (8, 0, 3, 5223378419537523u64);
+    check_theorem1(n, k, ib, seed).unwrap();
+    check_reversal(n, k, ib, seed).unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -52,57 +123,16 @@ proptest! {
     /// sums *of the updated trailing region*.
     #[test]
     fn theorem1_checksums_survive_block_updates((n, k, ib, seed) in panel_scenario()) {
-        let (mut ax, yx, vx, t) = build_updates(n, k, ib, seed);
-        right_update_ext(&mut ax, k, ib, &yx, &vx);
-        let _w = left_update_ext(&mut ax, k, ib, &vx, &t);
-
-        // Validity over the trailing columns (the panel columns' storage
-        // switched representation and is re-checksummed by the driver).
-        let tol = 1e-10 * (n as f64);
-        for j in (k + ib)..n {
-            let colsum: f64 = ax.raw().col(j)[..n].iter().sum();
-            prop_assert!(
-                (colsum - ax.chk_row(j)).abs() < tol,
-                "column checksum {j}: {} vs {}", colsum, ax.chk_row(j)
-            );
-        }
-        // Row checksums: the mathematical row sums must match the
-        // maintained checksum column for every row — the full strength of
-        // Theorem 1. In this synthetic scenario only the panel columns
-        // k..k+ib were reduced (the driver always reduces 0..k first), so
-        // the Hessenberg mask applies to exactly those columns.
-        let chk = ax.chk_col();
-        for (i, &chki) in chk.iter().enumerate() {
-            let mut rs = 0.0;
-            for j in 0..n {
-                let masked = (k..k + ib).contains(&j) && i > j + 1;
-                if !masked {
-                    rs += ax.raw()[(i, j)];
-                }
-            }
-            prop_assert!(
-                (rs - chki).abs() < tol,
-                "row checksum {i}: {} vs {}", rs, chki
-            );
-        }
+        let r = check_theorem1(n, k, ib, seed);
+        prop_assert!(r.is_ok(), "({n},{k},{ib},{seed}): {}", r.unwrap_err());
     }
 
     /// Reversal restores the trailing + checksum region to the pre-update
     /// state (up to one rounding of the add/sub pair).
     #[test]
     fn reversal_roundtrip((n, k, ib, seed) in panel_scenario()) {
-        let (ax0, yx, vx, t) = build_updates(n, k, ib, seed);
-        let mut ax = ax0.clone();
-        right_update_ext(&mut ax, k, ib, &yx, &vx);
-        let w = left_update_ext(&mut ax, k, ib, &vx, &t);
-        reverse_left_update_ext(&mut ax, k, ib, &vx, &t, &w);
-        reverse_right_update_ext(&mut ax, k, ib, &yx, &vx);
-        for j in (k + ib)..=n {
-            for i in 0..=n {
-                let d = (ax.raw()[(i, j)] - ax0.raw()[(i, j)]).abs();
-                prop_assert!(d < 1e-10, "({i},{j}) differs by {d}");
-            }
-        }
+        let r = check_reversal(n, k, ib, seed);
+        prop_assert!(r.is_ok(), "({n},{k},{ib},{seed}): {}", r.unwrap_err());
     }
 
     /// A perturbation anywhere in the (unreduced) matrix is located at

@@ -1,0 +1,261 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `throughput`, `bench_with_input`,
+//! `finish`), [`BenchmarkId`], [`Throughput`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: each benchmark runs `sample_size` samples; every
+//! sample executes a batch of iterations calibrated so one sample takes
+//! roughly [`TARGET_SAMPLE`]. The median per-iteration time is reported,
+//! plus element throughput when the group sets one.
+//!
+//! Setting the environment variable `FT_BENCH_SMOKE=1` (or passing
+//! `--smoke`) switches to a single sample of a single iteration per
+//! benchmark — the CI mode that merely proves every bench path executes.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one sample batch.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Opaque value barrier — stops the optimizer from deleting the benched
+/// computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (e.g. flops or matrix entries) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A `function_name/parameter` benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Label from a function name and a `Display`able parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs the measured routine and accumulates elapsed time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark context (one per bench binary).
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let env_smoke = std::env::var("FT_BENCH_SMOKE")
+            .map(|v| v != "0")
+            .unwrap_or(false);
+        let arg_smoke = std::env::args().any(|a| a == "--smoke");
+        Criterion {
+            smoke: env_smoke || arg_smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            smoke: self.smoke,
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sample-count and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    smoke: bool,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration work, enabling derived throughput output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` against `input` under the given id.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let (samples, iters) = if self.smoke {
+            (1, 1)
+        } else {
+            // Calibrate: time one iteration, then size batches toward
+            // TARGET_SAMPLE (at least 1 iteration per sample).
+            let mut probe = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut probe, input);
+            let per_iter = probe.elapsed.max(Duration::from_nanos(1));
+            let iters = (TARGET_SAMPLE.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+            (self.sample_size, iters)
+        };
+
+        let mut per_iter_secs: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut bencher = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut bencher, input);
+            per_iter_secs.push(bencher.elapsed.as_secs_f64() / iters as f64);
+        }
+        per_iter_secs.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_secs[per_iter_secs.len() / 2];
+
+        let label = format!("{}/{}/{}", self.name, id.function, id.parameter);
+        let time = format_seconds(median);
+        match self.throughput {
+            Some(Throughput::Elements(elems)) if median > 0.0 => {
+                let rate = elems as f64 / median;
+                println!(
+                    "{label:<48} time: {time:>12}   thrpt: {:>14}",
+                    format_rate(rate, "elem/s")
+                );
+            }
+            Some(Throughput::Bytes(bytes)) if median > 0.0 => {
+                let rate = bytes as f64 / median;
+                println!(
+                    "{label:<48} time: {time:>12}   thrpt: {:>14}",
+                    format_rate(rate, "B/s")
+                );
+            }
+            _ => println!("{label:<48} time: {time:>12}"),
+        }
+        self
+    }
+
+    /// Closes the group (kept for API parity; output is already printed).
+    pub fn finish(self) {}
+}
+
+fn format_seconds(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn format_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.3} G{unit}", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3} M{unit}", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3} K{unit}", rate / 1e3)
+    } else {
+        format!("{rate:.3} {unit}")
+    }
+}
+
+/// Bundles benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("vendor_smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |bench, &n| {
+            bench.iter(|| (0..n).map(black_box).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        let mut criterion = Criterion { smoke: true };
+        sample_bench(&mut criterion);
+    }
+
+    #[test]
+    fn formatting_is_scaled() {
+        assert_eq!(format_seconds(2.5), "2.5000 s");
+        assert_eq!(format_seconds(2.5e-3), "2.5000 ms");
+        assert!(format_rate(3.2e9, "elem/s").starts_with("3.200 G"));
+        assert!(format_rate(12.0, "B/s").starts_with("12.000 "));
+    }
+}

@@ -1,0 +1,325 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the workspace vendors the *API subset it actually uses*:
+//! [`Rng`] (`gen_range`, `gen_bool`, `gen`), [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`] / [`rngs::SmallRng`], and
+//! [`distributions::Uniform`] / [`distributions::Distribution`].
+//!
+//! The generator is xoshiro256** seeded via SplitMix64 — a different
+//! stream than upstream `rand`'s ChaCha-based `StdRng`, but everything in
+//! this workspace treats seeded randomness generically (deterministic per
+//! seed, uniform in range), so the substitution is behavior-preserving.
+
+/// Low-level entropy source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open `a..b` or inclusive `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0,1]");
+        u64_to_unit_f64(self.next_u64()) < p
+    }
+
+    /// A sample of the type's natural distribution (uniform bits for
+    /// integers, uniform `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction from a `u64` seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Deterministically builds the generator from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[inline]
+fn u64_to_unit_f64(x: u64) -> f64 {
+    // 53 uniform mantissa bits -> [0, 1).
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Standard {
+    /// Builds a sample from 64 uniform bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> Self {
+        bits
+    }
+}
+impl Standard for u32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> Self {
+        u64_to_unit_f64(bits)
+    }
+}
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Scalar types `gen_range` can sample.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform sample from `[low, high)`; `high` must exceed `low`.
+    fn sample_half_open(low: Self, high: Self, bits: u64) -> Self;
+    /// The successor value (used to widen `a..=b` into `a..b+1`), if any.
+    fn successor(self) -> Option<Self>;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(low: Self, high: Self, bits: u64) -> Self {
+                assert!(low < high, "gen_range: empty range {low}..{high}");
+                let span = (high as i128 - low as i128) as u128;
+                // Multiply-shift reduction: unbiased enough for test
+                // workloads and exactly uniform when span divides 2^64.
+                let r = ((bits as u128 * span) >> 64) as i128;
+                (low as i128 + r) as $t
+            }
+            fn successor(self) -> Option<Self> {
+                self.checked_add(1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(low: Self, high: Self, bits: u64) -> Self {
+        assert!(low < high, "gen_range: empty range {low}..{high}");
+        let u = u64_to_unit_f64(bits);
+        let v = low + (high - low) * u;
+        // Guard against rounding up to the excluded endpoint.
+        if v >= high {
+            low.max(high - (high - low) * f64::EPSILON)
+        } else {
+            v
+        }
+    }
+    fn successor(self) -> Option<Self> {
+        None // inclusive float ranges are not used by this workspace
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws the sample from 64 uniform bits.
+    fn sample_from(self, bits: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, bits: u64) -> T {
+        T::sample_half_open(self.start, self.end, bits)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, bits: u64) -> T {
+        let (lo, hi) = self.into_inner();
+        let hi1 = hi
+            .successor()
+            .expect("gen_range: inclusive range over a type without successors");
+        T::sample_half_open(lo, hi1, bits)
+    }
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — the workspace's deterministic default generator.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the 256-bit state.
+            let mut z = seed;
+            let mut next = || {
+                z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut x = z;
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^ (x >> 31)
+            };
+            let mut s = [next(), next(), next(), next()];
+            if s == [0; 4] {
+                s = [1, 2, 3, 4]; // xoshiro must not start all-zero
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = Self::rotl(s[1].wrapping_mul(5), 7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = Self::rotl(s[3], 45);
+            result
+        }
+    }
+
+    /// Alias of [`StdRng`]: one generator serves both roles offline.
+    pub type SmallRng = StdRng;
+}
+
+/// `rand::distributions` subset: [`Uniform`] over `f64` and the
+/// [`Distribution`] trait.
+pub mod distributions {
+    use super::{Rng, SampleUniform};
+
+    /// A distribution that can be sampled with any [`Rng`].
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<T: SampleUniform> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over the half-open interval `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new: empty interval");
+            Uniform { low, high }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+            let bits = rng.next_u64();
+            T::sample_half_open(self.low, self.high, bits)
+        }
+    }
+}
+
+/// A convenience thread-local generator (non-deterministic seed), mirroring
+/// `rand::thread_rng` loosely; seeded from the system clock.
+pub fn thread_rng() -> rngs::StdRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED);
+    SeedableRng::seed_from_u64(nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1_000_000)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1_000_000)).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1_000_000)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5usize..=9);
+            assert!((5..=9).contains(&y));
+            let f = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_covers_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = Uniform::new(-1.0f64, 1.0);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let v = dist.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&v));
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert!(min < -0.9 && max > 0.9, "poor coverage: [{min}, {max}]");
+    }
+
+    #[test]
+    fn gen_bool_probability_roughly_holds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
