@@ -3,6 +3,7 @@
 //! plus the FT driver under the serial vs threaded level-3 backend.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ft_bench::{write_bench_json, Record};
 use ft_blas::Backend;
 use ft_fault::FaultPlan;
 use ft_hessenberg::{ft_gehrd_hybrid, gehrd_hybrid, FtConfig, HybridConfig};
@@ -102,6 +103,21 @@ fn bench_ft_backend(c: &mut Criterion) {
         ts * 1e3,
         tt * 1e3,
         ts / tt
+    );
+    // 10n³/3 flops for the reduction (Q formation excluded).
+    let gflops = |secs: f64| 10.0 * (n as f64).powi(3) / 3.0 / secs / 1e9;
+    write_bench_json(
+        "gehrd",
+        &[Record::new()
+            .str("kind", "ft_gehrd_backend")
+            .int("n", n as u64)
+            .int("nb", nb as u64)
+            .num("serial_ms", ts * 1e3)
+            .num("threaded4_ms", tt * 1e3)
+            .num("speedup", ts / tt)
+            .num("serial_gflops", gflops(ts))
+            .num("threaded4_gflops", gflops(tt))
+            .bool("smoke", smoke)],
     );
 }
 

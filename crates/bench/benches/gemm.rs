@@ -3,7 +3,8 @@
 //! comparison behind the `FT_BLAS_BACKEND` knob.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ft_blas::{gemm, gemm_with_algo, with_backend, Backend, GemmAlgo, Trans};
+use ft_bench::{write_bench_json, Record};
+use ft_blas::{gemm, gemm_with_algo, pool, with_backend, Backend, GemmAlgo, Trans};
 use ft_matrix::Matrix;
 use std::time::Instant;
 
@@ -47,6 +48,7 @@ fn bench_gemm(c: &mut Criterion) {
 /// `ft_blas::backend::PARALLEL_MIN_VOLUME`, so the sizes here are chosen
 /// past the gate (the smoke run stays small and fast).
 fn bench_gemm_backends(c: &mut Criterion) {
+    let mut records: Vec<Record> = Vec::new();
     let mut group = c.benchmark_group("gemm_backend");
     group.sample_size(10);
     let sizes: &[usize] = if smoke() { &[256] } else { &[512, 1024] };
@@ -107,8 +109,74 @@ fn bench_gemm_backends(c: &mut Criterion) {
             tt * 1e3,
             ts / tt
         );
+        let gflops = |secs: f64| 2.0 * (n as f64).powi(3) / secs / 1e9;
+        records.push(
+            Record::new()
+                .str("kind", "gemm_backend")
+                .int("n", n as u64)
+                .num("serial_ms", ts * 1e3)
+                .num("threaded4_ms", tt * 1e3)
+                .num("speedup", ts / tt)
+                .num("serial_gflops", gflops(ts))
+                .num("threaded4_gflops", gflops(tt))
+                .bool("smoke", smoke()),
+        );
     }
     group.finish();
+
+    records.push(dispatch_overhead_record());
+    write_bench_json("gemm", &records);
+}
+
+/// Measures the pool's per-kernel dispatch overhead against the per-call
+/// `std::thread::scope` spawn/join cycle it replaced, using the trivial
+/// probes exported by `ft_blas::pool`. Also proves pool reuse: the
+/// spawned-thread count must not move across thousands of dispatches.
+fn dispatch_overhead_record() -> Record {
+    const TASKS: usize = 4;
+    let reps: u32 = if smoke() { 2_000 } else { 20_000 };
+    // Warm the pool so the measurement excludes one-time thread creation.
+    pool::dispatch_probe(TASKS);
+    let spawned_before = pool::spawned_worker_count();
+    let dispatches_before = pool::dispatch_count();
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        pool::dispatch_probe(TASKS);
+    }
+    let pool_ns = t0.elapsed().as_secs_f64() * 1e9 / reps as f64;
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        pool::spawn_probe(TASKS);
+    }
+    let spawn_ns = t0.elapsed().as_secs_f64() * 1e9 / reps as f64;
+
+    let spawned_after = pool::spawned_worker_count();
+    println!(
+        "pool dispatch ({TASKS} tasks): {pool_ns:.0} ns/call vs thread::scope spawn {spawn_ns:.0} \
+         ns/call -> {:.1}x cheaper; {} worker threads total (unchanged across {reps} calls: {})",
+        spawn_ns / pool_ns,
+        spawned_after,
+        spawned_after == spawned_before,
+    );
+    Record::new()
+        .str("kind", "dispatch_overhead")
+        .int("tasks_per_call", TASKS as u64)
+        .int("reps", reps as u64)
+        .num("pool_dispatch_ns_per_call", pool_ns)
+        .num("thread_scope_spawn_ns_per_call", spawn_ns)
+        .num("spawn_over_dispatch", spawn_ns / pool_ns)
+        .int("pool_threads", spawned_after as u64)
+        .bool(
+            "no_spawn_during_measurement",
+            spawned_after == spawned_before,
+        )
+        .int(
+            "dispatched_tasks",
+            pool::dispatch_count() - dispatches_before,
+        )
+        .bool("smoke", smoke())
 }
 
 criterion_group!(benches, bench_gemm, bench_gemm_backends);

@@ -3,11 +3,13 @@
 
 pub mod cli;
 pub mod heatmap;
+pub mod report;
 pub mod sizes;
 pub mod stability;
 pub mod table;
 
 pub use cli::Args;
 pub use heatmap::{polluted_count, polluted_rows, render_heatmap};
+pub use report::{write_bench_json, Record};
 pub use sizes::{paper_sizes, scaled_sizes};
 pub use table::{pct, sci, Table};

@@ -1,0 +1,171 @@
+//! Machine-readable bench results: a dependency-free JSON writer that the
+//! bench targets use to drop `BENCH_<stem>.json` files at the repo root
+//! (CI uploads them as artifacts; the numbers back the threading claims
+//! in DESIGN.md).
+//!
+//! The workspace deliberately carries no serde, so the emitter is a small
+//! hand-rolled one: flat records of string/number/bool fields, which is
+//! all a bench summary needs.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One value in a bench record.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// A finite number (non-finite values serialize as `null`).
+    Num(f64),
+    /// An unsigned integer, kept exact (no float rounding).
+    Int(u64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// One flat JSON object, field order preserved.
+#[derive(Clone, Debug, Default)]
+pub struct Record {
+    fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// Empty record.
+    pub fn new() -> Self {
+        Record::default()
+    }
+
+    /// Adds a numeric field (builder style).
+    pub fn num(mut self, key: &str, v: f64) -> Self {
+        self.fields.push((key.to_string(), Value::Num(v)));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, v: u64) -> Self {
+        self.fields.push((key.to_string(), Value::Int(v)));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        self.fields
+            .push((key.to_string(), Value::Str(v.to_string())));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, v: bool) -> Self {
+        self.fields.push((key.to_string(), Value::Bool(v)));
+        self
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn emit_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Num(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        Value::Num(_) => out.push_str("null"),
+        Value::Int(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::Str(s) => escape(s, out),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+/// Serializes `records` as `{"bench": <stem>, "records": [...]}`.
+pub fn to_json(stem: &str, records: &[Record]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": ");
+    escape(stem, &mut out);
+    out.push_str(",\n  \"records\": [\n");
+    for (ri, rec) in records.iter().enumerate() {
+        out.push_str("    {");
+        for (fi, (key, value)) in rec.fields.iter().enumerate() {
+            if fi > 0 {
+                out.push_str(", ");
+            }
+            escape(key, &mut out);
+            out.push_str(": ");
+            emit_value(value, &mut out);
+        }
+        out.push('}');
+        if ri + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Repo root (two levels up from this crate's manifest).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// Writes `BENCH_<stem>.json` at the repo root and returns its path.
+/// Failures are reported but non-fatal — a bench run must never die on a
+/// read-only checkout.
+pub fn write_bench_json(stem: &str, records: &[Record]) -> Option<PathBuf> {
+    let path = repo_root().join(format!("BENCH_{stem}.json"));
+    match std::fs::write(&path, to_json(stem, records)) {
+        Ok(()) => {
+            println!("wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("BENCH_{stem}.json not written: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let records = vec![
+            Record::new()
+                .str("kernel", "gemm \"n=128\"")
+                .num("ms", 1.5)
+                .int("dispatches", 3)
+                .bool("smoke", true),
+            Record::new().num("bad", f64::NAN),
+        ];
+        let s = to_json("demo", &records);
+        assert!(s.contains("\"bench\": \"demo\""));
+        assert!(s.contains("\"kernel\": \"gemm \\\"n=128\\\"\""));
+        assert!(s.contains("\"ms\": 1.5"));
+        assert!(s.contains("\"dispatches\": 3"));
+        assert!(s.contains("\"smoke\": true"));
+        assert!(s.contains("\"bad\": null"));
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+}

@@ -1,20 +1,22 @@
-//! Execution backend for the level-3 kernels.
+//! Execution backend for the level-2 and level-3 kernels.
 //!
 //! Two implementations sit behind one knob: [`Backend::Serial`] (the
 //! historical single-threaded behavior) and [`Backend::Threaded`], which
-//! fans level-3 work out over `std::thread::scope` workers. There is no
-//! thread pool and no external dependency: OS threads are spawned per
-//! kernel call, which is far below measurement noise for the matrix sizes
-//! where the threaded path engages (see [`PARALLEL_MIN_VOLUME`]).
+//! fans kernel work out over the persistent worker pool in
+//! [`crate::pool`]. Workers are spawned once, parked on a condvar between
+//! kernels, and fed chunks through a queue — no OS thread is created per
+//! kernel call (the PR 1 `std::thread::scope` design paid a spawn/join
+//! cycle on every call).
 //!
 //! **Determinism contract:** every parallel path partitions *output*
-//! elements (row blocks, column blocks) and leaves each element's
-//! floating-point reduction order exactly as in the serial kernel. The two
-//! backends therefore produce **bit-identical** results for any thread
-//! count — checksum aggregates (`Sre`/`Sce` in `ft-hessenberg`) drift by
-//! the same rounding error regardless of parallelism, so detection
-//! thresholds need no re-tuning. The property tests in
-//! `crates/blas/tests/backend_properties.rs` pin this down.
+//! elements (row blocks, column blocks, slice ranges) and leaves each
+//! element's floating-point reduction order exactly as in the serial
+//! kernel. The two backends therefore produce **bit-identical** results
+//! for any thread count — checksum aggregates (`Sre`/`Sce` in
+//! `ft-hessenberg`) drift by the same rounding error regardless of
+//! parallelism, so detection thresholds need no re-tuning. The property
+//! tests in `crates/blas/tests/backend_properties.rs` and
+//! `crates/blas/tests/pool_properties.rs` pin this down.
 //!
 //! The backend is tracked per thread (a thread-local), initialized from
 //! the `FT_BLAS_BACKEND` environment variable on first use:
@@ -23,24 +25,37 @@
 //! * `threaded` — threaded, worker count = available parallelism;
 //! * `threaded:4` — threaded with exactly 4 workers.
 
+use crate::pool::{self, ScopedTask};
 use ft_matrix::MatViewMut;
 use std::cell::Cell;
 
-/// Minimum per-kernel work volume (`m·n·k`-style element-operation count)
-/// before the threaded backend actually forks; below it, thread spawn
-/// latency dominates and the serial path runs instead. Selection depends
-/// only on the problem size — never on the thread count — so the chosen
+/// **The** compute-bound parallel gate: minimum per-kernel work volume
+/// (`m·n·k`-style element-operation count) before the threaded backend
+/// actually forks a level-3 kernel; below it, dispatch overhead dominates
+/// and the serial path runs instead. This is the single gate every
+/// level-3 kernel consults (via [`fork_threads`]) — `gemm`'s former
+/// private `PARALLEL_THRESHOLD` is unified here. Selection depends only
+/// on the problem size — never on the thread count — so the chosen
 /// algorithm (and hence the bit pattern of the result) is the same for
 /// every backend.
 pub const PARALLEL_MIN_VOLUME: usize = 128 * 128 * 128;
+
+/// The memory-bound parallel gate: minimum element count (`m·n` for
+/// `gemv`/`ger`, output length² for checksum sweeps) before a level-2 or
+/// vector kernel forks. Memory-bound kernels amortize dispatch much
+/// faster than their flop count suggests — each element is touched once —
+/// so this gate is far lower than [`PARALLEL_MIN_VOLUME`]. Consulted via
+/// [`fork_threads_mem`]; same backend-independence rule as above.
+pub const PARALLEL_MIN_ELEMS: usize = 32 * 1024;
 
 /// Which execution backend the level-3 kernels use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Backend {
     /// Single-threaded kernels (the historical behavior).
     Serial,
-    /// `std::thread::scope`-based workers; `Threaded(0)` means "use the
-    /// machine's available parallelism", `Threaded(n)` pins `n` workers.
+    /// Persistent-pool workers (see [`crate::pool`]); `Threaded(0)` means
+    /// "use the machine's available parallelism", `Threaded(n)` pins `n`
+    /// workers.
     Threaded(usize),
 }
 
@@ -138,12 +153,26 @@ pub fn with_backend<R>(backend: Backend, f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// Worker count the current backend grants a kernel of the given work
-/// volume: 1 (don't fork) unless the backend is threaded **and** the
-/// volume clears [`PARALLEL_MIN_VOLUME`].
+/// Worker count the current backend grants a compute-bound kernel of the
+/// given work volume: 1 (don't fork) unless the backend is threaded
+/// **and** the volume clears [`PARALLEL_MIN_VOLUME`]. Always 1 on a pool
+/// worker thread (no nested forking; see [`crate::pool`]).
 pub(crate) fn fork_threads(volume: usize) -> usize {
+    fork_gated(volume, PARALLEL_MIN_VOLUME)
+}
+
+/// [`fork_threads`] for memory-bound kernels: gates on
+/// [`PARALLEL_MIN_ELEMS`] instead.
+pub(crate) fn fork_threads_mem(elems: usize) -> usize {
+    fork_gated(elems, PARALLEL_MIN_ELEMS)
+}
+
+fn fork_gated(work: usize, gate: usize) -> usize {
+    if pool::in_worker() {
+        return 1;
+    }
     let b = current_backend();
-    if b.is_threaded() && volume >= PARALLEL_MIN_VOLUME {
+    if b.is_threaded() && work >= gate {
         b.threads().max(1)
     } else {
         1
@@ -151,9 +180,9 @@ pub(crate) fn fork_threads(volume: usize) -> usize {
 }
 
 /// Splits `b` into up to `workers` near-equal contiguous **column** blocks
-/// and runs `f(first_global_col, block)` on each, one OS thread per extra
-/// block. `f` must treat columns independently; determinism then follows
-/// because each column is processed by exactly the serial code.
+/// and runs `f(first_global_col, block)` on each, the extra blocks on
+/// pool workers. `f` must treat columns independently; determinism then
+/// follows because each column is processed by exactly the serial code.
 pub(crate) fn for_each_col_chunk<F>(b: MatViewMut<'_>, workers: usize, f: F)
 where
     F: Fn(usize, MatViewMut<'_>) + Sync,
@@ -165,27 +194,19 @@ where
         return;
     }
     let (base, extra) = (n / t, n % t);
-    let mut chunks = Vec::with_capacity(t);
+    let mut tasks: Vec<ScopedTask<'_>> = Vec::with_capacity(t);
     let mut rest = b;
     let mut j0 = 0usize;
+    let fr = &f;
     for w in 0..t {
         let width = base + usize::from(w < extra);
-        let (head, tail) = rest.split_at_col(width);
-        chunks.push((j0, head));
+        let (chunk, tail) = rest.split_at_col(width);
+        let c0 = j0;
+        tasks.push(Box::new(move || fr(c0, chunk)));
         rest = tail;
         j0 += width;
     }
-    let fr = &f;
-    std::thread::scope(|s| {
-        let mut it = chunks.into_iter();
-        let local = it.next();
-        for (c0, chunk) in it {
-            s.spawn(move || fr(c0, chunk));
-        }
-        if let Some((c0, chunk)) = local {
-            fr(c0, chunk);
-        }
-    });
+    pool::run_scoped(tasks);
 }
 
 /// Row-block analogue of [`for_each_col_chunk`]: `f(first_global_row,
@@ -201,42 +222,65 @@ where
         return;
     }
     let (base, extra) = (m / t, m % t);
-    let mut chunks = Vec::with_capacity(t);
+    let mut tasks: Vec<ScopedTask<'_>> = Vec::with_capacity(t);
     let mut rest = b;
     let mut i0 = 0usize;
+    let fr = &f;
     for w in 0..t {
         let height = base + usize::from(w < extra);
-        let (head, tail) = rest.split_at_row(height);
-        chunks.push((i0, head));
+        let (chunk, tail) = rest.split_at_row(height);
+        let r0 = i0;
+        tasks.push(Box::new(move || fr(r0, chunk)));
         rest = tail;
         i0 += height;
     }
+    pool::run_scoped(tasks);
+}
+
+/// Slice analogue of [`for_each_col_chunk`]: splits `out` into up to
+/// `workers` near-equal contiguous ranges and runs `f(first_global_index,
+/// chunk)` on each. Used by the parallel level-2 path, where the output is
+/// a vector rather than a matrix block.
+pub(crate) fn for_each_slice_chunk<F>(out: &mut [f64], workers: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    let len = out.len();
+    let t = workers.min(len.max(1)).max(1);
+    if t <= 1 {
+        f(0, out);
+        return;
+    }
+    let (base, extra) = (len / t, len % t);
+    let mut tasks: Vec<ScopedTask<'_>> = Vec::with_capacity(t);
+    let mut rest = out;
+    let mut i0 = 0usize;
     let fr = &f;
-    std::thread::scope(|s| {
-        let mut it = chunks.into_iter();
-        let local = it.next();
-        for (r0, chunk) in it {
-            s.spawn(move || fr(r0, chunk));
-        }
-        if let Some((r0, chunk)) = local {
-            fr(r0, chunk);
-        }
-    });
+    for w in 0..t {
+        let width = base + usize::from(w < extra);
+        let (chunk, tail) = rest.split_at_mut(width);
+        let r0 = i0;
+        tasks.push(Box::new(move || fr(r0, chunk)));
+        rest = tail;
+        i0 += width;
+    }
+    pool::run_scoped(tasks);
 }
 
 /// Fills `out[i] = f(i)` for every index, fanning contiguous index ranges
-/// out over the current backend's workers. Each element is computed by the
-/// same pure function regardless of the worker count, so the result is
-/// bit-identical to the serial loop — this is what keeps the FT driver's
-/// fresh row/column checksum sums deterministic under the threaded
-/// backend.
+/// out over the current backend's workers (memory-bound gate: the work is
+/// assumed to be ~`len` reads per element, as in the FT driver's fresh
+/// row/column checksum sums). Each element is computed by the same pure
+/// function regardless of the worker count, so the result is bit-identical
+/// to the serial loop — this is what keeps the FT driver's error
+/// localization deterministic under the threaded backend.
 pub fn parallel_map_into<T, F>(out: &mut [T], f: F)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let len = out.len();
-    let t = fork_threads(len.saturating_mul(len)).min(len.max(1));
+    let t = fork_threads_mem(len.saturating_mul(len)).min(len.max(1));
     if t <= 1 {
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = f(i);
@@ -245,16 +289,19 @@ where
     }
     let chunk = len.div_ceil(t);
     let fr = &f;
-    std::thread::scope(|s| {
-        for (ci, block) in out.chunks_mut(chunk).enumerate() {
+    let tasks: Vec<ScopedTask<'_>> = out
+        .chunks_mut(chunk)
+        .enumerate()
+        .map(|(ci, block)| {
             let base = ci * chunk;
-            s.spawn(move || {
+            Box::new(move || {
                 for (off, slot) in block.iter_mut().enumerate() {
                     *slot = fr(base + off);
                 }
-            });
-        }
-    });
+            }) as ScopedTask<'_>
+        })
+        .collect();
+    pool::run_scoped(tasks);
 }
 
 #[cfg(test)]

@@ -1,5 +1,15 @@
 //! Level-2 BLAS: matrix–vector operations on column-major views.
+//!
+//! `gemv` and `ger` — the kernels the `lahr2` panel factorization is
+//! built from — run behind the same [`crate::backend`] gate as the
+//! level-3 kernels, chunked over the persistent worker pool when the
+//! element count clears [`crate::backend::PARALLEL_MIN_ELEMS`]. The
+//! chunking partitions *output* elements (rows of `y` for `gemv`,
+//! columns of `A` for `gemv^T`/`ger`) and keeps every element's
+//! accumulation order exactly serial, so the threaded results are
+//! bit-identical to the serial ones for any worker count.
 
+use crate::backend;
 use crate::flops::{model, record};
 use crate::types::{Diag, Trans, Uplo};
 use ft_matrix::{MatView, MatViewMut};
@@ -34,29 +44,40 @@ pub fn gemv(trans: Trans, alpha: f64, a: &MatView<'_>, x: &[f64], beta: f64, y: 
         return;
     }
 
+    let workers = backend::fork_threads_mem(m * n);
     match trans {
         // Column-oriented accumulation: y += (alpha * x[j]) * A(:,j).
+        // Parallel split: contiguous row blocks of y, each sweeping all
+        // columns of its row slice of A in the serial (ascending-j)
+        // order — every y[i] accumulates exactly as in the serial loop.
         Trans::No => {
-            for j in 0..n {
-                let axj = alpha * x[j];
-                if axj != 0.0 {
-                    let col = a.col(j);
-                    for (yi, &aij) in y.iter_mut().zip(col) {
-                        *yi += axj * aij;
+            backend::for_each_slice_chunk(y, workers, |i0, ychunk| {
+                let ablock = a.subview(i0, 0, ychunk.len(), n);
+                for j in 0..n {
+                    let axj = alpha * x[j];
+                    if axj != 0.0 {
+                        let col = ablock.col(j);
+                        for (yi, &aij) in ychunk.iter_mut().zip(col) {
+                            *yi += axj * aij;
+                        }
                     }
                 }
-            }
+            });
         }
-        // Dot-product per column: y[j] += alpha * A(:,j)ᵀ x.
+        // Dot-product per column: y[j] += alpha * A(:,j)ᵀ x. Parallel
+        // split: contiguous ranges of output columns; each dot product
+        // keeps its serial accumulation order.
         Trans::Yes => {
-            for j in 0..n {
-                let col = a.col(j);
-                let mut s = 0.0;
-                for (&aij, &xi) in col.iter().zip(x.iter()) {
-                    s += aij * xi;
+            backend::for_each_slice_chunk(y, workers, |j0, ychunk| {
+                for (jj, yj) in ychunk.iter_mut().enumerate() {
+                    let col = a.col(j0 + jj);
+                    let mut s = 0.0;
+                    for (&aij, &xi) in col.iter().zip(x.iter()) {
+                        s += aij * xi;
+                    }
+                    *yj += alpha * s;
                 }
-                y[j] += alpha * s;
-            }
+            });
         }
     }
 }
@@ -70,15 +91,20 @@ pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut MatViewMut<'_>) {
     if alpha == 0.0 {
         return;
     }
-    for j in 0..n {
-        let ayj = alpha * y[j];
-        if ayj != 0.0 {
-            let col = a.col_mut(j);
-            for (aij, &xi) in col.iter_mut().zip(x) {
-                *aij += ayj * xi;
+    // Columns of A are fully independent rank-1 column updates: partition
+    // them over the pool; each column's update is elementwise serial.
+    let workers = backend::fork_threads_mem(m * n);
+    backend::for_each_col_chunk(a.rb_mut(), workers, |j0, mut chunk| {
+        for jj in 0..chunk.cols() {
+            let ayj = alpha * y[j0 + jj];
+            if ayj != 0.0 {
+                let col = chunk.col_mut(jj);
+                for (aij, &xi) in col.iter_mut().zip(x) {
+                    *aij += ayj * xi;
+                }
             }
         }
-    }
+    });
 }
 
 /// Triangular matrix–vector product in place:

@@ -3,6 +3,7 @@
 use crate::backend;
 use crate::flops::{model, record};
 use crate::types::Trans;
+use crate::workspace;
 use ft_matrix::{MatView, MatViewMut};
 
 /// Cache-blocking parameters (tuned for a ~32 KiB L1 / 256 KiB L2 class
@@ -14,9 +15,9 @@ const MR: usize = 8;
 const NR: usize = 4;
 
 /// Minimum problem volume (`m·n·k`) before the packed kernel pays off.
+/// The parallel gate lives in [`backend`] (`PARALLEL_MIN_VOLUME`), shared
+/// by every level-3 kernel.
 const BLOCKED_THRESHOLD: usize = 32 * 32 * 32;
-/// Minimum problem volume before spawning parallel tasks pays off.
-const PARALLEL_THRESHOLD: usize = 192 * 192 * 192;
 
 /// Which GEMM implementation to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -229,8 +230,11 @@ pub fn gemm_blocked(
         return;
     }
 
-    let mut abuf = vec![0.0f64; MC.div_ceil(MR) * MR * KC];
-    let mut bbuf = vec![0.0f64; NC.div_ceil(NR) * NR * KC];
+    // Pack buffers come from the thread-local workspace arena: allocated
+    // once per thread, reused by every subsequent call (and by each pool
+    // worker's row block in the threaded path).
+    let mut abuf = workspace::scratch(MC.div_ceil(MR) * MR * KC);
+    let mut bbuf = workspace::scratch(NC.div_ceil(NR) * NR * KC);
 
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
@@ -256,7 +260,7 @@ pub fn gemm_blocked(
 
 /// Threaded GEMM: splits `C` into contiguous row blocks (`threads` of
 /// them, `0` = available parallelism) and runs [`gemm_blocked`] on each
-/// block with the matching row slice of `op(A)`, one `std::thread::scope`
+/// block with the matching row slice of `op(A)`, one persistent pool
 /// worker per extra block. Each worker owns a disjoint `MatViewMut`, so
 /// the parallelism is data-race free by construction.
 ///
@@ -324,8 +328,10 @@ pub fn gemm_with_algo(
             let (m, ka) = op_dims(transa, a);
             let n = c.cols();
             let volume = m * n * ka;
-            let workers = backend::current_backend().threads();
-            if volume >= PARALLEL_THRESHOLD && workers > 1 {
+            // The unified compute-bound gate in `backend` decides whether
+            // the threaded path engages at all.
+            let workers = backend::fork_threads(volume);
+            if workers > 1 {
                 gemm_threaded(workers, transa, transb, alpha, a, b, beta, c);
             } else if volume >= BLOCKED_THRESHOLD {
                 gemm_blocked(transa, transb, alpha, a, b, beta, c);

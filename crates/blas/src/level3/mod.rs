@@ -4,11 +4,12 @@
 //! updates are almost entirely GEMM) and comes in three implementations
 //! selected by [`GemmAlgo`]: a reference triple loop (test oracle), a
 //! cache-blocked packed kernel, and a threaded variant that splits the
-//! result into row blocks over `std::thread::scope` workers (data-race
-//! free by construction — each worker owns a disjoint `MatViewMut`, and
-//! bit-identical to the serial kernel by the contract in
-//! [`crate::backend`]). `trmm`, `trsm` and `syrk` gain the same threaded
-//! split when the active [`crate::backend::Backend`] is threaded.
+//! result into row blocks over the persistent worker pool
+//! ([`crate::pool`]) — data-race free by construction (each worker owns
+//! a disjoint `MatViewMut`) and bit-identical to the serial kernel by
+//! the contract in [`crate::backend`]. `trmm`, `trsm` and `syrk` gain
+//! the same pooled split when the active [`crate::backend::Backend`] is
+//! threaded.
 
 mod gemm;
 mod syrk;

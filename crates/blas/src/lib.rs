@@ -11,8 +11,11 @@
 //! * **level 3** — `gemm` (reference, cache-blocked packed, and
 //!   threaded), `trmm`, `trsm`, `syrk`;
 //! * **execution backends** — a [`backend`] knob selecting between the
-//!   serial kernels and a `std::thread::scope`-based threaded path that
-//!   is bit-identical to serial for every thread count;
+//!   serial kernels and a threaded path built on a lazily-initialized
+//!   persistent worker [`pool`], bit-identical to serial for every thread
+//!   count;
+//! * **workspace arena** — a thread-local scratch cache ([`workspace`]) so
+//!   hot kernels allocate their pack buffers once instead of per call;
 //! * **FLOP accounting** — an optional global counter ([`flops`]) that the
 //!   overhead analysis of the paper's §V is verified against.
 //!
@@ -27,7 +30,9 @@ pub mod flops;
 pub mod level1;
 pub mod level2;
 pub mod level3;
+pub mod pool;
 pub mod types;
+pub mod workspace;
 
 pub use accurate::{dot_compensated, dot_superblock, sum_compensated, sum_superblock, SumScheme};
 pub use backend::{current_backend, parallel_map_into, set_backend, with_backend, Backend};

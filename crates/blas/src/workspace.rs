@@ -1,0 +1,144 @@
+//! Thread-local workspace arena for kernel scratch buffers.
+//!
+//! The packed GEMM allocated its A/B pack buffers with `vec!` on **every**
+//! call — ~2.3 MiB of fresh pages per kernel, ~n/nb times per Hessenberg
+//! panel sweep. This arena keeps a small per-thread cache of `f64` buffers
+//! that are checked out for the duration of one kernel and returned on
+//! drop, so after warm-up the hot path performs **zero heap allocations**:
+//! the same pages (already faulted in, already in cache) are reused across
+//! the whole factorization. Pool workers (see [`crate::pool`]) each own
+//! their own cache, so no locking is involved anywhere.
+//!
+//! Buffer contents are zeroed at checkout. Reuse therefore cannot leak one
+//! kernel's data into the next, and — more importantly for this codebase —
+//! cannot perturb results: a scratch checkout behaves exactly like the
+//! `vec![0.0; len]` it replaces, keeping the backend bit-identity contract
+//! trivially intact.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-thread cache depth: enough for the deepest checkout chain in the
+/// codebase (GEMM's two pack buffers plus a couple of driver vectors),
+/// small enough that idle threads hold at most a few MiB.
+const MAX_CACHED: usize = 8;
+
+thread_local! {
+    static CACHE: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Buffers whose capacity had to be (re)allocated at checkout — i.e. arena
+/// misses. After warm-up this must stop moving; the regression tests in
+/// `crates/blas/tests/pool_properties.rs` assert exactly that.
+static GROWTH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of scratch checkouts that had to allocate (or grow) backing
+/// storage since process start. Monotonic; steady state is flat.
+pub fn growth_allocations() -> u64 {
+    GROWTH_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A checked-out scratch buffer; dereferences to `[f64]` of the requested
+/// length, zero-filled. Returns its storage to the thread's cache on drop.
+pub struct Scratch {
+    buf: Vec<f64>,
+}
+
+impl Deref for Scratch {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        &self.buf
+    }
+}
+
+impl DerefMut for Scratch {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        &mut self.buf
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        CACHE.with(|c| {
+            let mut cache = c.borrow_mut();
+            if cache.len() < MAX_CACHED {
+                cache.push(buf);
+            }
+        });
+    }
+}
+
+/// Checks out a zero-filled scratch buffer of exactly `len` elements from
+/// the calling thread's arena, allocating only if no cached buffer has the
+/// capacity (counted by [`growth_allocations`]).
+pub fn scratch(len: usize) -> Scratch {
+    // Prefer the cached buffer with the largest capacity so differently
+    // sized checkouts converge onto a stable set of buffers instead of
+    // repeatedly growing small ones.
+    let mut buf = CACHE
+        .with(|c| {
+            let mut cache = c.borrow_mut();
+            let best = (0..cache.len()).max_by_key(|&i| cache[i].capacity())?;
+            Some(cache.swap_remove(best))
+        })
+        .unwrap_or_default();
+    if buf.capacity() < len {
+        GROWTH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+    buf.clear();
+    buf.resize(len, 0.0);
+    Scratch { buf }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_is_zeroed_and_sized() {
+        {
+            let mut s = scratch(16);
+            assert_eq!(s.len(), 16);
+            assert!(s.iter().all(|&v| v == 0.0));
+            s[3] = 42.0;
+        }
+        // The dirty buffer comes back zeroed.
+        let s = scratch(16);
+        assert!(s.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn steady_state_stops_allocating() {
+        // Warm up with the same checkout pattern as the measured loop.
+        {
+            let a = scratch(512);
+            let b = scratch(128);
+            drop(a);
+            drop(b);
+        }
+        let before = growth_allocations();
+        for _ in 0..100 {
+            let a = scratch(512);
+            let b = scratch(128);
+            drop(a);
+            drop(b);
+        }
+        assert_eq!(
+            growth_allocations(),
+            before,
+            "steady-state checkouts must not allocate"
+        );
+    }
+
+    #[test]
+    fn nested_checkouts_are_distinct() {
+        let mut a = scratch(8);
+        let mut b = scratch(8);
+        a[0] = 1.0;
+        b[0] = 2.0;
+        assert_eq!(a[0], 1.0);
+        assert_eq!(b[0], 2.0);
+    }
+}

@@ -252,3 +252,84 @@ proptest! {
         );
     }
 }
+
+#[test]
+fn gemv_is_bit_identical_across_backends() {
+    // 256 × 256 = 65 536 elements clears PARALLEL_MIN_ELEMS (the level-2
+    // gate), so the threaded backend genuinely splits `y`; 48 × 48 stays
+    // serial under every backend. Both must match serial bitwise.
+    for &(m, n) in &[(256usize, 256usize), (300, 220), (48, 48), (7, 300)] {
+        let a = ft_matrix::random::uniform(m, n, 51);
+        let x: Vec<f64> = ft_matrix::random::uniform(n, 1, 52).col(0).to_vec();
+        let xt: Vec<f64> = ft_matrix::random::uniform(m, 1, 53).col(0).to_vec();
+        let y0 = ft_matrix::random::uniform(m, 1, 54);
+        let yt0 = ft_matrix::random::uniform(n, 1, 55);
+
+        check_backends(&format!("gemv {m}x{n}"), &y0, |y| {
+            ft_blas::gemv(Trans::No, 1.25, &a.as_view(), &x, -0.5, y.col_mut(0))
+        });
+        check_backends(&format!("gemv^T {m}x{n}"), &yt0, |y| {
+            ft_blas::gemv(Trans::Yes, -0.75, &a.as_view(), &xt, 1.0, y.col_mut(0))
+        });
+    }
+}
+
+#[test]
+fn ger_is_bit_identical_across_backends() {
+    for &(m, n) in &[(256usize, 256usize), (190, 345), (31, 17)] {
+        let x: Vec<f64> = ft_matrix::random::uniform(m, 1, 61).col(0).to_vec();
+        let y: Vec<f64> = ft_matrix::random::uniform(n, 1, 62).col(0).to_vec();
+        let a0 = ft_matrix::random::uniform(m, n, 63);
+        check_backends(&format!("ger {m}x{n}"), &a0, |a| {
+            ft_blas::ger(0.35, &x, &y, &mut a.as_view_mut())
+        });
+    }
+}
+
+#[test]
+fn nested_with_backend_restores_each_level() {
+    // threaded → serial → threaded nesting: every kernel call sees the
+    // innermost backend, and unwinding restores the outer one each time.
+    let (m, n, k) = (129usize, 131usize, 129usize);
+    let a = ft_matrix::random::uniform(m, k, 71);
+    let b = ft_matrix::random::uniform(k, n, 72);
+    let c0 = ft_matrix::random::uniform(m, n, 73);
+    let run = || {
+        let mut c = c0.clone();
+        gemm(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.as_view(),
+            &b.as_view(),
+            0.5,
+            &mut c.as_view_mut(),
+        );
+        c
+    };
+    let reference = with_backend(Backend::Serial, run);
+
+    let (outer, mid, inner) = with_backend(Backend::Threaded(4), || {
+        let outer = run();
+        let (mid, inner) = with_backend(Backend::Serial, || {
+            let mid = run();
+            let inner = with_backend(Backend::Threaded(2), run);
+            assert_eq!(
+                ft_blas::current_backend(),
+                Backend::Serial,
+                "inner with_backend must restore the serial level"
+            );
+            (mid, inner)
+        });
+        assert_eq!(
+            ft_blas::current_backend(),
+            Backend::Threaded(4),
+            "middle with_backend must restore the threaded level"
+        );
+        (outer, mid, inner)
+    });
+
+    assert_bit_identical("nested outer threaded(4)", &reference, &outer, 4);
+    assert_bit_identical("nested middle serial", &reference, &mid, 1);
+    assert_bit_identical("nested inner threaded(2)", &reference, &inner, 2);
+}

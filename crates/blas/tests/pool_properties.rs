@@ -1,0 +1,291 @@
+//! Regression tests for the persistent worker pool and workspace arena:
+//! global-counter based, so every test in this file serializes on one
+//! mutex (and the file is its own test binary — counters are
+//! process-global and must not race with unrelated tests).
+//!
+//! What is pinned here:
+//!
+//! * **pool reuse** — after warm-up, no OS thread is ever spawned again,
+//!   no matter how many kernels dispatch (the whole point of replacing
+//!   per-call `std::thread::scope`);
+//! * **gate consistency** — every parallel kernel consults the documented
+//!   gates in `ft_blas::backend` (`PARALLEL_MIN_VOLUME` for level-3,
+//!   `PARALLEL_MIN_ELEMS` for level-2): below-gate shapes never dispatch
+//!   to the pool, above-gate shapes always do;
+//! * **workspace steady state** — repeated kernels stop allocating scratch
+//!   once the arena is warm.
+
+use ft_blas::{gemm, gemv, ger, pool, syrk, trmm, trsm, with_backend, workspace, Backend};
+use ft_blas::{Diag, Side, Trans, Uplo};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: they all read/compare the
+/// process-global pool and workspace counters.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    // A previous test panicking while holding the lock must not cascade.
+    COUNTER_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn gemm_above_gate() {
+    // 129³ > PARALLEL_MIN_VOLUME = 128³.
+    let a = ft_matrix::random::uniform(129, 129, 1);
+    let b = ft_matrix::random::uniform(129, 129, 2);
+    let mut c = ft_matrix::Matrix::zeros(129, 129);
+    gemm(
+        Trans::No,
+        Trans::No,
+        1.0,
+        &a.as_view(),
+        &b.as_view(),
+        0.0,
+        &mut c.as_view_mut(),
+    );
+}
+
+fn gemv_above_gate() {
+    // 300 × 300 = 90 000 > PARALLEL_MIN_ELEMS = 32 768.
+    let a = ft_matrix::random::uniform(300, 300, 3);
+    let x = vec![1.0; 300];
+    let mut y = vec![0.0; 300];
+    gemv(Trans::No, 1.0, &a.as_view(), &x, 0.0, &mut y);
+}
+
+#[test]
+fn no_thread_spawned_per_kernel_after_warmup() {
+    let _g = lock();
+    with_backend(Backend::Threaded(4), || {
+        // Warm-up: force the pool to its full size for this worker count.
+        gemm_above_gate();
+        let spawned = pool::spawned_worker_count();
+        assert!(
+            spawned >= 3,
+            "warm-up under Threaded(4) should have populated the pool, got {spawned}"
+        );
+        let dispatched = pool::dispatch_count();
+
+        // 100+ consecutive above-gate kernels: plenty of dispatches, zero
+        // new OS threads. Under the old per-call `thread::scope` design
+        // this would have been ≥ 300 spawns.
+        for _ in 0..60 {
+            gemm_above_gate();
+        }
+        for _ in 0..60 {
+            gemv_above_gate();
+        }
+        assert!(
+            pool::dispatch_count() > dispatched,
+            "above-gate kernels must dispatch to the pool"
+        );
+        assert_eq!(
+            pool::spawned_worker_count(),
+            spawned,
+            "steady-state kernels must never spawn OS threads"
+        );
+    });
+}
+
+/// Runs `op` and reports whether it dispatched any task to the pool.
+fn dispatches(op: impl FnOnce()) -> bool {
+    let before = pool::dispatch_count();
+    op();
+    pool::dispatch_count() > before
+}
+
+#[test]
+fn all_kernels_consult_the_unified_gates() {
+    let _g = lock();
+    with_backend(Backend::Threaded(4), || {
+        // gemm: volume gate (m·n·k vs 128³).
+        let a = ft_matrix::random::uniform(129, 129, 11);
+        let mut c = ft_matrix::Matrix::zeros(129, 129);
+        assert!(
+            dispatches(|| gemm(
+                Trans::No,
+                Trans::No,
+                1.0,
+                &a.as_view(),
+                &a.as_view(),
+                0.0,
+                &mut c.as_view_mut(),
+            )),
+            "gemm 129^3 is above PARALLEL_MIN_VOLUME and must fork"
+        );
+        let s = ft_matrix::random::uniform(100, 100, 12);
+        let mut cs = ft_matrix::Matrix::zeros(100, 100);
+        assert!(
+            !dispatches(|| gemm(
+                Trans::No,
+                Trans::No,
+                1.0,
+                &s.as_view(),
+                &s.as_view(),
+                0.0,
+                &mut cs.as_view_mut(),
+            )),
+            "gemm 100^3 is below PARALLEL_MIN_VOLUME and must stay serial"
+        );
+
+        // trmm / trsm: volume gate.
+        let tri = {
+            let mut t = ft_matrix::random::uniform(131, 131, 13);
+            for i in 0..131 {
+                t[(i, i)] += 131.0;
+            }
+            t
+        };
+        let mut b = ft_matrix::random::uniform(131, 137, 14);
+        assert!(
+            dispatches(|| trmm(
+                Side::Left,
+                Uplo::Upper,
+                Trans::No,
+                Diag::NonUnit,
+                1.0,
+                &tri.as_view(),
+                &mut b.as_view_mut(),
+            )),
+            "trmm 131^2·137 must fork"
+        );
+        assert!(
+            dispatches(|| trsm(
+                Side::Left,
+                Uplo::Upper,
+                Trans::No,
+                Diag::NonUnit,
+                1.0,
+                &tri.as_view(),
+                &mut b.as_view_mut(),
+            )),
+            "trsm 131^2·137 must fork"
+        );
+        let tri_s = {
+            let mut t = ft_matrix::random::uniform(20, 20, 15);
+            for i in 0..20 {
+                t[(i, i)] += 20.0;
+            }
+            t
+        };
+        let mut bs = ft_matrix::random::uniform(20, 10, 16);
+        assert!(
+            !dispatches(|| trmm(
+                Side::Left,
+                Uplo::Upper,
+                Trans::No,
+                Diag::NonUnit,
+                1.0,
+                &tri_s.as_view(),
+                &mut bs.as_view_mut(),
+            )),
+            "small trmm must stay serial"
+        );
+        assert!(
+            !dispatches(|| trsm(
+                Side::Left,
+                Uplo::Upper,
+                Trans::No,
+                Diag::NonUnit,
+                1.0,
+                &tri_s.as_view(),
+                &mut bs.as_view_mut(),
+            )),
+            "small trsm must stay serial"
+        );
+
+        // syrk: volume gate on n²k/2.
+        let sa = ft_matrix::random::uniform(145, 231, 17);
+        let mut sc = ft_matrix::Matrix::zeros(145, 145);
+        assert!(
+            dispatches(|| syrk(
+                Uplo::Upper,
+                Trans::No,
+                1.0,
+                &sa.as_view(),
+                0.0,
+                &mut sc.as_view_mut(),
+            )),
+            "syrk 145^2·231/2 must fork"
+        );
+        let ss = ft_matrix::random::uniform(40, 40, 18);
+        let mut ssc = ft_matrix::Matrix::zeros(40, 40);
+        assert!(
+            !dispatches(|| syrk(
+                Uplo::Upper,
+                Trans::No,
+                1.0,
+                &ss.as_view(),
+                0.0,
+                &mut ssc.as_view_mut(),
+            )),
+            "small syrk must stay serial"
+        );
+
+        // gemv / ger: element gate (m·n vs 32 768).
+        let ga = ft_matrix::random::uniform(256, 256, 19);
+        let gx = vec![1.0; 256];
+        let mut gy = vec![0.0; 256];
+        assert!(
+            dispatches(|| gemv(Trans::No, 1.0, &ga.as_view(), &gx, 0.0, &mut gy)),
+            "gemv 256x256 is above PARALLEL_MIN_ELEMS and must fork"
+        );
+        assert!(
+            dispatches(|| gemv(Trans::Yes, 1.0, &ga.as_view(), &gx, 0.0, &mut gy)),
+            "gemv^T 256x256 must fork"
+        );
+        let sm = ft_matrix::random::uniform(128, 128, 20);
+        let sx = vec![1.0; 128];
+        let mut sy = vec![0.0; 128];
+        assert!(
+            !dispatches(|| gemv(Trans::No, 1.0, &sm.as_view(), &sx, 0.0, &mut sy)),
+            "gemv 128x128 (= 16 384 elements) is below the gate and must stay serial"
+        );
+        let mut gm = ft_matrix::random::uniform(256, 256, 21);
+        let gu = vec![1.0; 256];
+        let gv = vec![1.0; 256];
+        assert!(
+            dispatches(|| ger(0.5, &gu, &gv, &mut gm.as_view_mut())),
+            "ger 256x256 must fork"
+        );
+        let mut gms = ft_matrix::random::uniform(64, 64, 22);
+        let gus = vec![1.0; 64];
+        let gvs = vec![1.0; 64];
+        assert!(
+            !dispatches(|| ger(0.5, &gus, &gvs, &mut gms.as_view_mut())),
+            "small ger must stay serial"
+        );
+    });
+
+    // Under the serial backend nothing may ever reach the pool.
+    with_backend(Backend::Serial, || {
+        assert!(
+            !dispatches(gemm_above_gate),
+            "serial backend must never dispatch, even above the gate"
+        );
+        assert!(
+            !dispatches(gemv_above_gate),
+            "serial backend must never dispatch a level-2 kernel"
+        );
+    });
+}
+
+#[test]
+fn workspace_reaches_steady_state_across_kernels() {
+    let _g = lock();
+    // Serial keeps all checkouts on this thread, so the arena counter is
+    // exercised deterministically.
+    with_backend(Backend::Serial, || {
+        // Warm-up: same shape as the measured loop.
+        gemm_above_gate();
+        gemm_above_gate();
+        let before = workspace::growth_allocations();
+        for _ in 0..100 {
+            gemm_above_gate();
+        }
+        assert_eq!(
+            workspace::growth_allocations(),
+            before,
+            "steady-state gemm calls must not grow the workspace arena"
+        );
+    });
+}

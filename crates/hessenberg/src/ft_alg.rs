@@ -411,7 +411,12 @@ fn run_iteration(
         || {
             let axm = ax.as_ref().unwrap();
             let p = panel.as_ref().unwrap();
-            let chk_seg: Vec<f64> = (k + 1..n).map(|j| axm.chk_row(j)).collect();
+            // Arena scratch instead of a fresh Vec: this runs once per
+            // panel iteration and reuses the same buffer after warm-up.
+            let mut chk_seg = ft_blas::workspace::scratch(n - k - 1);
+            for (dst, j) in chk_seg.iter_mut().zip(k + 1..n) {
+                *dst = axm.chk_row(j);
+            }
             let yx = extend_y(&p.y, &chk_seg, &p.v, &p.t);
             let vx = extend_v(&p.v);
             (yx, vx)

@@ -140,16 +140,22 @@ pub fn gehrd(a: &mut Matrix, cfg: &GehrdConfig) -> Vec<f64> {
 fn unblocked_tail(a: &mut Matrix, k: usize, tau: &mut [f64]) {
     let n = a.rows();
     let mut v = vec![0.0; n];
+    // Single reflector-tail buffer reused across columns (every element is
+    // overwritten before use), so the column loop is allocation-free.
+    let mut tailbuf = vec![0.0; n];
     for (off, t) in tau.iter_mut().enumerate() {
         let i = k + off;
         let alpha = a[(i + 1, i)];
-        let mut tail: Vec<f64> = (i + 2..n).map(|r| a[(r, i)]).collect();
-        let refl = crate::householder::larfg(alpha, &mut tail);
+        let tail = &mut tailbuf[..n - i - 2];
+        for (dst, r) in tail.iter_mut().zip(i + 2..n) {
+            *dst = a[(r, i)];
+        }
+        let refl = crate::householder::larfg(alpha, tail);
         *t = refl.tau;
 
         let m = n - i - 1;
         v[0] = 1.0;
-        v[1..m].copy_from_slice(&tail);
+        v[1..m].copy_from_slice(tail);
 
         larf(
             ReflectSide::Right,

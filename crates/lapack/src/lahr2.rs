@@ -85,6 +85,13 @@ pub fn lahr2_within(a: &mut Matrix, n: usize, k: usize, ib: usize) -> Panel {
     let mut y = Matrix::zeros(n, ib);
     let mut tau = vec![0.0; ib];
     let mut b = vec![0.0; m];
+    // Reflector-loop scratch, hoisted so the j-loop performs zero heap
+    // allocations (sliced to length j per iteration; the gemv calls that
+    // fill them use beta = 0, i.e. overwrite semantics, so reuse cannot
+    // leak values between iterations).
+    let mut vrow = vec![0.0; ib];
+    let mut w = vec![0.0; ib];
+    let mut w2 = vec![0.0; ib];
 
     for j in 0..ib {
         let c = k + j; // global column being reduced
@@ -97,14 +104,17 @@ pub fn lahr2_within(a: &mut Matrix, n: usize, k: usize, ib: usize) -> Panel {
             //     b ← b − Y(k+1.., 0..j) · V(j−1, 0..j)ᵀ
             // (row j−1 of V is the row that multiplies column c = k+j in
             // the right update A·V·T·Vᵀ).
-            let vrow: Vec<f64> = (0..j).map(|cc| v[(j - 1, cc)]).collect();
-            gemv(Trans::No, -1.0, &y.view(k + 1, 0, m, j), &vrow, 1.0, &mut b);
+            let vrow = &mut vrow[..j];
+            for (cc, dst) in vrow.iter_mut().enumerate() {
+                *dst = v[(j - 1, cc)];
+            }
+            gemv(Trans::No, -1.0, &y.view(k + 1, 0, m, j), vrow, 1.0, &mut b);
 
             // (2) Left update: b ← (I − V·Tᵀ·Vᵀ)·b  [= (I − V·T·Vᵀ)ᵀ·b]
-            let mut w = vec![0.0; j];
-            gemv(Trans::Yes, 1.0, &v.view(0, 0, m, j), &b, 0.0, &mut w);
-            trmv(Uplo::Upper, Trans::Yes, Diag::NonUnit, &t.as_view(), &mut w);
-            gemv(Trans::No, -1.0, &v.view(0, 0, m, j), &w, 1.0, &mut b);
+            let w = &mut w[..j];
+            gemv(Trans::Yes, 1.0, &v.view(0, 0, m, j), &b, 0.0, w);
+            trmv(Uplo::Upper, Trans::Yes, Diag::NonUnit, &t.as_view(), w);
+            gemv(Trans::No, -1.0, &v.view(0, 0, m, j), w, 1.0, &mut b);
         }
 
         // (3) Generate the reflector annihilating b[j+1..].
@@ -141,22 +151,22 @@ pub fn lahr2_within(a: &mut Matrix, n: usize, k: usize, ib: usize) -> Panel {
                 0.0,
                 yj,
             );
-            let mut w2 = vec![0.0; j];
-            gemv(Trans::Yes, 1.0, &v.view(0, 0, m, j), v.col(j), 0.0, &mut w2);
+            let w2 = &mut w2[..j];
+            gemv(Trans::Yes, 1.0, &v.view(0, 0, m, j), v.col(j), 0.0, w2);
             gemv(
                 Trans::No,
                 -1.0,
                 &ylo.as_view().subview(k + 1, 0, m, j),
-                &w2,
+                w2,
                 1.0,
                 yj,
             );
             scal(tau[j], yj);
 
             // (6) T(0..j, j) = T(0..j, 0..j)·(−τ_j·w2);  T(j, j) = τ_j.
-            scal(-tau[j], &mut w2);
-            trmv(Uplo::Upper, Trans::No, Diag::NonUnit, &t.as_view(), &mut w2);
-            t.view_mut(0, j, j, 1).col_mut(0).copy_from_slice(&w2);
+            scal(-tau[j], w2);
+            trmv(Uplo::Upper, Trans::No, Diag::NonUnit, &t.as_view(), w2);
+            t.view_mut(0, j, j, 1).col_mut(0).copy_from_slice(w2);
             t[(j, j)] = tau[j];
         }
     }
