@@ -104,21 +104,62 @@ fn bench_ft_backend(c: &mut Criterion) {
         tt * 1e3,
         ts / tt
     );
-    // 10n³/3 flops for the reduction (Q formation excluded).
-    let gflops = |secs: f64| 10.0 * (n as f64).powi(3) / 3.0 / secs / 1e9;
+    // 10n³/3 flops for the reduction (Q formation excluded) — the shared
+    // nominal-flop helper, not a re-derivation.
+    let gflops = |secs: f64| ft_blas::gehrd_gflops(n, secs);
     write_bench_json(
         "gehrd",
-        &[Record::new()
-            .str("kind", "ft_gehrd_backend")
-            .int("n", n as u64)
-            .int("nb", nb as u64)
-            .num("serial_ms", ts * 1e3)
-            .num("threaded4_ms", tt * 1e3)
-            .num("speedup", ts / tt)
-            .num("serial_gflops", gflops(ts))
-            .num("threaded4_gflops", gflops(tt))
-            .bool("smoke", smoke)],
+        &[
+            Record::new()
+                .str("kind", "ft_gehrd_backend")
+                .int("n", n as u64)
+                .int("nb", nb as u64)
+                .num("serial_ms", ts * 1e3)
+                .num("threaded4_ms", tt * 1e3)
+                .num("speedup", ts / tt)
+                .num("serial_gflops", gflops(ts))
+                .num("threaded4_gflops", gflops(tt))
+                .bool("smoke", smoke),
+            phase_breakdown_record(&a, n, nb, smoke),
+        ],
     );
+}
+
+/// One traced (unmeasured) run of the FT driver under the threaded
+/// backend, with span collection forced on, producing the per-phase
+/// wall-clock breakdown record embedded in BENCH_gehrd.json — the paper's
+/// Figure 6 decomposition. The previous trace mode is restored afterwards
+/// so the measured loops above stay un-instrumented.
+fn phase_breakdown_record(a: &ft_matrix::Matrix, n: usize, nb: usize, smoke: bool) -> Record {
+    let prev_mode = ft_trace::mode();
+    ft_trace::set_mode(ft_trace::TraceMode::Summary);
+    let cfg = FtConfig {
+        backend: Backend::Threaded(4),
+        ..FtConfig::with_nb(nb)
+    };
+    let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+    let out = ft_gehrd_hybrid(a, &cfg, &mut ctx, &mut FaultPlan::none());
+    ft_trace::set_mode(prev_mode);
+    let _ = ft_trace::take_events(); // drain: keep the shared sink bounded
+
+    let ph = &out.report.phases;
+    let wall = out.report.wall_seconds;
+    let mut rec = Record::new()
+        .str("kind", "ft_gehrd_phase_breakdown")
+        .int("n", n as u64)
+        .int("nb", nb as u64)
+        .num("wall_ms", wall * 1e3)
+        .num("phase_total_ms", ph.total() * 1e3)
+        .num("phase_cover_ratio", ph.total() / wall.max(1e-12))
+        .num("ft_overhead_ms", ph.ft_overhead() * 1e3)
+        .num(
+            "ft_overhead_pct",
+            100.0 * ph.ft_overhead() / wall.max(1e-12),
+        );
+    for (name, secs) in ph.rows() {
+        rec = rec.num(&format!("phase_{name}_ms"), secs * 1e3);
+    }
+    rec.bool("smoke", smoke)
 }
 
 criterion_group!(benches, bench_gehrd, bench_ft_backend);

@@ -129,28 +129,53 @@ fn bench_gemm_backends(c: &mut Criterion) {
 }
 
 /// Measures the pool's per-kernel dispatch overhead against the per-call
-/// `std::thread::scope` spawn/join cycle it replaced, using the trivial
-/// probes exported by `ft_blas::pool`. Also proves pool reuse: the
-/// spawned-thread count must not move across thousands of dispatches.
+/// `std::thread::scope` spawn/join cycle it replaced, driving the public
+/// `ft_blas::parallel_map_into` fan-out (the same path the FT driver's
+/// checksum refreshes take) rather than ad-hoc probes. Also proves pool
+/// reuse: the spawned-thread count must not move across thousands of
+/// dispatches — both counters now live in the `ft_trace` registry.
 fn dispatch_overhead_record() -> Record {
     const TASKS: usize = 4;
+    // 256² = 65536 "reads" clears the memory-bound fork gate
+    // (`PARALLEL_MIN_ELEMS`), so every call genuinely dispatches
+    // `TASKS` chunks onto the pool.
+    const LEN: usize = 256;
     let reps: u32 = if smoke() { 2_000 } else { 20_000 };
+    let mut buf = vec![0.0f64; LEN];
     // Warm the pool so the measurement excludes one-time thread creation.
-    pool::dispatch_probe(TASKS);
+    with_backend(Backend::Threaded(TASKS), || {
+        ft_blas::parallel_map_into(&mut buf, |i| i as f64);
+    });
     let spawned_before = pool::spawned_worker_count();
     let dispatches_before = pool::dispatch_count();
 
     let t0 = Instant::now();
-    for _ in 0..reps {
-        pool::dispatch_probe(TASKS);
-    }
+    with_backend(Backend::Threaded(TASKS), || {
+        for _ in 0..reps {
+            ft_blas::parallel_map_into(&mut buf, |i| i as f64);
+        }
+    });
     let pool_ns = t0.elapsed().as_secs_f64() * 1e9 / reps as f64;
+    std::hint::black_box(buf[LEN - 1]);
 
+    // Baseline: the pre-pool implementation — a fresh spawn/join cycle
+    // per call doing the identical chunked fill.
     let t0 = Instant::now();
     for _ in 0..reps {
-        pool::spawn_probe(TASKS);
+        let chunk = LEN.div_ceil(TASKS);
+        std::thread::scope(|s| {
+            for (ci, block) in buf.chunks_mut(chunk).enumerate() {
+                let base = ci * chunk;
+                s.spawn(move || {
+                    for (off, slot) in block.iter_mut().enumerate() {
+                        *slot = (base + off) as f64;
+                    }
+                });
+            }
+        });
     }
     let spawn_ns = t0.elapsed().as_secs_f64() * 1e9 / reps as f64;
+    std::hint::black_box(buf[LEN - 1]);
 
     let spawned_after = pool::spawned_worker_count();
     println!(

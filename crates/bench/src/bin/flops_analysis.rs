@@ -77,7 +77,7 @@ fn main() {
         };
         let extra = ft_flops.saturating_sub(base_flops);
         let model = model_extra_flops(n, nb);
-        let nominal = 10.0 / 3.0 * (n as f64).powi(3);
+        let nominal = ft_blas::gehrd_nominal_flops(n);
         let overhead = extra as f64 / base_flops as f64;
         overheads.push((n, overhead));
 

@@ -121,6 +121,25 @@ pub mod model {
     }
 }
 
+/// Nominal FLOP count of a Hessenberg reduction of order `n` as a float:
+/// `10/3·n³` (paper §V). The single source of truth shared by
+/// `FtReport::gflops`, the bench binaries and the FLOP-overhead analysis —
+/// each used to re-derive this inline.
+pub fn gehrd_nominal_flops(n: usize) -> f64 {
+    10.0 / 3.0 * (n as f64).powi(3)
+}
+
+/// Effective GFLOP/s of a Hessenberg reduction of order `n` completed in
+/// `seconds`, using the nominal `10/3·n³` operation count. Non-positive or
+/// non-finite durations yield 0.0 instead of infinities in reports.
+pub fn gehrd_gflops(n: usize, seconds: f64) -> f64 {
+    if seconds.is_finite() && seconds > 0.0 {
+        gehrd_nominal_flops(n) / seconds / 1e9
+    } else {
+        0.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +174,15 @@ mod tests {
         assert_eq!(model::dot(4), 7);
         assert_eq!(model::dot(0), 0);
         assert_eq!(model::gehrd(3), 90);
+    }
+
+    #[test]
+    fn shared_gflops_helper_is_consistent() {
+        assert!((gehrd_nominal_flops(3) - 90.0).abs() < 1.0);
+        // 10/3 · 256³ flops in one second = ~55.9 GFLOP/s.
+        let g = gehrd_gflops(256, 1.0);
+        assert!((g - gehrd_nominal_flops(256) / 1e9).abs() < 1e-12);
+        assert_eq!(gehrd_gflops(256, 0.0), 0.0);
+        assert_eq!(gehrd_gflops(256, f64::NAN), 0.0);
     }
 }

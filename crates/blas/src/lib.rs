@@ -36,7 +36,9 @@ pub mod workspace;
 
 pub use accurate::{dot_compensated, dot_superblock, sum_compensated, sum_superblock, SumScheme};
 pub use backend::{current_backend, parallel_map_into, set_backend, with_backend, Backend};
-pub use flops::{flop_count, reset_flops, set_flop_counting, FlopGuard};
+pub use flops::{
+    flop_count, gehrd_gflops, gehrd_nominal_flops, reset_flops, set_flop_counting, FlopGuard,
+};
 pub use level1::{asum, axpy, copy, dot, iamax, nrm2, scal, swap};
 pub use level2::{gemv, ger, symv, syr, syr2, trmv, trsv};
 pub use level3::{gemm, gemm_ref, gemm_threaded, gemm_with_algo, syrk, trmm, trsm, GemmAlgo};

@@ -42,7 +42,6 @@ use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 /// A type-erased unit of work owned by the pool.
@@ -64,15 +63,30 @@ struct Pool {
 
 static POOL: OnceLock<Pool> = OnceLock::new();
 
-/// Total OS threads ever spawned by the pool (monotonic). After warm-up
-/// this must stay constant no matter how many kernels run — the
-/// regression tests in `crates/blas/tests/pool_properties.rs` pin that.
-static SPAWNED_TOTAL: AtomicUsize = AtomicUsize::new(0);
+/// Registry counter `pool.spawn`: total OS threads ever spawned by the
+/// pool (monotonic). After warm-up this must stay constant no matter how
+/// many kernels run — the regression tests in
+/// `crates/blas/tests/pool_properties.rs` pin that.
+fn spawn_counter() -> &'static ft_trace::Counter {
+    static C: OnceLock<&'static ft_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| ft_trace::counter("pool.spawn"))
+}
 
-/// Total tasks handed to pool workers (monotonic; excludes the chunks the
-/// callers run inline). Used by tests to prove a kernel did (or did not)
-/// consult the parallel gate, and by the benches to count dispatches.
-static DISPATCH_TOTAL: AtomicU64 = AtomicU64::new(0);
+/// Registry counter `pool.dispatch`: total tasks handed to pool workers
+/// (monotonic; excludes the chunks the callers run inline). Used by tests
+/// to prove a kernel did (or did not) consult the parallel gate.
+fn dispatch_counter() -> &'static ft_trace::Counter {
+    static C: OnceLock<&'static ft_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| ft_trace::counter("pool.dispatch"))
+}
+
+/// Registry counter `pool.inline_fallback`: multi-task dispatches that ran
+/// inline because the caller was already a pool worker (the re-entrancy
+/// guard documented in the module docs).
+fn inline_fallback_counter() -> &'static ft_trace::Counter {
+    static C: OnceLock<&'static ft_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| ft_trace::counter("pool.inline_fallback"))
+}
 
 thread_local! {
     static IS_WORKER: Cell<bool> = const { Cell::new(false) };
@@ -84,14 +98,16 @@ pub fn in_worker() -> bool {
 }
 
 /// Number of OS threads the pool has ever spawned (monotonic; the pool
-/// never shrinks, so this is also its current size).
+/// never shrinks, so this is also its current size). Reads the
+/// `pool.spawn` registry counter.
 pub fn spawned_worker_count() -> usize {
-    SPAWNED_TOTAL.load(Ordering::Relaxed)
+    spawn_counter().get() as usize
 }
 
-/// Number of tasks dispatched to pool workers since process start.
+/// Number of tasks dispatched to pool workers since process start. Reads
+/// the `pool.dispatch` registry counter.
 pub fn dispatch_count() -> u64 {
-    DISPATCH_TOTAL.load(Ordering::Relaxed)
+    dispatch_counter().get()
 }
 
 fn pool() -> &'static Pool {
@@ -116,6 +132,7 @@ fn worker_loop(pool: &'static Pool) {
                 st = pool.job_ready.wait(st).unwrap();
             }
         };
+        let _span = ft_trace::span!("pool.task");
         job();
     }
 }
@@ -129,7 +146,7 @@ fn ensure_workers(pool: &'static Pool, target: usize) {
             .spawn(move || worker_loop(pool))
             .expect("ft-blas: failed to spawn pool worker");
         st.workers += 1;
-        SPAWNED_TOTAL.fetch_add(1, Ordering::Relaxed);
+        spawn_counter().incr();
     }
 }
 
@@ -208,11 +225,15 @@ impl Drop for WaitGuard<'_> {
 pub(crate) fn run_scoped(tasks: Vec<ScopedTask<'_>>) {
     let mut tasks = tasks;
     if tasks.len() <= 1 || in_worker() {
+        if tasks.len() > 1 {
+            inline_fallback_counter().incr();
+        }
         for task in tasks {
             task();
         }
         return;
     }
+    let _span = ft_trace::span!("pool.dispatch", tasks.len());
     let local = tasks.remove(0);
     let extra = tasks.len();
     let pool = pool();
@@ -241,7 +262,7 @@ pub(crate) fn run_scoped(tasks: Vec<ScopedTask<'_>>) {
             let job: Job = unsafe { std::mem::transmute::<ScopedTask<'_>, Job>(job) };
             st.queue.push_back(job);
         }
-        DISPATCH_TOTAL.fetch_add(extra as u64, Ordering::Relaxed);
+        dispatch_counter().add(extra as u64);
         pool.job_ready.notify_all();
     }
 
@@ -256,37 +277,10 @@ pub(crate) fn run_scoped(tasks: Vec<ScopedTask<'_>>) {
     }
 }
 
-/// Benchmark hook: dispatches `tasks` trivial jobs through the pool and
-/// waits for them, exactly as a kernel fork would. Measures the pool's
-/// per-call dispatch overhead (the quantity the per-call
-/// `std::thread::scope` design paid as a full spawn/join cycle — compare
-/// with [`spawn_probe`]).
-pub fn dispatch_probe(tasks: usize) {
-    let work: Vec<ScopedTask<'_>> = (0..tasks)
-        .map(|_| Box::new(|| std::hint::black_box(())) as ScopedTask<'_>)
-        .collect();
-    run_scoped(work);
-}
-
-/// Benchmark hook: the per-call-spawn baseline — runs `tasks` trivial jobs
-/// with one fresh `std::thread::scope` thread per extra job, as the PR 1
-/// backend did for every kernel call.
-pub fn spawn_probe(tasks: usize) {
-    if tasks <= 1 {
-        return;
-    }
-    std::thread::scope(|s| {
-        for _ in 1..tasks {
-            s.spawn(|| std::hint::black_box(()));
-        }
-        std::hint::black_box(());
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn scoped_tasks_see_borrowed_data() {
@@ -350,10 +344,25 @@ mod tests {
     }
 
     #[test]
-    fn probes_are_balanced() {
-        dispatch_probe(4);
-        dispatch_probe(1);
-        spawn_probe(4);
-        spawn_probe(0);
+    fn nested_dispatch_counts_inline_fallback() {
+        let before = inline_fallback_counter().get();
+        let outer: Vec<ScopedTask<'_>> = (0..2)
+            .map(|_| {
+                Box::new(|| {
+                    if in_worker() {
+                        // A nested multi-task dispatch from a worker must
+                        // fall back to inline execution and count it.
+                        let inner: Vec<ScopedTask<'_>> =
+                            (0..2).map(|_| Box::new(|| {}) as ScopedTask<'_>).collect();
+                        run_scoped(inner);
+                    }
+                }) as ScopedTask<'_>
+            })
+            .collect();
+        run_scoped(outer);
+        assert!(
+            inline_fallback_counter().get() > before,
+            "worker-side nested dispatch must increment pool.inline_fallback"
+        );
     }
 }

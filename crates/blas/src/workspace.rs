@@ -17,7 +17,7 @@
 
 use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Per-thread cache depth: enough for the deepest checkout chain in the
 /// codebase (GEMM's two pack buffers plus a couple of driver vectors),
@@ -28,15 +28,20 @@ thread_local! {
     static CACHE: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Buffers whose capacity had to be (re)allocated at checkout — i.e. arena
-/// misses. After warm-up this must stop moving; the regression tests in
-/// `crates/blas/tests/pool_properties.rs` assert exactly that.
-static GROWTH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Registry counter `workspace.growth`: checkouts whose capacity had to be
+/// (re)allocated — i.e. arena misses. After warm-up this must stop moving;
+/// the regression tests in `crates/blas/tests/pool_properties.rs` assert
+/// exactly that.
+fn growth_counter() -> &'static ft_trace::Counter {
+    static C: OnceLock<&'static ft_trace::Counter> = OnceLock::new();
+    C.get_or_init(|| ft_trace::counter("workspace.growth"))
+}
 
 /// Number of scratch checkouts that had to allocate (or grow) backing
-/// storage since process start. Monotonic; steady state is flat.
+/// storage since process start. Monotonic; steady state is flat. Reads the
+/// `workspace.growth` registry counter.
 pub fn growth_allocations() -> u64 {
-    GROWTH_ALLOCS.load(Ordering::Relaxed)
+    growth_counter().get()
 }
 
 /// A checked-out scratch buffer; dereferences to `[f64]` of the requested
@@ -85,7 +90,7 @@ pub fn scratch(len: usize) -> Scratch {
         })
         .unwrap_or_default();
     if buf.capacity() < len {
-        GROWTH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        growth_counter().incr();
     }
     buf.clear();
     buf.resize(len, 0.0);

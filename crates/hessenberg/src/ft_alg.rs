@@ -27,7 +27,7 @@ use crate::encode::{extend_v, extend_y, ExtMatrix};
 use crate::hybrid_alg::panel_costs;
 use crate::qprotect::QProtection;
 use crate::recovery::{correct_errors, locate_errors};
-use crate::report::{FtReport, RecoveryEvent};
+use crate::report::{FtReport, PhaseBreakdown, RecoveryEvent};
 use crate::reverse::{
     left_update_ext, reverse_left_update_ext, reverse_right_update_ext, right_update_panel_top,
     right_update_trailing,
@@ -100,6 +100,20 @@ pub struct FtOutcome {
     pub report: FtReport,
 }
 
+/// Registry counter `ft.recoveries`: detection-and-recovery episodes
+/// (one per [`RecoveryEvent`] pushed, including end-of-run repairs).
+fn ft_recovery_counter() -> &'static ft_trace::Counter {
+    static C: std::sync::OnceLock<&'static ft_trace::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| ft_trace::counter("ft.recoveries"))
+}
+
+/// Registry counter `ft.corrections`: individual element corrections
+/// applied from checksum residues.
+fn ft_correction_counter() -> &'static ft_trace::Counter {
+    static C: std::sync::OnceLock<&'static ft_trace::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| ft_trace::counter("ft.corrections"))
+}
+
 /// Everything one iteration retains for possible reversal — the diskless
 /// checkpoint of Algorithm 3.
 struct IterArtifacts {
@@ -136,6 +150,9 @@ fn ft_gehrd_hybrid_inner(
     let threshold = cfg.threshold.resolve(a);
     let loc_tol = threshold / (n as f64).sqrt().max(1.0);
 
+    let wall_start = std::time::Instant::now();
+    let trace_mark = ft_trace::mark();
+
     let mut report = FtReport {
         n,
         nb,
@@ -145,12 +162,15 @@ fn ft_gehrd_hybrid_inner(
 
     // Transfer the input and encode it on the device (lines 1–2).
     ctx.h2d(s0, n * n * 8, || ());
-    let mut ax = ctx.device(
-        s0,
-        OpClass::DeviceGemv,
-        Work::Flops(4.0 * (n * n) as f64),
-        || ExtMatrix::encode_with(a, cfg.checksum_scheme),
-    );
+    let mut ax = {
+        let _span = ft_trace::span!("ft.encode");
+        ctx.device(
+            s0,
+            OpClass::DeviceGemv,
+            Work::Flops(4.0 * (n * n) as f64),
+            || ExtMatrix::encode_with(a, cfg.checksum_scheme),
+        )
+    };
 
     let mut qprot = QProtection::new(n);
     let mut tau = vec![0.0f64; n.saturating_sub(2)];
@@ -218,38 +238,41 @@ fn ft_gehrd_hybrid_inner(
             let m = n - k - 1;
             let ntrail1 = m - ib + 2;
             let left_flops = (4.0 * m as f64 + ib as f64) * ntrail1 as f64 * ib as f64;
-            ctx.device(s0, OpClass::DeviceGemm, Work::Flops(left_flops), || {
-                let axm = ax.as_mut().unwrap();
-                reverse_left_update_ext(
-                    axm,
-                    k,
-                    ib,
-                    artifacts.vx.as_ref().unwrap(),
-                    &artifacts.panel.as_ref().unwrap().t,
-                    artifacts.w_left.as_ref().unwrap(),
-                );
-            });
-            ctx.device(
-                s0,
-                OpClass::DeviceGemm,
-                Work::gemm(n + 1, ntrail1, ib),
-                || {
+            {
+                let _span = ft_trace::span!("ft.reverse", iter);
+                ctx.device(s0, OpClass::DeviceGemm, Work::Flops(left_flops), || {
                     let axm = ax.as_mut().unwrap();
-                    reverse_right_update_ext(
+                    reverse_left_update_ext(
                         axm,
                         k,
                         ib,
-                        artifacts.yx.as_ref().unwrap(),
                         artifacts.vx.as_ref().unwrap(),
+                        &artifacts.panel.as_ref().unwrap().t,
+                        artifacts.w_left.as_ref().unwrap(),
                     );
-                },
-            );
-            // Restore the panel from its checkpoint.
-            ctx.h2d(s0, (n + 1) * ib * 8, || {
-                let axm = ax.as_mut().unwrap();
-                axm.raw_mut()
-                    .set_sub_matrix(0, k, checkpoint.as_ref().unwrap());
-            });
+                });
+                ctx.device(
+                    s0,
+                    OpClass::DeviceGemm,
+                    Work::gemm(n + 1, ntrail1, ib),
+                    || {
+                        let axm = ax.as_mut().unwrap();
+                        reverse_right_update_ext(
+                            axm,
+                            k,
+                            ib,
+                            artifacts.yx.as_ref().unwrap(),
+                            artifacts.vx.as_ref().unwrap(),
+                        );
+                    },
+                );
+                // Restore the panel from its checkpoint.
+                ctx.h2d(s0, (n + 1) * ib * 8, || {
+                    let axm = ax.as_mut().unwrap();
+                    axm.raw_mut()
+                        .set_sub_matrix(0, k, checkpoint.as_ref().unwrap());
+                });
+            }
 
             // Locate: fresh row/column sums vs the stored checksums.
             let corrected = ctx.device(
@@ -258,13 +281,20 @@ fn ft_gehrd_hybrid_inner(
                 Work::Flops(4.0 * (n * n) as f64),
                 || {
                     let axm = ax.as_mut().unwrap();
-                    let out = locate_errors(axm, k, loc_tol);
+                    let out = {
+                        let _span = ft_trace::span!("ft.locate", iter);
+                        locate_errors(axm, k, loc_tol)
+                    };
                     let fixes: Vec<(usize, usize, f64)> =
                         out.errors.iter().map(|e| (e.row, e.col, e.delta)).collect();
-                    correct_errors(axm, &out.errors);
+                    {
+                        let _span = ft_trace::span!("ft.correct", iter);
+                        correct_errors(axm, &out.errors);
+                    }
                     if out.errors.is_empty() {
                         // Checksum-side corruption (or an undetectable
                         // pattern): re-encode the checksums from the data.
+                        let _span = ft_trace::span!("ft.encode");
                         reencode_checksums(axm, k);
                     }
                     (fixes, out.resolved)
@@ -273,6 +303,8 @@ fn ft_gehrd_hybrid_inner(
             ctx.d2h(s0, 2 * n * 8, || ());
 
             let (fixes, resolved) = corrected.unwrap_or((vec![], true));
+            ft_recovery_counter().incr();
+            ft_correction_counter().add(fixes.len() as u64);
             report.recoveries.push(RecoveryEvent {
                 iteration: iter,
                 mismatch,
@@ -293,9 +325,11 @@ fn ft_gehrd_hybrid_inner(
                 OpClass::DeviceVector,
                 Work::Flops(4.0 * (n * n) as f64),
                 || {
+                    let _span = ft_trace::span!("ft.encode");
                     reencode_checksums(ax.as_mut().unwrap(), k + ib);
                 },
             );
+            ft_recovery_counter().incr();
             report.recoveries.push(RecoveryEvent {
                 iteration: iter,
                 mismatch: f64::NAN,
@@ -330,11 +364,19 @@ fn ft_gehrd_hybrid_inner(
         || (),
     );
     if let Some(axm) = &mut ax {
-        let out = locate_errors(axm, total, loc_tol);
+        let out = {
+            let _span = ft_trace::span!("ft.locate");
+            locate_errors(axm, total, loc_tol)
+        };
         if !out.errors.is_empty() {
             let fixes: Vec<(usize, usize, f64)> =
                 out.errors.iter().map(|e| (e.row, e.col, e.delta)).collect();
-            correct_errors(axm, &out.errors);
+            {
+                let _span = ft_trace::span!("ft.correct");
+                correct_errors(axm, &out.errors);
+            }
+            ft_recovery_counter().incr();
+            ft_correction_counter().add(fixes.len() as u64);
             report.recoveries.push(RecoveryEvent {
                 iteration: iter,
                 mismatch: f64::NAN,
@@ -345,6 +387,7 @@ fn ft_gehrd_hybrid_inner(
     }
     // (b) Q storage check (paper §IV-F, once at the end).
     if cfg.protect_q {
+        let _span = ft_trace::span!("ft.qprotect");
         ctx.host(
             OpClass::HostVector,
             Work::Flops(2.0 * (n * n) as f64 / 2.0),
@@ -365,6 +408,15 @@ fn ft_gehrd_hybrid_inner(
 
     report.sim_seconds = ctx.elapsed();
     report.stats = ctx.stats().clone();
+    report.wall_seconds = wall_start.elapsed().as_secs_f64();
+    if ft_trace::enabled() {
+        // Attribute only this thread's events after our watermark: in a
+        // shared process (parallel tests) the sink interleaves runs.
+        report.phases = PhaseBreakdown::from_events(
+            &ft_trace::events_since(trace_mark),
+            ft_trace::current_tid(),
+        );
+    }
 
     let result = ax.map(|axm| HessFactorization {
         packed: axm.into_packed(),
@@ -395,33 +447,39 @@ fn run_iteration(
 
     // Panel factorization (line 5): host + device-GEMV split as in MAGMA.
     let (host_flops, dev_gemv_flops) = panel_costs(n, k, ib);
-    let panel = ctx.host(OpClass::HostPanel, Work::Flops(host_flops), || {
-        lahr2_within(ax.as_mut().unwrap().raw_mut(), n, k, ib)
-    });
+    let panel = {
+        let _span = ft_trace::span!("ft.panel", k);
+        ctx.host(OpClass::HostPanel, Work::Flops(host_flops), || {
+            lahr2_within(ax.as_mut().unwrap().raw_mut(), n, k, ib)
+        })
+    };
     ctx.device(s0, OpClass::DeviceGemv, Work::Flops(dev_gemv_flops), || ());
     ctx.h2d(s0, m * ib * 8, || ());
     ctx.d2h(s0, m * ib * 8, || ());
 
     // Checksum extensions (lines 6–7): Yce from the pre-update checksum
     // row, Vce as the column sums of V — two device GEMV-class kernels.
-    let ext = ctx.device(
-        s0,
-        OpClass::DeviceGemv,
-        Work::Flops((3 * m * ib) as f64),
-        || {
-            let axm = ax.as_ref().unwrap();
-            let p = panel.as_ref().unwrap();
-            // Arena scratch instead of a fresh Vec: this runs once per
-            // panel iteration and reuses the same buffer after warm-up.
-            let mut chk_seg = ft_blas::workspace::scratch(n - k - 1);
-            for (dst, j) in chk_seg.iter_mut().zip(k + 1..n) {
-                *dst = axm.chk_row(j);
-            }
-            let yx = extend_y(&p.y, &chk_seg, &p.v, &p.t);
-            let vx = extend_v(&p.v);
-            (yx, vx)
-        },
-    );
+    let ext = {
+        let _span = ft_trace::span!("ft.encode", k);
+        ctx.device(
+            s0,
+            OpClass::DeviceGemv,
+            Work::Flops((3 * m * ib) as f64),
+            || {
+                let axm = ax.as_ref().unwrap();
+                let p = panel.as_ref().unwrap();
+                // Arena scratch instead of a fresh Vec: this runs once per
+                // panel iteration and reuses the same buffer after warm-up.
+                let mut chk_seg = ft_blas::workspace::scratch(n - k - 1);
+                for (dst, j) in chk_seg.iter_mut().zip(k + 1..n) {
+                    *dst = axm.chk_row(j);
+                }
+                let yx = extend_y(&p.y, &chk_seg, &p.v, &p.t);
+                let vx = extend_v(&p.v);
+                (yx, vx)
+            },
+        )
+    };
     let (yx, vx) = match ext {
         Some((y, v)) => (Some(y), Some(v)),
         None => (None, None),
@@ -432,6 +490,7 @@ fn run_iteration(
 
     // Right update to M's panel columns (line 8).
     if ib > 1 {
+        let _span = ft_trace::span!("ft.trailing", k);
         ctx.device(
             s0,
             OpClass::DeviceGemm,
@@ -452,7 +511,9 @@ fn run_iteration(
     ctx.stream_wait_stream(s1, s0);
     ctx.d2h(s1, (k + 1 + ib) * ib * 8, || ());
 
-    // Right update to G + checksum borders (line 10).
+    // Right update to G + checksum borders (line 10) and the left update
+    // (line 11, retaining W for reversal): the trailing-matrix phase.
+    let _trailing_span = ft_trace::span!("ft.trailing", k);
     ctx.device(
         s0,
         OpClass::DeviceGemm,
@@ -468,12 +529,12 @@ fn run_iteration(
         },
     );
 
-    // Left update (line 11), retaining W for reversal.
     let left_flops = (4.0 * m as f64 + ib as f64) * ntrail1 as f64 * ib as f64;
     let w_left = ctx.device(s0, OpClass::DeviceGemm, Work::Flops(left_flops), || {
         let axm = ax.as_mut().unwrap();
         left_update_ext(axm, k, ib, vx.as_ref().unwrap(), &panel.as_ref().unwrap().t)
     });
+    drop(_trailing_span);
 
     // Q-checksum generation for the finished panel — two GEMVs, run on
     // the idle host overlapped with the device updates (paper §IV-E), or
@@ -488,14 +549,17 @@ fn run_iteration(
     // Refresh the column checksums of the just-finished panel columns
     // from their final H values (their storage switched representation).
     let _ = ntrail;
-    ctx.device(
-        s0,
-        OpClass::DeviceVector,
-        Work::Flops((ib * (k + 2 + ib)) as f64),
-        || {
-            ax.as_mut().unwrap().refresh_chk_row(k, k + ib, k + ib);
-        },
-    );
+    {
+        let _span = ft_trace::span!("ft.encode", k);
+        ctx.device(
+            s0,
+            OpClass::DeviceVector,
+            Work::Flops((ib * (k + 2 + ib)) as f64),
+            || {
+                ax.as_mut().unwrap().refresh_chk_row(k, k + ib, k + ib);
+            },
+        );
+    }
 
     IterArtifacts {
         panel,
@@ -517,6 +581,7 @@ fn detect(
     k: usize,
     ib: usize,
 ) -> bool {
+    let _span = ft_trace::span!("ft.detect", k);
     // Two device reductions + a tiny transfer + host compare.
     ctx.device(
         s0,

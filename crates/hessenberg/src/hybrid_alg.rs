@@ -51,13 +51,10 @@ pub struct HybridOutcome {
 }
 
 impl HybridOutcome {
-    /// Simulated GFLOP/s against the nominal `10/3·n³` flops.
+    /// Simulated GFLOP/s against the nominal `10/3·n³` flops, via the
+    /// shared [`ft_blas::gehrd_gflops`] helper.
     pub fn gflops(&self) -> f64 {
-        if self.sim_seconds <= 0.0 {
-            return 0.0;
-        }
-        let n = self.n as f64;
-        (10.0 / 3.0) * n * n * n / self.sim_seconds / 1e9
+        ft_blas::gehrd_gflops(self.n, self.sim_seconds)
     }
 }
 

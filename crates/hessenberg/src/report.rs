@@ -3,6 +3,7 @@
 
 use ft_fault::AppliedFault;
 use ft_hybrid::ExecStats;
+use ft_trace::Event;
 
 /// One detection-and-recovery episode.
 #[derive(Clone, Debug)]
@@ -41,8 +42,105 @@ pub struct FtReport {
     pub threshold: f64,
     /// Simulated makespan, seconds.
     pub sim_seconds: f64,
+    /// Real wall-clock of the driver call, seconds (one `Instant` pair per
+    /// run; always measured).
+    pub wall_seconds: f64,
     /// Simulated resource statistics.
     pub stats: ExecStats,
+    /// Wall-clock per-phase breakdown (populated only when `ft-trace`
+    /// collection is enabled; empty otherwise).
+    pub phases: PhaseBreakdown,
+}
+
+/// Wall-clock attribution of one fault-tolerant run to the driver's
+/// disjoint leaf phases — the reproduction of the paper's Figure 6
+/// overhead decomposition. All values are seconds.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Checksum encoding: initial encode, per-panel checksum extensions,
+    /// and post-recovery re-encodes (`ft.encode`).
+    pub encode: f64,
+    /// Panel factorizations (`ft.panel`).
+    pub panel: f64,
+    /// Trailing-matrix updates (`ft.trailing`).
+    pub trailing: f64,
+    /// Checksum-mismatch detection scans (`ft.detect`).
+    pub detect: f64,
+    /// Reverse-computation rollbacks (`ft.reverse`).
+    pub reverse: f64,
+    /// Error location from checksum residues (`ft.locate`).
+    pub locate: f64,
+    /// Error correction writes (`ft.correct`).
+    pub correct: f64,
+    /// End-of-run `Q`/`tau` checksum verification (`ft.qprotect`).
+    pub qprotect: f64,
+}
+
+impl PhaseBreakdown {
+    /// Builds a breakdown from trace events: keeps category `"wall"`
+    /// events named `ft.*` recorded by thread `tid` (the driver thread —
+    /// pool-worker spans must not double-count into the driver's
+    /// timeline).
+    pub fn from_events(events: &[Event], tid: u64) -> PhaseBreakdown {
+        let mut b = PhaseBreakdown::default();
+        for ev in events {
+            if ev.cat != "wall" || ev.tid != tid {
+                continue;
+            }
+            let secs = ev.dur_us / 1e6;
+            match ev.name {
+                "ft.encode" => b.encode += secs,
+                "ft.panel" => b.panel += secs,
+                "ft.trailing" => b.trailing += secs,
+                "ft.detect" => b.detect += secs,
+                "ft.reverse" => b.reverse += secs,
+                "ft.locate" => b.locate += secs,
+                "ft.correct" => b.correct += secs,
+                "ft.qprotect" => b.qprotect += secs,
+                _ => {}
+            }
+        }
+        b
+    }
+
+    /// Sum of all phases, seconds. The phases are disjoint leaf spans, so
+    /// this approximates the run's wall-clock from below (the gap is
+    /// un-instrumented glue).
+    pub fn total(&self) -> f64 {
+        self.encode
+            + self.panel
+            + self.trailing
+            + self.detect
+            + self.reverse
+            + self.locate
+            + self.correct
+            + self.qprotect
+    }
+
+    /// Fault-tolerance overhead phases only (everything that is not the
+    /// baseline factorization's panel + trailing work), seconds.
+    pub fn ft_overhead(&self) -> f64 {
+        self.total() - self.panel - self.trailing
+    }
+
+    /// `(name, seconds)` rows in fixed phase order, for report writers.
+    pub fn rows(&self) -> [(&'static str, f64); 8] {
+        [
+            ("encode", self.encode),
+            ("panel", self.panel),
+            ("trailing", self.trailing),
+            ("detect", self.detect),
+            ("reverse", self.reverse),
+            ("locate", self.locate),
+            ("correct", self.correct),
+            ("qprotect", self.qprotect),
+        ]
+    }
+
+    /// `true` if no phase recorded any time (collection was off).
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0.0
+    }
 }
 
 impl FtReport {
@@ -57,13 +155,10 @@ impl FtReport {
     }
 
     /// Simulated GFLOP/s against the `10/3·n³` nominal flop count
-    /// (the y-axis of the paper's Figure 6).
+    /// (the y-axis of the paper's Figure 6), via the shared
+    /// [`ft_blas::gehrd_gflops`] helper.
     pub fn gflops(&self) -> f64 {
-        if self.sim_seconds <= 0.0 {
-            return 0.0;
-        }
-        let n = self.n as f64;
-        (10.0 / 3.0) * n * n * n / self.sim_seconds / 1e9
+        ft_blas::gehrd_gflops(self.n, self.sim_seconds)
     }
 }
 
@@ -95,5 +190,34 @@ mod tests {
     fn zero_time_gflops_is_zero() {
         let r = FtReport::default();
         assert_eq!(r.gflops(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_filters_by_tid_category_and_prefix() {
+        let ev = |name, cat, tid, dur_us| Event {
+            name,
+            cat,
+            arg: None,
+            tid,
+            start_us: 0.0,
+            dur_us,
+        };
+        let events = vec![
+            ev("ft.panel", "wall", 1, 2e6),
+            ev("ft.panel", "wall", 1, 1e6),
+            ev("ft.detect", "wall", 1, 5e5),
+            ev("ft.panel", "wall", 2, 9e6),   // other thread: excluded
+            ev("ft.trailing", "sim", 1, 9e6), // sim category: excluded
+            ev("lahr2", "wall", 1, 9e6),      // non-ft name: excluded
+        ];
+        let b = PhaseBreakdown::from_events(&events, 1);
+        assert!((b.panel - 3.0).abs() < 1e-12);
+        assert!((b.detect - 0.5).abs() < 1e-12);
+        assert_eq!(b.trailing, 0.0);
+        assert!((b.total() - 3.5).abs() < 1e-12);
+        assert!((b.ft_overhead() - 0.5).abs() < 1e-12);
+        assert!(!b.is_empty());
+        assert!(PhaseBreakdown::default().is_empty());
+        assert_eq!(b.rows()[1], ("panel", b.panel));
     }
 }

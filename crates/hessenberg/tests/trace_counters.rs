@@ -1,0 +1,146 @@
+//! End-to-end trace contract for the FT driver: a known 2-fault campaign
+//! produces exact registry-counter deltas, every FT phase emits a span
+//! when collection is on, and a run with tracing off still recovers while
+//! writing nothing to the span sink.
+//!
+//! These tests share process-global trace state (`ft_trace::set_mode`),
+//! so each one takes `TRACE_LOCK` to serialize against its siblings.
+
+use ft_fault::{Fault, FaultPlan, Phase, ScheduledFault};
+use ft_hessenberg::{ft_gehrd_hybrid, FtConfig, FtOutcome};
+use ft_hybrid::{CostModel, ExecMode, HybridCtx};
+use ft_trace::TraceMode;
+use std::sync::Mutex;
+
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+const N: usize = 160;
+const NB: usize = 32;
+
+/// Two single-element transient faults in different panel iterations —
+/// both inside the trailing matrix, so the driver detects, locates and
+/// corrects each one on-line.
+fn two_fault_plan() -> FaultPlan {
+    FaultPlan::new(vec![
+        ScheduledFault {
+            iteration: 1,
+            phase: Phase::IterationStart,
+            fault: Fault::add(60, 80, 1.0),
+        },
+        ScheduledFault {
+            iteration: 3,
+            phase: Phase::IterationStart,
+            fault: Fault::add(120, 130, 0.7),
+        },
+    ])
+}
+
+fn run_campaign() -> FtOutcome {
+    let a = ft_matrix::random::uniform(N, N, 99);
+    let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2);
+    ft_gehrd_hybrid(&a, &FtConfig::with_nb(NB), &mut ctx, &mut two_fault_plan())
+}
+
+#[test]
+fn two_fault_campaign_counters_are_exact() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    ft_trace::set_mode(TraceMode::Off);
+
+    let recoveries_before = ft_trace::counter("ft.recoveries").get();
+    let corrections_before = ft_trace::counter("ft.corrections").get();
+
+    let out = run_campaign();
+
+    // The counters move in lock-step with the report: one increment per
+    // RecoveryEvent, `fixes.len()` per correction pass.
+    assert_eq!(
+        out.report.recoveries.len(),
+        2,
+        "{:?}",
+        out.report.recoveries
+    );
+    assert_eq!(out.report.corrections(), 2);
+    assert_eq!(
+        ft_trace::counter("ft.recoveries").get() - recoveries_before,
+        out.report.recoveries.len() as u64
+    );
+    assert_eq!(
+        ft_trace::counter("ft.corrections").get() - corrections_before,
+        out.report.corrections() as u64
+    );
+    // And the run actually survived.
+    assert!(out.result.unwrap().h().is_upper_hessenberg());
+}
+
+#[test]
+fn faulty_run_emits_a_span_for_every_ft_phase() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    ft_trace::set_mode(TraceMode::Summary);
+    let mark = ft_trace::mark();
+
+    let out = run_campaign();
+
+    let tid = ft_trace::current_tid();
+    let events = ft_trace::events_since(mark);
+    ft_trace::set_mode(TraceMode::Off);
+    let _ = ft_trace::take_events();
+
+    let ft_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.cat == "wall" && e.tid == tid && e.name.starts_with("ft."))
+        .map(|e| e.name)
+        .collect();
+    for phase in [
+        "ft.encode",
+        "ft.panel",
+        "ft.trailing",
+        "ft.detect",
+        "ft.reverse",
+        "ft.locate",
+        "ft.correct",
+    ] {
+        assert!(
+            ft_names.contains(&phase),
+            "missing span {phase} in a faulty run; saw {ft_names:?}"
+        );
+    }
+
+    // The per-phase breakdown attached to the report is built from those
+    // same disjoint leaf spans: it must account for most of the run
+    // without ever exceeding it.
+    let ph = &out.report.phases;
+    assert!(!ph.is_empty());
+    assert!(ph.total() > 0.0);
+    assert!(
+        ph.total() <= out.report.wall_seconds,
+        "disjoint leaf phases cannot sum past wall-clock: {} vs {}",
+        ph.total(),
+        out.report.wall_seconds
+    );
+    assert!(
+        ph.total() >= 0.5 * out.report.wall_seconds,
+        "phase breakdown should cover the bulk of the run: {} of {}",
+        ph.total(),
+        out.report.wall_seconds
+    );
+    assert!(ph.ft_overhead() >= 0.0);
+}
+
+#[test]
+fn trace_off_run_recovers_with_zero_span_sink_writes() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    ft_trace::set_mode(TraceMode::Off);
+
+    let events_before = ft_trace::span_event_count();
+    let out = run_campaign();
+
+    assert_eq!(
+        ft_trace::span_event_count(),
+        events_before,
+        "FT_TRACE off must not push span events from the FT driver"
+    );
+    // No collection → no breakdown, but the algorithm is unaffected.
+    assert!(out.report.phases.is_empty());
+    assert_eq!(out.report.recoveries.len(), 2);
+    assert!(out.result.unwrap().h().is_upper_hessenberg());
+}

@@ -42,6 +42,21 @@ impl OpClass {
         )
     }
 
+    /// The variant name as a static string — the stable label used by
+    /// [`crate::stats::ExecStats::summary`] columns and the simulated-clock
+    /// trace events (`ft_trace::record_sim` needs `&'static str`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            OpClass::HostPanel => "HostPanel",
+            OpClass::HostVector => "HostVector",
+            OpClass::HostGemm => "HostGemm",
+            OpClass::DeviceGemm => "DeviceGemm",
+            OpClass::DeviceGemv => "DeviceGemv",
+            OpClass::DeviceVector => "DeviceVector",
+            OpClass::Transfer => "Transfer",
+        }
+    }
+
     /// All classes, for statistics iteration.
     pub const ALL: [OpClass; 7] = [
         OpClass::HostPanel,

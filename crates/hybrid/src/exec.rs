@@ -124,8 +124,13 @@ impl HybridCtx {
             "host() called with non-host class {class:?}"
         );
         let dt = self.cost.seconds(class, work);
+        let start = self.host_time;
         self.host_time += dt;
         self.stats.record(class, dt);
+        if ft_trace::enabled() {
+            // Simulated lanes: 0 = host, 1+s = device stream s.
+            ft_trace::record_sim(class.name(), 0, start * 1e6, dt * 1e6);
+        }
         self.run(f)
     }
 
@@ -153,6 +158,9 @@ impl HybridCtx {
         let start = self.streams[stream.0].max(self.host_time);
         self.streams[stream.0] = start + dt;
         self.stats.record(class, dt);
+        if ft_trace::enabled() {
+            ft_trace::record_sim(class.name(), 1 + stream.0 as u64, start * 1e6, dt * 1e6);
+        }
         self.run(f)
     }
 
@@ -178,6 +186,14 @@ impl HybridCtx {
         self.streams[stream.0] = end;
         self.link_time = end;
         self.stats.record(OpClass::Transfer, dt);
+        if ft_trace::enabled() {
+            ft_trace::record_sim(
+                OpClass::Transfer.name(),
+                1 + stream.0 as u64,
+                start * 1e6,
+                dt * 1e6,
+            );
+        }
         self.run(f)
     }
 

@@ -49,18 +49,28 @@ impl ExecStats {
         self.host_busy + self.device_busy + self.link_busy
     }
 
-    /// Renders a small table for reports.
+    /// Renders a small table for reports. The name column is sized to the
+    /// longest class actually present (padding a pre-formatted `{class:?}`
+    /// with a fixed width misaligned rows once a variant outgrew it).
     pub fn summary(&self) -> String {
-        let mut out = String::from("class            count      seconds\n");
-        for class in OpClass::ALL {
-            if self.count(class) > 0 {
-                out.push_str(&format!(
-                    "{:<16} {:>6} {:>12.6}\n",
-                    format!("{class:?}"),
-                    self.count(class),
-                    self.seconds(class)
-                ));
-            }
+        let used: Vec<OpClass> = OpClass::ALL
+            .into_iter()
+            .filter(|&c| self.count(c) > 0)
+            .collect();
+        let name_w = used
+            .iter()
+            .map(|c| c.name().len())
+            .max()
+            .unwrap_or(0)
+            .max("class".len());
+        let mut out = format!("{:<name_w$} {:>6} {:>12}\n", "class", "count", "seconds");
+        for class in used {
+            out.push_str(&format!(
+                "{:<name_w$} {:>6} {:>12.6}\n",
+                class.name(),
+                self.count(class),
+                self.seconds(class)
+            ));
         }
         out
     }
@@ -93,5 +103,25 @@ mod tests {
         let text = s.summary();
         assert!(text.contains("Transfer"));
         assert!(!text.contains("HostPanel"));
+    }
+
+    #[test]
+    fn summary_snapshot_aligns_all_columns() {
+        let mut s = ExecStats::default();
+        s.record(OpClass::HostPanel, 1.0);
+        s.record(OpClass::DeviceVector, 0.5);
+        s.record(OpClass::Transfer, 0.25);
+        let expected = "\
+class         count      seconds
+HostPanel         1     1.000000
+DeviceVector      1     0.500000
+Transfer          1     0.250000
+";
+        let text = s.summary();
+        assert_eq!(text, expected);
+        // Every row is exactly as wide as the header — the alignment the
+        // old fixed-width `{class:?}` padding broke for long variants.
+        let lines: Vec<&str> = text.lines().map(str::trim_end).collect();
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
     }
 }

@@ -82,17 +82,22 @@ pub fn gehrd(a: &mut Matrix, cfg: &GehrdConfig) -> Vec<f64> {
         let remaining = total - k;
         // Fall back to unblocked for small remainders (latency-bound).
         if remaining <= cfg.nx.max(1) || cfg.nb == 1 {
+            let _span = ft_trace::span!("gehrd.tail", k);
             unblocked_tail(a, k, &mut tau[k..]);
             break;
         }
         let ib = cfg.nb.min(remaining);
-        let panel = lahr2(a, k, ib);
+        let panel = {
+            let _span = ft_trace::span!("gehrd.panel", k);
+            lahr2(a, k, ib)
+        };
         let m = panel.m(); // n - k - 1
 
         // (1) Right update to the rows above the panel, panel columns
         // k+1 ..= k+ib−1 (column k needs none):
         // A(0..=k, k+1..k+ib) −= Y(0..=k, :) · V(0..ib−1, :)ᵀ
         if ib > 1 {
+            let _span = ft_trace::span!("gehrd.right_update", k);
             gemm(
                 Trans::No,
                 Trans::Yes,
@@ -108,18 +113,22 @@ pub fn gehrd(a: &mut Matrix, cfg: &GehrdConfig) -> Vec<f64> {
         // A(:, k+ib..n) −= Y · V₂ᵀ, V₂ = V rows ib−1..m
         let ntrail = n - k - ib;
         if ntrail > 0 {
-            gemm(
-                Trans::No,
-                Trans::Yes,
-                -1.0,
-                &panel.y.as_view(),
-                &panel.v.view(ib - 1, 0, m - ib + 1, ib),
-                1.0,
-                &mut a.view_mut(0, k + ib, n, ntrail),
-            );
+            {
+                let _span = ft_trace::span!("gehrd.right_update", k);
+                gemm(
+                    Trans::No,
+                    Trans::Yes,
+                    -1.0,
+                    &panel.y.as_view(),
+                    &panel.v.view(ib - 1, 0, m - ib + 1, ib),
+                    1.0,
+                    &mut a.view_mut(0, k + ib, n, ntrail),
+                );
+            }
 
             // (3) Left update to the trailing matrix:
             // A(k+1..n, k+ib..n) ← (I − V·T·Vᵀ)ᵀ · A(k+1..n, k+ib..n)
+            let _span = ft_trace::span!("gehrd.left_update", k);
             crate::wy::larfb(
                 Side::Left,
                 Trans::Yes,

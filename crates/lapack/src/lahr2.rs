@@ -66,6 +66,7 @@ pub fn lahr2(a: &mut Matrix, k: usize, ib: usize) -> Panel {
 /// carries an extra checksum row and column that the panel factorization
 /// must not see.
 pub fn lahr2_within(a: &mut Matrix, n: usize, k: usize, ib: usize) -> Panel {
+    let _span = ft_trace::span!("lahr2", k);
     assert!(
         a.rows() >= n && a.cols() >= n,
         "lahr2_within: storage smaller than logical n"

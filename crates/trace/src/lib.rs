@@ -1,0 +1,268 @@
+#![warn(missing_docs)]
+//! `ft-trace` — the observability spine of the FT-Hess pipeline.
+//!
+//! The paper's entire value proposition is a *quantified* overhead claim
+//! (< 2 % for ABFT detection + recovery), so every layer of this workspace
+//! needs per-phase attribution: how long did the panel factorizations take
+//! versus the trailing updates, what did a detection episode cost, how much
+//! wall-clock went into a reverse-computation rollback. This crate provides
+//! that attribution with a strict cost contract:
+//!
+//! * **spans** — [`SpanGuard`] RAII guards (usually created through the
+//!   [`span!`] macro) record a monotonic start on construction and push one
+//!   [`Event`] to the process-wide sink on drop. When tracing is off the
+//!   constructor is a single relaxed atomic load: no clock read, no lock,
+//!   no allocation.
+//! * **counters / gauges** — a process-wide registry of named atomics
+//!   ([`counter`], [`gauge`]). These are *always on* (a relaxed
+//!   `fetch_add`, exactly what the ad-hoc probes they replaced cost) so
+//!   regression tests can pin exact counts without enabling tracing; only
+//!   the *event sink* is gated.
+//! * **simulated-clock events** — [`record_sim`] lets the `ft-hybrid`
+//!   discrete-event simulator mirror its host/stream/link timelines into
+//!   the same trace (they render as a second process in `chrome://tracing`,
+//!   so the simulated schedule sits next to the real one).
+//!
+//! # Runtime gate: the `FT_TRACE` environment variable
+//!
+//! | value            | behavior                                           |
+//! |------------------|----------------------------------------------------|
+//! | unset / `off`/`0`| collection off — span construction is one atomic load |
+//! | `summary` / `1`  | collect; [`finish`] prints an aggregate table to stderr |
+//! | `jsonl:<path>`   | collect; [`finish`] writes one JSON object per event |
+//! | `chrome:<path>`  | collect; [`finish`] writes a `chrome://tracing` / Perfetto file |
+//!
+//! The mode is parsed once, on first use; tests and benches can override it
+//! programmatically with [`set_mode`].
+//!
+//! # Compile-time gate: the `enabled` cargo feature
+//!
+//! Building with `--no-default-features` compiles every span, counter write
+//! and writer to a no-op (guards are inert unit-like values, [`counter`]
+//! returns a shared dummy). This is the hard floor beneath the runtime
+//! gate for deployments that want the instrumentation erased entirely.
+//!
+//! # Span taxonomy
+//!
+//! Names are dot-separated, coarsest domain first. The conventions used by
+//! the workspace (see DESIGN.md §9 for the full table):
+//!
+//! * `ft.*` — FT-driver phases (`ft.encode`, `ft.panel`, `ft.trailing`,
+//!   `ft.detect`, `ft.reverse`, `ft.locate`, `ft.correct`,
+//!   `ft.qprotect`). These are **disjoint leaf spans**: their durations
+//!   sum to (just under) the run's wall-clock, which is what lets
+//!   `FtReport` turn them into the paper's Figure 6 decomposition.
+//! * `gehrd.*` / `lahr2` — the plain LAPACK-layer blocked reduction.
+//! * `pool.*` — threaded-backend internals (`pool.dispatch` on the
+//!   caller, `pool.task` on workers).
+
+mod registry;
+mod span;
+mod writer;
+
+pub use registry::{counter, counters, gauge, gauges, Counter, Gauge};
+pub use span::{
+    current_tid, events_since, mark, record_sim, span_event_count, take_events, totals, Event,
+    SpanGuard, SpanTotal,
+};
+pub use writer::{summary_string, to_chrome_json, to_jsonl};
+
+use std::path::PathBuf;
+
+/// What the process does with collected trace data (parsed from
+/// `FT_TRACE`; see the crate docs for the accepted spellings).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No collection: span construction is a single relaxed atomic load.
+    #[default]
+    Off,
+    /// Collect events; [`finish`] prints an aggregated summary to stderr.
+    Summary,
+    /// Collect events; [`finish`] writes one JSON object per line.
+    Jsonl(PathBuf),
+    /// Collect events; [`finish`] writes a `chrome://tracing` JSON file.
+    Chrome(PathBuf),
+}
+
+impl TraceMode {
+    /// Parses an `FT_TRACE` value. Unknown strings fall back to
+    /// [`TraceMode::Off`] (a typo must never crash a production run).
+    pub fn parse(s: &str) -> TraceMode {
+        let t = s.trim();
+        if t.is_empty() || t.eq_ignore_ascii_case("off") || t == "0" {
+            TraceMode::Off
+        } else if t.eq_ignore_ascii_case("summary") || t == "1" {
+            TraceMode::Summary
+        } else if let Some(p) = t.strip_prefix("jsonl:") {
+            TraceMode::Jsonl(PathBuf::from(p))
+        } else if let Some(p) = t.strip_prefix("chrome:") {
+            TraceMode::Chrome(PathBuf::from(p))
+        } else {
+            TraceMode::Off
+        }
+    }
+
+    /// `true` if this mode collects span events.
+    pub fn collects(&self) -> bool {
+        !matches!(self, TraceMode::Off)
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod gate {
+    use super::TraceMode;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    pub(super) static COLLECT: AtomicBool = AtomicBool::new(false);
+    static INITTED: AtomicBool = AtomicBool::new(false);
+    static MODE: Mutex<Option<TraceMode>> = Mutex::new(None);
+
+    #[cold]
+    fn init_from_env() {
+        let mut m = MODE.lock().unwrap();
+        if m.is_none() {
+            let parsed = std::env::var("FT_TRACE")
+                .map(|v| TraceMode::parse(&v))
+                .unwrap_or(TraceMode::Off);
+            COLLECT.store(parsed.collects(), Ordering::Relaxed);
+            *m = Some(parsed);
+        }
+        INITTED.store(true, Ordering::Release);
+    }
+
+    #[inline]
+    pub(super) fn enabled() -> bool {
+        if !INITTED.load(Ordering::Acquire) {
+            init_from_env();
+        }
+        COLLECT.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn mode() -> TraceMode {
+        enabled();
+        MODE.lock().unwrap().clone().unwrap_or_default()
+    }
+
+    pub(super) fn set_mode(mode: TraceMode) {
+        COLLECT.store(mode.collects(), Ordering::Relaxed);
+        *MODE.lock().unwrap() = Some(mode);
+        INITTED.store(true, Ordering::Release);
+    }
+}
+
+/// `true` when span events are being collected (the hot-path check every
+/// guard constructor performs — one relaxed atomic load once initialized).
+#[inline]
+pub fn enabled() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        gate::enabled()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+/// The active trace mode (initialized from `FT_TRACE` on first use).
+pub fn mode() -> TraceMode {
+    #[cfg(feature = "enabled")]
+    {
+        gate::mode()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        TraceMode::Off
+    }
+}
+
+/// Overrides the trace mode programmatically (benches force collection
+/// around a measured run; tests pin `Off` to prove the zero-write
+/// contract). With the `enabled` feature off this is a no-op.
+pub fn set_mode(mode: TraceMode) {
+    #[cfg(feature = "enabled")]
+    {
+        gate::set_mode(mode)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = mode;
+    }
+}
+
+/// Drains the event sink and emits it according to the active mode:
+/// summary table to stderr, or a `jsonl`/`chrome` file at the configured
+/// path (returned on success). [`TraceMode::Off`] drains nothing and
+/// returns `None`.
+///
+/// Call this once at the end of a binary / example / bench; the library
+/// never writes files behind the caller's back.
+pub fn finish() -> std::io::Result<Option<PathBuf>> {
+    match mode() {
+        TraceMode::Off => Ok(None),
+        TraceMode::Summary => {
+            eprint!("{}", summary_string(&take_events()));
+            Ok(None)
+        }
+        TraceMode::Jsonl(path) => {
+            std::fs::write(&path, to_jsonl(&take_events()))?;
+            Ok(Some(path))
+        }
+        TraceMode::Chrome(path) => {
+            std::fs::write(&path, to_chrome_json(&take_events()))?;
+            Ok(Some(path))
+        }
+    }
+}
+
+/// Opens an RAII span: records a monotonic start now, pushes one
+/// [`Event`] to the sink when the returned guard drops. Inert (one atomic
+/// load, nothing else) when tracing is off.
+///
+/// ```
+/// # ft_trace::set_mode(ft_trace::TraceMode::Summary);
+/// let _span = ft_trace::span!("ft.panel", 3);
+/// // ... the panel factorization ...
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::new($name, None)
+    };
+    ($name:expr, $arg:expr) => {
+        $crate::SpanGuard::new($name, Some($arg as i64))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(TraceMode::parse(""), TraceMode::Off);
+        assert_eq!(TraceMode::parse("off"), TraceMode::Off);
+        assert_eq!(TraceMode::parse("0"), TraceMode::Off);
+        assert_eq!(TraceMode::parse("summary"), TraceMode::Summary);
+        assert_eq!(TraceMode::parse("SUMMARY"), TraceMode::Summary);
+        assert_eq!(TraceMode::parse("1"), TraceMode::Summary);
+        assert_eq!(
+            TraceMode::parse("jsonl:/tmp/t.jsonl"),
+            TraceMode::Jsonl(PathBuf::from("/tmp/t.jsonl"))
+        );
+        assert_eq!(
+            TraceMode::parse("chrome:trace.json"),
+            TraceMode::Chrome(PathBuf::from("trace.json"))
+        );
+        assert_eq!(TraceMode::parse("bogus"), TraceMode::Off);
+    }
+
+    #[test]
+    fn collects_matches_variant() {
+        assert!(!TraceMode::Off.collects());
+        assert!(TraceMode::Summary.collects());
+        assert!(TraceMode::Jsonl(PathBuf::from("x")).collects());
+        assert!(TraceMode::Chrome(PathBuf::from("x")).collects());
+    }
+}

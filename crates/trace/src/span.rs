@@ -1,0 +1,231 @@
+//! The span API and the process-wide event sink.
+//!
+//! Events land in one mutex-protected vector. That is deliberate: spans in
+//! this workspace are *phase*-granular (a panel factorization, a trailing
+//! update, a detection episode — tens of events per panel iteration, not
+//! per element), so sink contention is negligible next to the kernels the
+//! spans surround, and a single ordered vector makes per-run attribution
+//! (`mark` / `events_since`) trivial.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One completed span (or simulated-clock interval) in the trace.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Dot-separated span name (`ft.panel`, `pool.dispatch`, …).
+    pub name: &'static str,
+    /// Timeline category: `"wall"` for real monotonic-clock spans,
+    /// `"sim"` for simulated-clock events mirrored by `ft-hybrid`.
+    pub cat: &'static str,
+    /// Optional integer payload (panel start column, task count, …).
+    pub arg: Option<i64>,
+    /// Recording lane: a process-unique small thread id for wall spans,
+    /// the simulator's resource lane for sim events.
+    pub tid: u64,
+    /// Start, microseconds since the trace epoch (wall) or simulation
+    /// start (sim).
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+}
+
+static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A process-unique small id for the calling thread (assigned on first
+/// use; stable for the thread's lifetime). Used to attribute wall spans
+/// to threads and to filter one run's events out of a shared sink.
+pub fn current_tid() -> u64 {
+    TID.with(|t| {
+        if t.get() == 0 {
+            t.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        t.get()
+    })
+}
+
+fn now_us() -> f64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e6
+}
+
+/// RAII span guard: construct via [`crate::span!`]. Records start on
+/// creation and pushes one [`Event`] on drop — or does nothing at all
+/// when tracing is off at creation time.
+pub struct SpanGuard {
+    name: &'static str,
+    arg: Option<i64>,
+    start_us: f64,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` with an optional integer payload.
+    #[inline]
+    pub fn new(name: &'static str, arg: Option<i64>) -> SpanGuard {
+        if crate::enabled() {
+            SpanGuard {
+                name,
+                arg,
+                start_us: now_us(),
+                active: true,
+            }
+        } else {
+            SpanGuard {
+                name,
+                arg,
+                start_us: 0.0,
+                active: false,
+            }
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.active {
+            let end = now_us();
+            push(Event {
+                name: self.name,
+                cat: "wall",
+                arg: self.arg,
+                tid: current_tid(),
+                start_us: self.start_us,
+                dur_us: (end - self.start_us).max(0.0),
+            });
+        }
+    }
+}
+
+fn push(ev: Event) {
+    EVENTS.lock().unwrap().push(ev);
+}
+
+/// Records one simulated-clock interval (category `"sim"`) on resource
+/// lane `lane`. No-op when tracing is off — callers on hot loops should
+/// still guard with [`crate::enabled`] to skip argument marshalling.
+pub fn record_sim(name: &'static str, lane: u64, start_us: f64, dur_us: f64) {
+    if crate::enabled() {
+        push(Event {
+            name,
+            cat: "sim",
+            arg: None,
+            tid: lane,
+            start_us,
+            dur_us,
+        });
+    }
+}
+
+/// A watermark into the event sink: everything recorded from now on has an
+/// index `>=` the returned mark. Pair with [`events_since`] to attribute
+/// events to one run in a shared process.
+pub fn mark() -> usize {
+    EVENTS.lock().unwrap().len()
+}
+
+/// Clones the events recorded at or after `mark` (oldest first).
+pub fn events_since(mark: usize) -> Vec<Event> {
+    let evs = EVENTS.lock().unwrap();
+    evs.get(mark..).map(|s| s.to_vec()).unwrap_or_default()
+}
+
+/// Number of span events currently in the sink (the quantity the
+/// zero-writes-when-off tests pin to zero).
+pub fn span_event_count() -> usize {
+    EVENTS.lock().unwrap().len()
+}
+
+/// Drains the sink, returning every event recorded so far.
+pub fn take_events() -> Vec<Event> {
+    std::mem::take(&mut *EVENTS.lock().unwrap())
+}
+
+/// Aggregate of all events sharing one span name.
+#[derive(Clone, Debug)]
+pub struct SpanTotal {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Summed duration, microseconds.
+    pub total_us: f64,
+}
+
+/// Aggregates `events` by name (order of first appearance preserved).
+/// Callers filter by category / tid / prefix first if they need a subset.
+pub fn totals(events: &[Event]) -> Vec<SpanTotal> {
+    let mut out: Vec<SpanTotal> = Vec::new();
+    for ev in events {
+        match out.iter_mut().find(|t| t.name == ev.name) {
+            Some(t) => {
+                t.count += 1;
+                t.total_us += ev.dur_us;
+            }
+            None => out.push(SpanTotal {
+                name: ev.name,
+                count: 1,
+                total_us: ev.dur_us,
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_is_stable_and_nonzero() {
+        let a = current_tid();
+        let b = current_tid();
+        assert_eq!(a, b);
+        assert!(a > 0);
+        let other = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(a, other, "distinct threads get distinct tids");
+    }
+
+    #[test]
+    fn totals_aggregate_by_name() {
+        let evs = vec![
+            Event {
+                name: "a",
+                cat: "wall",
+                arg: None,
+                tid: 1,
+                start_us: 0.0,
+                dur_us: 2.0,
+            },
+            Event {
+                name: "b",
+                cat: "wall",
+                arg: None,
+                tid: 1,
+                start_us: 2.0,
+                dur_us: 1.0,
+            },
+            Event {
+                name: "a",
+                cat: "wall",
+                arg: None,
+                tid: 2,
+                start_us: 3.0,
+                dur_us: 4.0,
+            },
+        ];
+        let t = totals(&evs);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].name, "a");
+        assert_eq!(t[0].count, 2);
+        assert!((t[0].total_us - 6.0).abs() < 1e-12);
+        assert_eq!(t[1].count, 1);
+    }
+}

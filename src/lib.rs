@@ -13,7 +13,9 @@
 //! * [`hybrid`] — the simulated GPU+CPU platform (cost model + timelines);
 //! * [`fault`] — the transient soft-error model and injection campaigns;
 //! * [`hessenberg`] — the paper's contribution: checksum-encoded,
-//!   self-detecting, self-correcting hybrid Hessenberg reduction.
+//!   self-detecting, self-correcting hybrid Hessenberg reduction;
+//! * [`trace`] — the `FT_TRACE`-gated span/counter observability layer
+//!   threaded through all of the above.
 //!
 //! # Quick start
 //!
@@ -35,6 +37,7 @@ pub use ft_hessenberg as hessenberg;
 pub use ft_hybrid as hybrid;
 pub use ft_lapack as lapack;
 pub use ft_matrix as matrix;
+pub use ft_trace as trace;
 
 /// The most commonly used items in one import.
 pub mod prelude {
