@@ -57,9 +57,7 @@ fn bench_ft_components(c: &mut Criterion) {
 /// (order² element-operations); the smoke size stays serial under every
 /// backend and just exercises the path.
 fn bench_locate_backend(c: &mut Criterion) {
-    let smoke = std::env::var("FT_BENCH_SMOKE")
-        .map(|v| v != "0")
-        .unwrap_or(false);
+    let smoke = ft_bench::smoke();
     let n = if smoke { 256usize } else { 1536usize };
     let a = ft_matrix::random::uniform(n, n, 9);
     let ax = ExtMatrix::encode(&a);

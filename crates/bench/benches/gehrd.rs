@@ -51,9 +51,7 @@ fn bench_gehrd(c: &mut Criterion) {
 /// `ft_blas::backend::PARALLEL_MIN_VOLUME` and the threaded backend
 /// genuinely forks (the smoke run uses a smaller, sub-gate size).
 fn bench_ft_backend(c: &mut Criterion) {
-    let smoke = std::env::var("FT_BENCH_SMOKE")
-        .map(|v| v != "0")
-        .unwrap_or(false);
+    let smoke = ft_bench::smoke();
     let (n, nb) = if smoke {
         (96usize, 16usize)
     } else {

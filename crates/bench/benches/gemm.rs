@@ -8,11 +8,7 @@ use ft_blas::{gemm, gemm_with_algo, pool, with_backend, Backend, GemmAlgo, Trans
 use ft_matrix::Matrix;
 use std::time::Instant;
 
-fn smoke() -> bool {
-    std::env::var("FT_BENCH_SMOKE")
-        .map(|v| v != "0")
-        .unwrap_or(false)
-}
+use ft_bench::smoke;
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");

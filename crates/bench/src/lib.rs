@@ -4,6 +4,7 @@
 pub mod cli;
 pub mod heatmap;
 pub mod report;
+pub mod serve_report;
 pub mod sizes;
 pub mod stability;
 pub mod table;
@@ -11,5 +12,6 @@ pub mod table;
 pub use cli::Args;
 pub use heatmap::{polluted_count, polluted_rows, render_heatmap};
 pub use report::{write_bench_json, Record};
-pub use sizes::{paper_sizes, scaled_sizes};
+pub use serve_report::{loadgen_records, service_records};
+pub use sizes::{paper_sizes, scaled_sizes, smoke};
 pub use table::{pct, sci, Table};

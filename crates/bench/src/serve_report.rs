@@ -1,0 +1,124 @@
+//! `ft-serve` summaries → bench records.
+//!
+//! Converts a load-generator run ([`ft_serve::LoadgenSummary`]) and a
+//! service snapshot ([`ft_serve::ServiceStats`]) into the flat
+//! [`Record`]s the JSON emitter understands, so `BENCH_serve.json` sits
+//! next to the kernel benches with the same shape and tooling.
+
+use crate::report::Record;
+use ft_serve::{JobStatus, LoadgenSummary, Priority, PriorityLatency, ServiceStats};
+
+fn latency_fields(r: Record, prefix: &str, l: &PriorityLatency) -> Record {
+    r.int(&format!("{prefix}_count"), l.count)
+        .int(&format!("{prefix}_mean_us"), l.mean_us)
+        .int(&format!("{prefix}_p50_us"), l.p50_us)
+        .int(&format!("{prefix}_p95_us"), l.p95_us)
+        .int(&format!("{prefix}_p99_us"), l.p99_us)
+        .int(&format!("{prefix}_max_us"), l.max_us)
+}
+
+/// Records for one load-generator run: one `throughput` record with the
+/// headline numbers (jobs, wall, throughput, exact percentiles over all
+/// completed jobs) plus one `latency` record per priority class that saw
+/// traffic.
+pub fn loadgen_records(s: &LoadgenSummary) -> Vec<Record> {
+    let mut out = Vec::new();
+    let completed = s.count(|o| o.status == JobStatus::Completed);
+    let failed = s.count(|o| matches!(o.status, JobStatus::Failed(_)));
+    let missed = s.count(|o| o.status == JobStatus::DeadlineMissed);
+    let canceled = s.count(|o| o.status == JobStatus::Canceled);
+    let injected = s.count(|o| o.injected);
+    let injected_recovered = s.count(|o| o.injected && o.status == JobStatus::Completed);
+    let retried = s.count(|o| o.attempts > 1);
+
+    let head = Record::new()
+        .str("record", "throughput")
+        .int("clients", s.config.clients as u64)
+        .int("jobs", s.config.jobs as u64)
+        .int("accepted", s.accepted as u64)
+        .int("submit_errors", s.submit_errors as u64)
+        .int("lost", s.lost as u64)
+        .int("completed", completed as u64)
+        .int("failed", failed as u64)
+        .int("deadline_missed", missed as u64)
+        .int("canceled", canceled as u64)
+        .int("injected_fault_jobs", injected as u64)
+        .int("injected_fault_jobs_recovered", injected_recovered as u64)
+        .int("jobs_retried", retried as u64)
+        .int("service_retries", s.service.retries)
+        .num("wall_s", s.wall.as_secs_f64())
+        .num("throughput_jobs_per_s", s.throughput_jobs_per_s)
+        .int("seed", s.config.seed);
+    out.push(latency_fields(head, "latency", &s.latency_all));
+
+    for p in Priority::ALL {
+        let l = &s.latency[p.index()];
+        if l.count == 0 {
+            continue;
+        }
+        let rec = Record::new()
+            .str("record", "latency")
+            .str("priority", p.name());
+        out.push(latency_fields(rec, "latency", l));
+    }
+    out
+}
+
+/// One record summarizing a service statistics snapshot (the counter
+/// totals a dashboard would scrape from the `serve.*` registry entries).
+pub fn service_records(stats: &ServiceStats) -> Vec<Record> {
+    let mut rec = Record::new()
+        .str("record", "service_stats")
+        .int("submitted", stats.submitted)
+        .int("rejected", stats.rejected)
+        .int("completed", stats.completed)
+        .int("failed", stats.failed)
+        .int("retries", stats.retries)
+        .int("deadline_missed", stats.deadline_missed)
+        .int("canceled", stats.canceled)
+        .int("terminal", stats.terminal())
+        .int("queue_depth", stats.queue_depth as u64)
+        .int("in_flight", stats.in_flight);
+    for p in Priority::ALL {
+        let l = stats.latency_of(p);
+        if l.count == 0 {
+            continue;
+        }
+        rec = latency_fields(rec, p.name(), l);
+    }
+    vec![rec]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::to_json;
+    use ft_serve::{loadgen, LoadgenConfig, Service, ServiceConfig, Shutdown};
+    use std::time::Duration;
+
+    #[test]
+    fn records_from_a_real_run_are_well_formed() {
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 4,
+            ..ServiceConfig::default()
+        });
+        let cfg = LoadgenConfig {
+            clients: 2,
+            jobs: 6,
+            sizes: vec![16, 24],
+            submit_timeout: Duration::from_secs(60),
+            ..LoadgenConfig::default()
+        };
+        let summary = loadgen::run(&service, &cfg);
+        let stats = service.shutdown(Shutdown::Drain);
+
+        let mut records = loadgen_records(&summary);
+        records.extend(service_records(&stats));
+        let json = to_json("serve", &records);
+        assert!(json.contains("\"record\": \"throughput\""));
+        assert!(json.contains("\"record\": \"service_stats\""));
+        assert!(json.contains("\"lost\": 0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

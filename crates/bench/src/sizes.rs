@@ -17,6 +17,14 @@ pub fn smoke_sizes() -> Vec<usize> {
     vec![126, 190, 254]
 }
 
+/// `true` when `FT_BENCH_SMOKE` asks for the fast, CI-sized bench run
+/// (set and not `0`/`false`/`off`/`no`). The one place every bench target
+/// reads the knob — shared so the accepted spellings can't drift between
+/// targets.
+pub fn smoke() -> bool {
+    ft_trace::env_knob::flag("FT_BENCH_SMOKE")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

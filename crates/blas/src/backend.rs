@@ -64,10 +64,7 @@ impl Backend {
     /// docs for the accepted forms); unset or unrecognized values fall
     /// back to [`Backend::Serial`].
     pub fn from_env() -> Backend {
-        match std::env::var("FT_BLAS_BACKEND") {
-            Ok(v) => Backend::parse(&v).unwrap_or(Backend::Serial),
-            Err(_) => Backend::Serial,
-        }
+        ft_trace::env_knob::parse_with("FT_BLAS_BACKEND", Backend::parse).unwrap_or(Backend::Serial)
     }
 
     /// Parses `"serial"`, `"threaded"` or `"threaded:N"`.

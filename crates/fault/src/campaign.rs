@@ -36,6 +36,52 @@ impl CampaignConfig {
             (self.n - 2).div_ceil(self.nb)
         }
     }
+
+    /// Generates one trial of the `(region, moment)` cell deterministically
+    /// from the config seed — the unit [`Campaign::generate`] iterates, and
+    /// the hook per-job consumers (the `ft-serve` load generator) use to
+    /// derive a fresh [`FaultPlan`] per job without materializing a whole
+    /// campaign. Returns `None` when the region does not exist at the
+    /// moment's frontier (e.g. Area 1 at the very beginning).
+    ///
+    /// The derived RNG stream depends only on `(seed, region, moment,
+    /// trial_index)`, never on iteration order, so a trial generated here
+    /// is bit-identical to the same cell of a full campaign.
+    pub fn trial(&self, region: Region, moment: Moment, trial_index: usize) -> Option<Trial> {
+        let iters = self.iterations();
+        let seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((region as u64) << 32)
+            .wrapping_add((moment as u64) << 16)
+            .wrapping_add(trial_index as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let iteration = moment.iteration(iters);
+        // Frontier when the fault strikes: `iteration` full panels are
+        // complete (fault at IterationStart of the next one).
+        let k = (iteration * self.nb).min(self.n.saturating_sub(1));
+        let (row, col) = sample_in_region(self.n, k, region, &mut rng)?;
+        let kind = match self.magnitude {
+            Some(mag) => {
+                // Random sign.
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                FaultKind::Add(sign * mag)
+            }
+            None => FaultKind::BitFlip(rng.gen_range(20..52)),
+        };
+        let fault = ScheduledFault {
+            iteration,
+            phase: Phase::IterationStart,
+            fault: Fault { row, col, kind },
+        };
+        Some(Trial {
+            region,
+            moment,
+            trial_index,
+            plan: FaultPlan::new(vec![fault]),
+            fault,
+        })
+    }
 }
 
 /// One trial of a campaign: a fault plan plus its provenance.
@@ -69,47 +115,13 @@ impl Campaign {
     /// injection* (`k = iteration × nb`), so Area 1/3 faults are only
     /// generated for moments where those regions exist.
     pub fn generate(config: CampaignConfig) -> Campaign {
-        let iters = config.iterations();
         let mut trials = vec![];
         for &region in &config.regions {
             for &moment in &config.moments {
                 for t in 0..config.trials {
-                    let seed = config
-                        .seed
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add((region as u64) << 32)
-                        .wrapping_add((moment as u64) << 16)
-                        .wrapping_add(t as u64);
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let iteration = moment.iteration(iters);
-                    // Frontier when the fault strikes: `iteration` full
-                    // panels are complete (fault at IterationStart of the
-                    // next one). Iteration i completes columns up to
-                    // min(i*nb, n-2) reduced columns... use i*nb clamped.
-                    let k = (iteration * config.nb).min(config.n.saturating_sub(1));
-                    let Some((row, col)) = sample_in_region(config.n, k, region, &mut rng) else {
-                        continue;
-                    };
-                    let kind = match config.magnitude {
-                        Some(mag) => {
-                            // Random sign.
-                            let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-                            FaultKind::Add(sign * mag)
-                        }
-                        None => FaultKind::BitFlip(rng.gen_range(20..52)),
-                    };
-                    let fault = ScheduledFault {
-                        iteration,
-                        phase: Phase::IterationStart,
-                        fault: Fault { row, col, kind },
-                    };
-                    trials.push(Trial {
-                        region,
-                        moment,
-                        trial_index: t,
-                        plan: FaultPlan::new(vec![fault]),
-                        fault,
-                    });
+                    if let Some(trial) = config.trial(region, moment, t) {
+                        trials.push(trial);
+                    }
                 }
             }
         }
@@ -165,6 +177,22 @@ mod tests {
         config.moments = vec![Moment::Beginning];
         let c = Campaign::generate(config);
         assert!(c.trials.iter().all(|t| t.region == Region::Area2));
+    }
+
+    #[test]
+    fn single_trial_matches_campaign_cell() {
+        // The per-job hook must reproduce exactly the trial the full
+        // campaign generates for the same cell.
+        let config = cfg();
+        let c = Campaign::generate(config.clone());
+        for t in &c.trials {
+            let solo = config
+                .trial(t.region, t.moment, t.trial_index)
+                .expect("cell exists in the generated campaign");
+            assert_eq!(solo.fault, t.fault);
+        }
+        // Nonexistent cell: Area 1 at the beginning has an empty frontier.
+        assert!(config.trial(Region::Area1, Moment::Beginning, 0).is_none());
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::encode::{extend_v, extend_y, ExtMatrix};
 use crate::hybrid_alg::panel_costs;
 use crate::qprotect::QProtection;
 use crate::recovery::{correct_errors, locate_errors};
-use crate::report::{FtReport, PhaseBreakdown, RecoveryEvent};
+use crate::report::{FailureReason, FtReport, PhaseBreakdown, RecoveryEvent};
 use crate::reverse::{
     left_update_ext, reverse_left_update_ext, reverse_right_update_ext, right_update_panel_top,
     right_update_trailing,
@@ -98,6 +98,18 @@ pub struct FtOutcome {
     pub result: Option<HessFactorization>,
     /// Detection/recovery/timing report.
     pub report: FtReport,
+    /// `Some` when the run hit a terminal recovery failure (attempt
+    /// exhaustion or an unresolvable final check) and the result cannot be
+    /// trusted without independent verification. Retry-with-escalation
+    /// layers key off this field.
+    pub failure: Option<FailureReason>,
+}
+
+impl FtOutcome {
+    /// `true` when the run reported unrecoverable corruption.
+    pub fn is_unrecoverable(&self) -> bool {
+        self.failure.is_some()
+    }
 }
 
 /// Registry counter `ft.recoveries`: detection-and-recovery episodes
@@ -159,6 +171,7 @@ fn ft_gehrd_hybrid_inner(
         threshold,
         ..Default::default()
     };
+    let mut failure: Option<FailureReason> = None;
 
     // Transfer the input and encode it on the device (lines 1–2).
     ctx.h2d(s0, n * n * 8, || ());
@@ -336,6 +349,7 @@ fn ft_gehrd_hybrid_inner(
                 corrected: vec![],
                 resolved: false,
             });
+            failure.get_or_insert(FailureReason::RecoveryExhausted { iteration: iter });
         }
 
         // ---- commit: absorb the verified panel into Q protection --------
@@ -383,6 +397,9 @@ fn ft_gehrd_hybrid_inner(
                 corrected: fixes,
                 resolved: out.resolved,
             });
+            if !out.resolved {
+                failure.get_or_insert(FailureReason::UnresolvedFinalCheck { iteration: iter });
+            }
         }
     }
     // (b) Q storage check (paper §IV-F, once at the end).
@@ -422,7 +439,11 @@ fn ft_gehrd_hybrid_inner(
         packed: axm.into_packed(),
         tau,
     });
-    FtOutcome { result, report }
+    FtOutcome {
+        result,
+        report,
+        failure,
+    }
 }
 
 /// One full FT iteration body (also used verbatim for re-execution).
@@ -850,6 +871,54 @@ mod tests {
         let f = out.result.unwrap();
         let r = ResidualReport::compute(&a, &f.q(), &f.h());
         assert!(r.acceptable(1e-12), "{r:?} report={:?}", out.report);
+    }
+
+    #[test]
+    fn recovery_exhaustion_sets_structured_failure() {
+        // Zero recovery attempts: the first detection goes straight to the
+        // give-up re-encode, which must surface as a structured failure.
+        let n = 64;
+        let a = ft_matrix::random::uniform(n, n, 21);
+        let cfg = FtConfig {
+            max_recovery_attempts: 0,
+            ..FtConfig::with_nb(16)
+        };
+        let mut plan = FaultPlan::one(1, Fault::add(40, 50, 0.37));
+        let out = ft_gehrd_hybrid(&a, &cfg, &mut full_ctx(), &mut plan);
+        assert!(out.is_unrecoverable());
+        assert_eq!(
+            out.failure,
+            Some(crate::report::FailureReason::RecoveryExhausted { iteration: 1 })
+        );
+        // The clean counterpart (default attempts) recovers and reports no
+        // failure.
+        let mut plan = FaultPlan::one(1, Fault::add(40, 50, 0.37));
+        let ok = ft_gehrd_hybrid(&a, &FtConfig::with_nb(16), &mut full_ctx(), &mut plan);
+        assert!(!ok.is_unrecoverable(), "{:?}", ok.failure);
+    }
+
+    #[test]
+    fn timing_only_exhaustion_matches_full() {
+        // The timing-only simulation must charge (and report) the same
+        // give-up path as the full run.
+        let n = 96;
+        let a = ft_matrix::random::uniform(n, n, 22);
+        let cfg = FtConfig {
+            max_recovery_attempts: 0,
+            ..FtConfig::with_nb(16)
+        };
+        let mk_plan = || FaultPlan::one(1, Fault::add(40, 50, 0.29));
+        let full = ft_gehrd_hybrid(&a, &cfg, &mut full_ctx(), &mut mk_plan());
+        let mut ct = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::TimingOnly, 2);
+        let timing = ft_gehrd_hybrid(&a, &cfg, &mut ct, &mut mk_plan());
+        assert!(full.is_unrecoverable());
+        assert!(timing.is_unrecoverable());
+        assert!(
+            (full.report.sim_seconds - timing.report.sim_seconds).abs() < 1e-9,
+            "{} vs {}",
+            full.report.sim_seconds,
+            timing.report.sim_seconds
+        );
     }
 
     #[test]

@@ -41,11 +41,12 @@ pub mod verify;
 
 pub use encode::ExtMatrix;
 pub use ft_alg::{ft_gehrd_hybrid, FtConfig, FtOutcome};
+pub use ft_lapack::HessFactorization;
 pub use ftqr::{ftqr_factorize, FtQr, QrPostProcessReport};
 pub use hybrid_alg::{gehrd_hybrid, HybridConfig, HybridOutcome};
 pub use qprotect::QProtection;
 pub use recovery::{correct_errors, locate_errors, LocatedError};
-pub use report::FtReport;
+pub use report::{FailureReason, FtReport, PhaseBreakdown, RecoveryEvent};
 pub use threshold::ThresholdPolicy;
 pub use tridiag::{ft_sytd2, FtTridiagConfig, FtTridiagOutcome};
 pub use verify::{factorization_residual, orthogonality_residual};

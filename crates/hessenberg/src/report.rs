@@ -5,6 +5,29 @@ use ft_fault::AppliedFault;
 use ft_hybrid::ExecStats;
 use ft_trace::Event;
 
+/// Why a fault-tolerant run ended in a state the driver could not verify
+/// — the structured form of "unrecoverable corruption" that callers (and
+/// the `ft-serve` retry policy) branch on, instead of grepping
+/// [`FtReport::recoveries`] for unresolved episodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureReason {
+    /// An iteration's detector kept firing after
+    /// `FtConfig::max_recovery_attempts` rollback/repair/re-execute
+    /// cycles; the driver fell back to re-encoding the checksums from the
+    /// (possibly still corrupt) data so the factorization could finish.
+    RecoveryExhausted {
+        /// Panel iteration whose detection could not be cleared.
+        iteration: usize,
+    },
+    /// The end-of-run whole-matrix consistency check located an error
+    /// pattern it could not resolve to unique positions (rectangular
+    /// ambiguity); corrections were applied best-effort.
+    UnresolvedFinalCheck {
+        /// Iteration count at the time of the final check.
+        iteration: usize,
+    },
+}
+
 /// One detection-and-recovery episode.
 #[derive(Clone, Debug)]
 pub struct RecoveryEvent {

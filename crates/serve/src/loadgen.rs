@@ -1,0 +1,406 @@
+//! Closed-loop load generator for the service.
+//!
+//! `clients` generator threads share one job budget; each thread draws the
+//! next job index, builds a deterministic job from it (size, priority,
+//! fault injection, protection strength all derive from a seeded hash of
+//! the index — two runs with the same config produce the same job mix in
+//! some interleaving), submits it with the blocking submit, and waits for
+//! the result before drawing the next index. That closed loop is what
+//! exercises backpressure: with more clients than queue slots, submissions
+//! block until the executors drain.
+//!
+//! A fraction of the jobs carry an injected fault; half of those
+//! (by default) are additionally *weak* — submitted with
+//! `max_recovery_attempts = 0`, so the first detection exhausts the
+//! in-run recovery budget and the run comes back unrecoverable. Those
+//! jobs exist to drive the service's escalated-retry path end to end: the
+//! summary's invariant check demands they completed only via a retry
+//! (`attempts ≥ 2`).
+
+use crate::job::{FaultSpec, JobResult, JobSpec, JobStatus, Priority};
+use crate::scheduler::Service;
+use crate::stats::{PriorityLatency, ServiceStats};
+use ft_fault::{Fault, FaultPlan};
+use ft_hessenberg::FtConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Load mix and loop shape.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Total jobs to push through the service.
+    pub jobs: usize,
+    /// Matrix sizes to draw from (uniformly, by index hash).
+    pub sizes: Vec<usize>,
+    /// Panel width for every job.
+    pub nb: usize,
+    /// Fraction of jobs carrying one injected fault.
+    pub fault_fraction: f64,
+    /// Fraction of *faulted* jobs submitted weak
+    /// (`max_recovery_attempts = 0`, forcing the service's escalated
+    /// retry).
+    pub weak_fraction: f64,
+    /// Per-job deadline handed to the spec (`None` = service default).
+    pub deadline: Option<Duration>,
+    /// Blocking-submit timeout (generous: a closed loop should wait out
+    /// backpressure, not shed load).
+    pub submit_timeout: Duration,
+    /// Seed for the deterministic job mix.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            clients: 4,
+            jobs: 64,
+            sizes: vec![24, 32, 48, 64],
+            nb: 8,
+            fault_fraction: 0.25,
+            weak_fraction: 0.5,
+            deadline: None,
+            submit_timeout: Duration::from_secs(120),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// One generated job, as the load generator saw it end to end.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Generator job index (0-based; **not** the service [`crate::JobId`]).
+    pub index: usize,
+    /// Matrix dimension.
+    pub n: usize,
+    /// Priority it was submitted under.
+    pub priority: Priority,
+    /// Terminal status.
+    pub status: JobStatus,
+    /// Executed runs (service-side; ≥ 2 means the retry path fired).
+    pub attempts: u32,
+    /// Whether the generator injected a fault into this job.
+    pub injected: bool,
+    /// Whether the job was submitted weak (`max_recovery_attempts = 0`).
+    pub weak: bool,
+    /// Whether the final run's report shows at least one resolved
+    /// recovery episode.
+    pub recovered_in_run: bool,
+    /// Whether a report came back (the contract: every executed job
+    /// carries one).
+    pub has_report: bool,
+    /// Queue wait, µs.
+    pub queue_us: u64,
+    /// Submit-to-terminal latency, µs.
+    pub total_us: u64,
+}
+
+/// What one load-generator run produced.
+#[derive(Clone, Debug)]
+pub struct LoadgenSummary {
+    /// The mix that was run (job count, sizes, fractions, seed).
+    pub config: LoadgenConfig,
+    /// Jobs the service accepted.
+    pub accepted: usize,
+    /// Submissions that errored (timeout/closed/invalid; a closed loop
+    /// with a generous timeout should see zero).
+    pub submit_errors: usize,
+    /// Accepted jobs that never produced a result. **Must** be zero —
+    /// this is the no-lost-jobs invariant.
+    pub lost: usize,
+    /// Per-job outcomes, in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Wall-clock of the whole run.
+    pub wall: Duration,
+    /// Completed jobs per wall-clock second.
+    pub throughput_jobs_per_s: f64,
+    /// Exact (sample-based, not histogram) latency summary over completed
+    /// jobs, indexed by [`Priority::index`].
+    pub latency: [PriorityLatency; 3],
+    /// Exact latency summary over all completed jobs.
+    pub latency_all: PriorityLatency,
+    /// Service statistics snapshot taken right after the run.
+    pub service: ServiceStats,
+}
+
+impl LoadgenSummary {
+    /// Count of outcomes with the given status.
+    pub fn count(&self, pred: impl Fn(&JobOutcome) -> bool) -> usize {
+        self.outcomes.iter().filter(|o| pred(o)).count()
+    }
+
+    /// Checks the service-contract invariants over this run; returns every
+    /// violation found (empty = all good).
+    ///
+    /// * no accepted job was lost or duplicated;
+    /// * every executed job carries a report;
+    /// * every injected-fault job either completed (recovered, in-run or
+    ///   via retry) or failed *with* a report — never silently;
+    /// * every weak job that completed needed ≥ 2 attempts (the escalated
+    ///   retry did the work, not luck);
+    /// * deadline misses only occur when a deadline was configured.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.lost != 0 {
+            v.push(format!("{} accepted jobs produced no result", self.lost));
+        }
+        if self.outcomes.len() != self.accepted {
+            v.push(format!(
+                "outcome count {} != accepted {} (lost or duplicated jobs)",
+                self.outcomes.len(),
+                self.accepted
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for o in &self.outcomes {
+            if !seen.insert(o.index) {
+                v.push(format!("job index {} reported twice", o.index));
+            }
+            let executed = !matches!(o.status, JobStatus::Canceled | JobStatus::DeadlineMissed);
+            if executed && !o.has_report {
+                v.push(format!("job {} executed without a report", o.index));
+            }
+            if o.injected && matches!(o.status, JobStatus::Failed(_)) && !o.has_report {
+                v.push(format!("faulted job {} failed without a report", o.index));
+            }
+            if o.weak && o.status == JobStatus::Completed && o.attempts < 2 {
+                v.push(format!(
+                    "weak job {} completed in {} attempt(s) — escalated retry never ran",
+                    o.index, o.attempts
+                ));
+            }
+            if o.status == JobStatus::DeadlineMissed
+                && self.config.deadline.is_none()
+                && self.service.deadline_missed == 0
+            {
+                v.push(format!("job {} missed a deadline nobody set", o.index));
+            }
+        }
+        v
+    }
+}
+
+/// Deterministic per-index hash (splitmix64 over the seed/index pair —
+/// the same derivation idiom as the fault campaign's per-cell seeds).
+fn mix(seed: u64, lane: u64, i: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(lane.wrapping_mul(0xA076_1D64_78BD_642F))
+        .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Builds job `i` of the mix (public so the example and tests can inspect
+/// the generated spec without running a service).
+pub fn job_for_index(cfg: &LoadgenConfig, i: usize) -> (JobSpec, bool, bool) {
+    let n = cfg.sizes[mix(cfg.seed, 1, i as u64) as usize % cfg.sizes.len()];
+    let priority = Priority::ALL[mix(cfg.seed, 2, i as u64) as usize % 3];
+    let injected = unit(mix(cfg.seed, 3, i as u64)) < cfg.fault_fraction;
+    let weak = injected && unit(mix(cfg.seed, 4, i as u64)) < cfg.weak_fraction;
+
+    let matrix = ft_matrix::random::uniform(n, n, mix(cfg.seed, 5, i as u64));
+    let mut ft = FtConfig::with_nb(cfg.nb);
+    if weak {
+        ft.max_recovery_attempts = 0;
+    }
+    let faults = if injected {
+        // Strike inside the trailing submatrix of iteration 1 so the
+        // checksum detector is responsible for it.
+        let lo = cfg.nb.min(n.saturating_sub(2));
+        let span = (n - lo).max(1) as u64;
+        let row = lo + (mix(cfg.seed, 6, i as u64) % span) as usize;
+        let col = lo + (mix(cfg.seed, 7, i as u64) % span) as usize;
+        let delta = 0.25 + 0.75 * unit(mix(cfg.seed, 8, i as u64));
+        FaultSpec::Plan(FaultPlan::one(1, Fault::add(row, col, delta)))
+    } else {
+        FaultSpec::None
+    };
+
+    let spec = JobSpec {
+        cfg: ft,
+        faults,
+        priority,
+        deadline: cfg.deadline,
+        ..JobSpec::new(matrix)
+    };
+    (spec, injected, weak)
+}
+
+fn outcome_of(i: usize, n: usize, injected: bool, weak: bool, r: &JobResult) -> JobOutcome {
+    JobOutcome {
+        index: i,
+        n,
+        priority: r.priority,
+        status: r.status,
+        attempts: r.attempts,
+        injected,
+        weak,
+        recovered_in_run: r
+            .report
+            .as_ref()
+            .is_some_and(|rep| rep.recoveries.iter().any(|e| e.resolved)),
+        has_report: r.report.is_some(),
+        queue_us: r.queue_us,
+        total_us: r.total_us,
+    }
+}
+
+/// Exact latency summary from raw samples (sorted in place).
+fn exact_latency(samples: &mut [u64]) -> PriorityLatency {
+    if samples.is_empty() {
+        return PriorityLatency::default();
+    }
+    samples.sort_unstable();
+    let count = samples.len() as u64;
+    let pick = |p: f64| -> u64 {
+        let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as usize;
+        samples[rank.min(samples.len()) - 1]
+    };
+    PriorityLatency {
+        count,
+        mean_us: samples.iter().sum::<u64>() / count,
+        p50_us: pick(50.0),
+        p95_us: pick(95.0),
+        p99_us: pick(99.0),
+        max_us: *samples.last().unwrap(),
+    }
+}
+
+/// Runs the closed loop against `service` and summarizes the run. The
+/// service is left running (shut it down — and pick drain vs. abort —
+/// yourself).
+pub fn run(service: &Service, cfg: &LoadgenConfig) -> LoadgenSummary {
+    let next = AtomicUsize::new(0);
+    let accepted = AtomicUsize::new(0);
+    let submit_errors = AtomicUsize::new(0);
+    let outcomes: Mutex<Vec<JobOutcome>> = Mutex::new(Vec::with_capacity(cfg.jobs));
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.clients.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cfg.jobs {
+                    break;
+                }
+                let (spec, injected, weak) = job_for_index(cfg, i);
+                let n = spec.matrix.rows();
+                match service.submit(spec, cfg.submit_timeout) {
+                    Ok(handle) => {
+                        accepted.fetch_add(1, Ordering::Relaxed);
+                        let r = handle.wait();
+                        let o = outcome_of(i, n, injected, weak, &r);
+                        outcomes.lock().unwrap().push(o);
+                    }
+                    Err(_) => {
+                        submit_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    let wall = start.elapsed();
+    let outcomes = outcomes.into_inner().unwrap();
+    let accepted = accepted.into_inner();
+    let completed = outcomes
+        .iter()
+        .filter(|o| o.status == JobStatus::Completed)
+        .count();
+
+    let mut per_prio: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut all = Vec::with_capacity(completed);
+    for o in &outcomes {
+        if o.status == JobStatus::Completed {
+            per_prio[o.priority.index()].push(o.total_us);
+            all.push(o.total_us);
+        }
+    }
+
+    LoadgenSummary {
+        config: cfg.clone(),
+        accepted,
+        submit_errors: submit_errors.into_inner(),
+        lost: accepted.saturating_sub(outcomes.len()),
+        wall,
+        throughput_jobs_per_s: completed as f64 / wall.as_secs_f64().max(1e-9),
+        latency: {
+            let mut it = per_prio.iter_mut();
+            std::array::from_fn(|_| exact_latency(it.next().unwrap()))
+        },
+        latency_all: exact_latency(&mut all),
+        service: service.stats(),
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_mix_is_deterministic_and_in_range() {
+        let cfg = LoadgenConfig {
+            jobs: 32,
+            ..LoadgenConfig::default()
+        };
+        let mut faulted = 0;
+        let mut weak = 0;
+        for i in 0..cfg.jobs {
+            let (a, inj, wk) = job_for_index(&cfg, i);
+            let (b, inj2, wk2) = job_for_index(&cfg, i);
+            assert_eq!((inj, wk), (inj2, wk2));
+            assert_eq!(a.matrix.rows(), b.matrix.rows());
+            assert!(cfg.sizes.contains(&a.matrix.rows()));
+            assert!(a.validate().is_ok());
+            faulted += usize::from(inj);
+            weak += usize::from(wk);
+        }
+        assert!(faulted > 0, "mix must include faulted jobs");
+        assert!(weak > 0, "mix must include weak jobs");
+        assert!(weak <= faulted, "weak jobs are a subset of faulted jobs");
+    }
+
+    #[test]
+    fn exact_latency_percentiles() {
+        let mut s: Vec<u64> = (1..=100).rev().collect();
+        let l = exact_latency(&mut s);
+        assert_eq!(l.count, 100);
+        assert_eq!(l.p50_us, 50);
+        assert_eq!(l.p95_us, 95);
+        assert_eq!(l.p99_us, 99);
+        assert_eq!(l.max_us, 100);
+        assert_eq!(l.mean_us, 50);
+    }
+
+    #[test]
+    fn small_closed_loop_run_holds_invariants() {
+        let service = Service::start(crate::ServiceConfig {
+            workers: 2,
+            queue_capacity: 4,
+            ..crate::ServiceConfig::default()
+        });
+        let cfg = LoadgenConfig {
+            clients: 3,
+            jobs: 10,
+            sizes: vec![16, 24],
+            fault_fraction: 0.4,
+            ..LoadgenConfig::default()
+        };
+        let summary = run(&service, &cfg);
+        service.shutdown(crate::Shutdown::Drain);
+        assert_eq!(summary.accepted, 10);
+        assert_eq!(summary.lost, 0);
+        assert_eq!(summary.submit_errors, 0);
+        let violations = summary.violations();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -1,0 +1,125 @@
+//! A minimal one-shot rendezvous cell (the workspace carries no async
+//! runtime or channel crates; a mutex + condvar is all a job completion
+//! needs).
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A write-once cell a consumer can block on.
+#[derive(Debug, Default)]
+pub struct OneShot<T> {
+    slot: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+enum State<T> {
+    #[default]
+    Empty,
+    Set(T),
+    Taken,
+}
+
+impl<T> OneShot<T> {
+    /// An empty cell.
+    pub fn new() -> OneShot<T> {
+        OneShot {
+            slot: Mutex::new(State::Empty),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Stores the value and wakes waiters. Panics on double-set (a
+    /// scheduler bug: each job completes exactly once).
+    pub fn set(&self, value: T) {
+        let mut s = self.slot.lock().unwrap();
+        match *s {
+            State::Empty => *s = State::Set(value),
+            _ => panic!("OneShot::set called twice"),
+        }
+        drop(s);
+        self.cv.notify_all();
+    }
+
+    /// `true` once a value has been stored (and not yet taken).
+    pub fn is_set(&self) -> bool {
+        matches!(*self.slot.lock().unwrap(), State::Set(_))
+    }
+
+    /// Blocks until a value is stored, then takes it. Panics if the value
+    /// was already taken (one consumer per cell).
+    pub fn take_blocking(&self) -> T {
+        let mut s = self.slot.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *s, State::Taken) {
+                State::Set(v) => return v,
+                State::Empty => {
+                    *s = State::Empty;
+                    s = self.cv.wait(s).unwrap();
+                }
+                State::Taken => panic!("OneShot::take_blocking: value already taken"),
+            }
+        }
+    }
+
+    /// Waits up to `timeout` for a value to become available without
+    /// taking it; `true` if one is there.
+    pub fn wait_until_set(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut s = self.slot.lock().unwrap();
+        loop {
+            match *s {
+                State::Set(_) => return true,
+                State::Taken => return false,
+                State::Empty => {
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return false;
+                    }
+                    let (guard, _res) = self.cv.wait_timeout(s, deadline - now).unwrap();
+                    s = guard;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn set_then_take() {
+        let c = OneShot::new();
+        assert!(!c.is_set());
+        c.set(7);
+        assert!(c.is_set());
+        assert_eq!(c.take_blocking(), 7);
+        assert!(!c.is_set());
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let c = Arc::new(OneShot::new());
+        let c2 = Arc::clone(&c);
+        let t = std::thread::spawn(move || c2.take_blocking());
+        std::thread::sleep(Duration::from_millis(10));
+        c.set("done");
+        assert_eq!(t.join().unwrap(), "done");
+    }
+
+    #[test]
+    fn wait_times_out_when_empty() {
+        let c: OneShot<i32> = OneShot::new();
+        assert!(!c.wait_until_set(Duration::from_millis(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "set called twice")]
+    fn double_set_panics() {
+        let c = OneShot::new();
+        c.set(1);
+        c.set(2);
+    }
+}

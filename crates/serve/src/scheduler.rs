@@ -1,0 +1,542 @@
+//! The service proper: admission, executor workers, deadlines, retries,
+//! shutdown.
+//!
+//! # Execution model
+//!
+//! [`Service::start`] spawns a fixed set of executor worker threads. Each
+//! worker loops on the shared [`BoundedQueue`]: pop the next job (strict
+//! priority, FIFO within a class), run the FT reduction on a fresh
+//! simulator context, fulfill the caller's handle. Capacity is enforced at
+//! the queue, so admission control *is* the backpressure mechanism —
+//! [`Service::try_submit`] fails fast with [`SubmitError::QueueFull`] and
+//! [`Service::submit`] blocks (bounded) for a slot.
+//!
+//! # Worker backends
+//!
+//! Each worker owns a fixed [`ft_blas::Backend`] installed thread-locally
+//! for every run. By default the machine's parallelism is *partitioned*
+//! across workers: `W` workers on a `P`-way machine each get a
+//! `Threaded(P/W)` backend (or `Serial` once `P/W ≤ 1`), so the service
+//! oversubscribes nothing no matter how many jobs run concurrently. The
+//! shared `ft-blas` pool is safe for concurrent dispatch from multiple
+//! workers (its queue is mutex-protected and each dispatch waits on its
+//! own latch), and per-job numerics stay bit-identical regardless of the
+//! partition thanks to the backend determinism contract.
+//!
+//! # Deadlines and FT-aware retries
+//!
+//! A job whose absolute deadline passes while it is still queued (or
+//! between retry attempts) completes with [`JobStatus::DeadlineMissed`]
+//! without running. A run that reports unrecoverable corruption
+//! ([`FtOutcome::failure`](ft_hessenberg::FtOutcome) set) is retried under
+//! [`RetryPolicy`]: capped exponential backoff, protection escalated each
+//! attempt (TimingOnly→Full, `protect_q` on, more recovery attempts,
+//! compensated checksums). Only when the retry budget — or the deadline —
+//! is exhausted does the job fail, and it always carries the last
+//! [`FtReport`](ft_hessenberg::FtReport) so the caller can see what the
+//! detector saw.
+
+use crate::job::{JobHandle, JobId, JobResult, JobSpec, JobStatus, QueuedJob};
+use crate::oneshot::OneShot;
+use crate::queue::{BoundedQueue, SubmitError};
+use crate::retry::RetryPolicy;
+use crate::stats::{trace_hooks, ServiceCounters, ServiceStats};
+use ft_blas::Backend;
+use ft_hessenberg::ft_gehrd_hybrid;
+use ft_hybrid::{CostModel, HybridCtx};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service construction knobs.
+///
+/// [`ServiceConfig::default`] is fixed (no environment reads);
+/// [`ServiceConfig::from_env`] layers the `FT_SERVE_*` variables on top:
+///
+/// | variable | meaning | default |
+/// |---|---|---|
+/// | `FT_SERVE_WORKERS` | executor worker count (`0` = auto) | auto |
+/// | `FT_SERVE_QUEUE_CAP` | admission queue capacity | 64 |
+/// | `FT_SERVE_DEADLINE_MS` | default job deadline, ms (`0`/unset = none) | none |
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Executor worker threads; `0` means auto (min(available
+    /// parallelism, 4)).
+    pub workers: usize,
+    /// Admission queue capacity (≥ 1).
+    pub queue_capacity: usize,
+    /// Deadline applied to jobs whose spec carries none; `None` = no
+    /// default deadline.
+    pub default_deadline: Option<Duration>,
+    /// Retry policy for unrecoverable runs.
+    pub retry: RetryPolicy,
+    /// Fixed per-worker kernel backend; `None` partitions the machine's
+    /// parallelism evenly across workers.
+    pub worker_backend: Option<Backend>,
+    /// Simulator cost model each job context is built from.
+    pub cost: CostModel,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 64,
+            default_deadline: None,
+            retry: RetryPolicy::default(),
+            worker_backend: None,
+            cost: CostModel::k40c_sandy_bridge(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Defaults overridden by the `FT_SERVE_*` environment knobs (see the
+    /// type docs for the table).
+    pub fn from_env() -> Self {
+        let base = ServiceConfig::default();
+        ServiceConfig {
+            workers: ft_trace::env_knob::usize_or("FT_SERVE_WORKERS", base.workers),
+            queue_capacity: ft_trace::env_knob::usize_or("FT_SERVE_QUEUE_CAP", base.queue_capacity)
+                .max(1),
+            default_deadline: ft_trace::env_knob::ms_or_none("FT_SERVE_DEADLINE_MS"),
+            ..base
+        }
+    }
+
+    /// The worker count [`Service::start`] will spawn.
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            ft_blas::backend::available_parallelism().clamp(1, 4)
+        } else {
+            self.workers
+        }
+    }
+
+    /// The per-worker backend [`Service::start`] will install: the
+    /// explicit one if set, otherwise the machine's parallelism divided
+    /// evenly across workers (`Serial` once the share drops to one
+    /// thread).
+    pub fn resolved_worker_backend(&self) -> Backend {
+        if let Some(b) = self.worker_backend {
+            return b;
+        }
+        let share = ft_blas::backend::available_parallelism() / self.resolved_workers();
+        if share <= 1 {
+            Backend::Serial
+        } else {
+            Backend::Threaded(share)
+        }
+    }
+}
+
+/// How [`Service::shutdown`] treats queued jobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shutdown {
+    /// Stop admitting, run everything already queued, then stop.
+    Drain,
+    /// Stop admitting, complete queued jobs as
+    /// [`JobStatus::Canceled`] without running them, finish only the jobs
+    /// already executing.
+    Abort,
+}
+
+struct ServiceInner {
+    queue: BoundedQueue<QueuedJob>,
+    counters: ServiceCounters,
+    retry: RetryPolicy,
+    default_deadline: Option<Duration>,
+    cost: CostModel,
+    next_id: AtomicU64,
+}
+
+/// A running reduction service. Dropping it performs a drain shutdown.
+pub struct Service {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+    worker_backend: Backend,
+}
+
+impl Service {
+    /// Spawns the executor workers and opens the queue for submissions.
+    pub fn start(config: ServiceConfig) -> Service {
+        let nworkers = config.resolved_workers();
+        let backend = config.resolved_worker_backend();
+        let inner = Arc::new(ServiceInner {
+            queue: BoundedQueue::new(config.queue_capacity),
+            counters: ServiceCounters::new(),
+            retry: config.retry,
+            default_deadline: config.default_deadline,
+            cost: config.cost,
+            next_id: AtomicU64::new(0),
+        });
+        let workers = (0..nworkers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("ft-serve-{w}"))
+                    .spawn(move || {
+                        while let Some(job) = inner.queue.pop() {
+                            run_job(&inner, backend, job);
+                        }
+                    })
+                    .expect("ft-serve: failed to spawn executor worker")
+            })
+            .collect();
+        Service {
+            inner,
+            workers,
+            worker_backend: backend,
+        }
+    }
+
+    /// The backend each executor worker runs kernels under.
+    pub fn worker_backend(&self) -> Backend {
+        self.worker_backend
+    }
+
+    /// Number of executor workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The admission queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.inner.queue.capacity()
+    }
+
+    fn enqueue(
+        &self,
+        spec: JobSpec,
+        push: impl FnOnce(&BoundedQueue<QueuedJob>, QueuedJob) -> Result<(), SubmitError>,
+    ) -> Result<JobHandle, SubmitError> {
+        let hooks = trace_hooks();
+        if let Err(reason) = spec.validate() {
+            self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            hooks.rejected.incr();
+            return Err(SubmitError::InvalidSpec(reason));
+        }
+        let now = Instant::now();
+        let job = QueuedJob {
+            id: JobId(self.inner.next_id.fetch_add(1, Ordering::Relaxed)),
+            deadline: spec
+                .deadline
+                .or(self.inner.default_deadline)
+                .map(|d| now + d),
+            slot: Arc::new(OneShot::new()),
+            submitted: now,
+            spec,
+        };
+        let handle = JobHandle {
+            id: job.id,
+            priority: job.spec.priority,
+            slot: Arc::clone(&job.slot),
+        };
+        match push(&self.inner.queue, job) {
+            Ok(()) => {
+                self.inner
+                    .counters
+                    .submitted
+                    .fetch_add(1, Ordering::Relaxed);
+                hooks.submitted.incr();
+                hooks.queue_depth.set(self.inner.queue.len() as u64);
+                Ok(handle)
+            }
+            Err(e) => {
+                self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                hooks.rejected.incr();
+                Err(e)
+            }
+        }
+    }
+
+    /// Non-blocking submission: fails fast with
+    /// [`SubmitError::QueueFull`] when the queue is at capacity.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.enqueue(spec, |q, job| {
+            let p = job.spec.priority;
+            q.try_push(p, job).map_err(|(e, _job)| e)
+        })
+    }
+
+    /// Blocking submission: waits up to `timeout` for a queue slot.
+    pub fn submit(&self, spec: JobSpec, timeout: Duration) -> Result<JobHandle, SubmitError> {
+        self.enqueue(spec, |q, job| {
+            let p = job.spec.priority;
+            q.push_timeout(p, job, timeout).map_err(|(e, _job)| e)
+        })
+    }
+
+    /// A point-in-time statistics snapshot (internal atomics; the same
+    /// totals are mirrored to the `serve.*` registry entries in
+    /// `ft-trace`).
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.inner.counters;
+        ServiceStats {
+            queue_depth: self.inner.queue.len(),
+            in_flight: c.in_flight.load(Ordering::Relaxed),
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            deadline_missed: c.deadline_missed.load(Ordering::Relaxed),
+            canceled: c.canceled.load(Ordering::Relaxed),
+            latency: std::array::from_fn(|i| c.latency[i].snapshot()),
+        }
+    }
+
+    /// Stops the service and joins every worker. `Drain` runs all queued
+    /// jobs first; `Abort` cancels them (their handles resolve to
+    /// [`JobStatus::Canceled`]). Jobs already executing finish either
+    /// way. Returns the final statistics snapshot.
+    pub fn shutdown(mut self, mode: Shutdown) -> ServiceStats {
+        self.stop(mode);
+        let stats = self.stats();
+        self.workers.clear(); // already joined by stop()
+        stats
+    }
+
+    fn stop(&mut self, mode: Shutdown) {
+        let hooks = trace_hooks();
+        match mode {
+            Shutdown::Drain => self.inner.queue.close(),
+            Shutdown::Abort => {
+                for job in self.inner.queue.close_and_drain() {
+                    let c = &self.inner.counters;
+                    c.canceled.fetch_add(1, Ordering::Relaxed);
+                    hooks.canceled.incr();
+                    let us = elapsed_us(job.submitted);
+                    job.slot.set(JobResult {
+                        id: job.id,
+                        priority: job.spec.priority,
+                        status: JobStatus::Canceled,
+                        attempts: 0,
+                        report: None,
+                        result: None,
+                        queue_us: us,
+                        total_us: us,
+                    });
+                }
+            }
+        }
+        hooks.queue_depth.set(0);
+        for h in self.workers.drain(..) {
+            h.join().expect("ft-serve: executor worker panicked");
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.stop(Shutdown::Drain);
+        }
+    }
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Executes one job on the calling worker thread: deadline gate, run,
+/// escalated retries, handle fulfillment, accounting.
+fn run_job(inner: &ServiceInner, backend: Backend, job: QueuedJob) {
+    let hooks = trace_hooks();
+    let c = &inner.counters;
+    let in_flight = c.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+    hooks.in_flight.set(in_flight);
+    hooks.queue_depth.set(inner.queue.len() as u64);
+
+    let QueuedJob {
+        id,
+        spec,
+        slot,
+        submitted,
+        deadline,
+    } = job;
+    let queue_us = elapsed_us(submitted);
+    let mut cfg = spec.cfg;
+    cfg.backend = backend;
+    let mut exec = spec.exec;
+    let mut attempts = 0u32;
+    let mut report = None;
+    let mut result = None;
+
+    let status = loop {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            break JobStatus::DeadlineMissed;
+        }
+        let _span = ft_trace::span!("serve.run", attempts as usize);
+        let mut plan = spec.faults.materialize();
+        let mut ctx = HybridCtx::new(inner.cost.clone(), exec, 2);
+        ctx.set_host_parallelism(backend.threads() as f64);
+        let out = ft_blas::with_backend(backend, || {
+            ft_gehrd_hybrid(&spec.matrix, &cfg, &mut ctx, &mut plan)
+        });
+        attempts += 1;
+        report = Some(out.report);
+        let Some(reason) = out.failure else {
+            result = out.result;
+            break JobStatus::Completed;
+        };
+        // attempts counts executed runs; the budget is 1 + max_retries.
+        if attempts > inner.retry.max_retries {
+            break JobStatus::Failed(reason);
+        }
+        let backoff = inner.retry.backoff(attempts);
+        if deadline.is_some_and(|d| Instant::now() + backoff >= d) {
+            break JobStatus::Failed(reason);
+        }
+        c.retries.fetch_add(1, Ordering::Relaxed);
+        hooks.retries.incr();
+        std::thread::sleep(backoff);
+        let (next_cfg, next_exec) = RetryPolicy::escalate(&cfg, exec);
+        cfg = next_cfg;
+        cfg.backend = backend;
+        exec = next_exec;
+    };
+
+    let total_us = elapsed_us(submitted);
+    match status {
+        JobStatus::Completed => {
+            c.completed.fetch_add(1, Ordering::Relaxed);
+            hooks.completed.incr();
+            c.latency[spec.priority.index()].record(total_us);
+        }
+        JobStatus::Failed(_) => {
+            c.failed.fetch_add(1, Ordering::Relaxed);
+            hooks.failed.incr();
+        }
+        JobStatus::DeadlineMissed => {
+            c.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            hooks.deadline_missed.incr();
+        }
+        // Cancellation happens on the shutdown path, never in a worker.
+        JobStatus::Canceled => unreachable!("workers never cancel"),
+    }
+    let in_flight = c.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
+    hooks.in_flight.set(in_flight);
+
+    slot.set(JobResult {
+        id,
+        priority: spec.priority,
+        status,
+        attempts,
+        report,
+        result,
+        queue_us,
+        total_us,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Priority;
+    use ft_matrix::Matrix;
+
+    fn small_spec(n: usize) -> JobSpec {
+        let mut spec = JobSpec::new(ft_matrix::random::uniform(n, n, n as u64));
+        spec.cfg = ft_hessenberg::FtConfig::with_nb(8);
+        spec
+    }
+
+    #[test]
+    fn completes_a_simple_job() {
+        let svc = Service::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 4,
+            ..ServiceConfig::default()
+        });
+        let h = svc.try_submit(small_spec(24)).unwrap();
+        let r = h.wait();
+        assert_eq!(r.status, JobStatus::Completed);
+        assert_eq!(r.attempts, 1);
+        assert!(r.result.is_some());
+        assert!(r.report.is_some());
+        let stats = svc.shutdown(Shutdown::Drain);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.terminal(), 1);
+    }
+
+    #[test]
+    fn rejects_invalid_spec() {
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let err = svc
+            .try_submit(JobSpec::new(Matrix::zeros(3, 5)))
+            .unwrap_err();
+        assert!(matches!(err, SubmitError::InvalidSpec(_)));
+        assert_eq!(svc.stats().rejected, 1);
+    }
+
+    #[test]
+    fn immediate_deadline_is_missed() {
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let mut spec = small_spec(16);
+        spec.deadline = Some(Duration::ZERO);
+        let r = svc.try_submit(spec).unwrap().wait();
+        assert_eq!(r.status, JobStatus::DeadlineMissed);
+        assert_eq!(r.attempts, 0);
+    }
+
+    #[test]
+    fn abort_cancels_queued_jobs() {
+        // One worker wedged on a big job; everything behind it is queued.
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..ServiceConfig::default()
+        });
+        let first = svc.try_submit(small_spec(96)).unwrap();
+        let queued: Vec<_> = (0..3)
+            .map(|_| {
+                let mut s = small_spec(16);
+                s.priority = Priority::Low;
+                svc.try_submit(s).unwrap()
+            })
+            .collect();
+        let stats = svc.shutdown(Shutdown::Abort);
+        // The in-flight job finished; the queued ones were canceled
+        // (unless the worker got to some before shutdown — accept both,
+        // but the totals must add up with nothing lost).
+        assert_eq!(stats.terminal(), 4);
+        let _ = first.wait();
+        for h in queued {
+            let r = h.wait();
+            assert!(
+                matches!(r.status, JobStatus::Canceled | JobStatus::Completed),
+                "{r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn config_resolution() {
+        let cfg = ServiceConfig {
+            workers: 0,
+            ..ServiceConfig::default()
+        };
+        assert!(cfg.resolved_workers() >= 1);
+        let pinned = ServiceConfig {
+            workers: 2,
+            worker_backend: Some(Backend::Threaded(3)),
+            ..ServiceConfig::default()
+        };
+        assert_eq!(pinned.resolved_workers(), 2);
+        assert_eq!(pinned.resolved_worker_backend(), Backend::Threaded(3));
+        // Auto partition never oversubscribes: workers × share ≤ machine.
+        let auto = ServiceConfig::default();
+        let share = auto.resolved_worker_backend().threads();
+        assert!(
+            share * auto.resolved_workers() <= ft_blas::backend::available_parallelism().max(1)
+        );
+    }
+}

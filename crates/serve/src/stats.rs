@@ -1,0 +1,235 @@
+//! Service observability: internal atomics for the per-instance snapshot,
+//! mirrored into the process-wide `ft-trace` registry (`serve.*` counters
+//! and gauges) so the service shows up next to `pool.*`/`ft.*` in traces
+//! and counter dumps.
+
+use crate::job::Priority;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Cached `serve.*` registry handles (one mutex-guarded lookup each,
+/// then plain pointers — the registry idiom from `ft-trace`).
+pub(crate) struct TraceHooks {
+    pub submitted: &'static ft_trace::Counter,
+    pub rejected: &'static ft_trace::Counter,
+    pub completed: &'static ft_trace::Counter,
+    pub failed: &'static ft_trace::Counter,
+    pub retries: &'static ft_trace::Counter,
+    pub deadline_missed: &'static ft_trace::Counter,
+    pub canceled: &'static ft_trace::Counter,
+    pub queue_depth: &'static ft_trace::Gauge,
+    pub in_flight: &'static ft_trace::Gauge,
+}
+
+pub(crate) fn trace_hooks() -> &'static TraceHooks {
+    static HOOKS: OnceLock<TraceHooks> = OnceLock::new();
+    HOOKS.get_or_init(|| TraceHooks {
+        submitted: ft_trace::counter("serve.submitted"),
+        rejected: ft_trace::counter("serve.rejected"),
+        completed: ft_trace::counter("serve.completed"),
+        failed: ft_trace::counter("serve.failed"),
+        retries: ft_trace::counter("serve.retries"),
+        deadline_missed: ft_trace::counter("serve.deadline_missed"),
+        canceled: ft_trace::counter("serve.canceled"),
+        queue_depth: ft_trace::gauge("serve.queue_depth"),
+        in_flight: ft_trace::gauge("serve.in_flight"),
+    })
+}
+
+/// Log₂-bucketed latency histogram, microsecond domain. 40 buckets cover
+/// 1 µs … ~18 minutes; percentile estimates return the upper edge of the
+/// selected bucket (a ≤2× overestimate, which is plenty for a service
+/// snapshot — the load generator keeps exact samples for reporting).
+#[derive(Debug)]
+pub(crate) struct LatencyHistogram {
+    buckets: [AtomicU64; Self::BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    const BUCKETS: usize = 40;
+
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket(us: u64) -> usize {
+        // Bucket b holds latencies in (2^(b−1), 2^b] µs; bucket 0 holds 0–1.
+        (64 - us.leading_zeros() as usize).min(Self::BUCKETS - 1)
+    }
+
+    pub fn record(&self, us: u64) {
+        self.buckets[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Upper-edge estimate of the `p`-th percentile (0 < p ≤ 100).
+    fn percentile_us(&self, p: f64) -> u64 {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, slot) in self.buckets.iter().enumerate() {
+            seen += slot.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if b == 0 { 1 } else { 1u64 << b };
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    pub fn snapshot(&self) -> PriorityLatency {
+        let count = self.count.load(Ordering::Relaxed);
+        PriorityLatency {
+            count,
+            mean_us: self
+                .sum_us
+                .load(Ordering::Relaxed)
+                .checked_div(count)
+                .unwrap_or(0),
+            p50_us: self.percentile_us(50.0),
+            p95_us: self.percentile_us(95.0),
+            p99_us: self.percentile_us(99.0),
+            max_us: self.max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Latency snapshot for one priority class (histogram-derived; percentile
+/// fields are upper-edge estimates of the underlying log₂ buckets).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PriorityLatency {
+    /// Completed observations.
+    pub count: u64,
+    /// Arithmetic mean, µs.
+    pub mean_us: u64,
+    /// Median estimate, µs.
+    pub p50_us: u64,
+    /// 95th-percentile estimate, µs.
+    pub p95_us: u64,
+    /// 99th-percentile estimate, µs.
+    pub p99_us: u64,
+    /// Exact maximum, µs.
+    pub max_us: u64,
+}
+
+/// Internal counter block (the snapshot source).
+#[derive(Debug)]
+pub(crate) struct ServiceCounters {
+    pub submitted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub retries: AtomicU64,
+    pub deadline_missed: AtomicU64,
+    pub canceled: AtomicU64,
+    pub in_flight: AtomicU64,
+    pub latency: [LatencyHistogram; 3],
+}
+
+impl ServiceCounters {
+    pub fn new() -> ServiceCounters {
+        ServiceCounters {
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            deadline_missed: AtomicU64::new(0),
+            canceled: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            latency: [
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+                LatencyHistogram::new(),
+            ],
+        }
+    }
+}
+
+/// Point-in-time statistics of a running service.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Jobs currently queued (admitted, not yet picked up).
+    pub queue_depth: usize,
+    /// Jobs currently executing (including retry backoff waits).
+    pub in_flight: u64,
+    /// Jobs admitted since start.
+    pub submitted: u64,
+    /// Submissions refused (`QueueFull`/`Timeout`/`Closed`).
+    pub rejected: u64,
+    /// Jobs that reached [`crate::JobStatus::Completed`].
+    pub completed: u64,
+    /// Jobs that reached [`crate::JobStatus::Failed`].
+    pub failed: u64,
+    /// Escalated re-runs executed (counts runs, not jobs).
+    pub retries: u64,
+    /// Jobs that expired before (or between) runs.
+    pub deadline_missed: u64,
+    /// Jobs canceled by an abort shutdown.
+    pub canceled: u64,
+    /// Per-priority completion latency, indexed by [`Priority::index`].
+    pub latency: [PriorityLatency; 3],
+}
+
+impl ServiceStats {
+    /// Jobs accounted as terminal (completed + failed + deadline-missed +
+    /// canceled).
+    pub fn terminal(&self) -> u64 {
+        self.completed + self.failed + self.deadline_missed + self.canceled
+    }
+
+    /// Latency snapshot of one priority class.
+    pub fn latency_of(&self, p: Priority) -> &PriorityLatency {
+        &self.latency[p.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_samples() {
+        let h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(us);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max_us, 1000);
+        // Upper-edge estimates: within 2× above the exact percentile and
+        // never below it.
+        assert!(s.p50_us >= 500 && s.p50_us <= 1024, "{s:?}");
+        assert!(s.p95_us >= 950 && s.p95_us <= 2048, "{s:?}");
+        assert!(s.p99_us >= 990 && s.p99_us <= 2048, "{s:?}");
+        assert!(s.mean_us >= 400 && s.mean_us <= 600, "{s:?}");
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot(), PriorityLatency::default());
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 1);
+        assert_eq!(LatencyHistogram::bucket(2), 2);
+        assert_eq!(LatencyHistogram::bucket(3), 2);
+        assert_eq!(LatencyHistogram::bucket(4), 3);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), 39);
+    }
+}

@@ -1,0 +1,68 @@
+//! Compile-time trait assertions for every type that crosses the service
+//! boundary.
+//!
+//! The service moves job specs into worker threads and hands results back
+//! across them, so the whole configuration vocabulary of the lower crates
+//! must be `Send + Sync` (and `Clone + Debug`, so specs can be stamped out
+//! and logged). These are compile-time facts — if a later change adds an
+//! `Rc` or a raw pointer to any of these types, this file stops
+//! compiling, which is the point.
+
+use std::fmt::Debug;
+
+fn send_sync<T: Send + Sync>() {}
+fn clone_debug<T: Clone + Debug>() {}
+fn send_sync_static<T: Send + Sync + 'static>() {}
+
+#[test]
+fn configuration_types_are_send_sync_clone_debug() {
+    // The lower-crate configuration vocabulary carried inside a JobSpec.
+    send_sync::<ft_hessenberg::FtConfig>();
+    clone_debug::<ft_hessenberg::FtConfig>();
+    send_sync::<ft_hessenberg::HybridConfig>();
+    clone_debug::<ft_hessenberg::HybridConfig>();
+    send_sync::<ft_hessenberg::ThresholdPolicy>();
+    clone_debug::<ft_hessenberg::ThresholdPolicy>();
+    send_sync::<ft_fault::CampaignConfig>();
+    clone_debug::<ft_fault::CampaignConfig>();
+    send_sync::<ft_fault::FaultPlan>();
+    clone_debug::<ft_fault::FaultPlan>();
+    send_sync::<ft_hybrid::CostModel>();
+    clone_debug::<ft_hybrid::CostModel>();
+    send_sync::<ft_blas::Backend>();
+    clone_debug::<ft_blas::Backend>();
+    send_sync::<ft_matrix::Matrix>();
+    clone_debug::<ft_matrix::Matrix>();
+}
+
+#[test]
+fn service_types_are_send_sync() {
+    // What crosses the submission boundary must be movable into workers
+    // and waitable from any thread, with no lifetime ties to the caller.
+    send_sync_static::<ft_serve::JobSpec>();
+    clone_debug::<ft_serve::JobSpec>();
+    send_sync_static::<ft_serve::JobHandle>();
+    clone_debug::<ft_serve::JobHandle>();
+    send_sync_static::<ft_serve::JobResult>();
+    send_sync_static::<ft_serve::Service>();
+    send_sync_static::<ft_serve::ServiceConfig>();
+    clone_debug::<ft_serve::ServiceConfig>();
+    send_sync_static::<ft_serve::ServiceStats>();
+    clone_debug::<ft_serve::ServiceStats>();
+    send_sync_static::<ft_serve::LoadgenSummary>();
+    clone_debug::<ft_serve::LoadgenSummary>();
+    send_sync_static::<ft_serve::BoundedQueue<ft_serve::JobSpec>>();
+    send_sync_static::<ft_serve::SubmitError>();
+    clone_debug::<ft_serve::SubmitError>();
+}
+
+#[test]
+fn report_types_are_send() {
+    // Results (including failure reports) travel from worker to caller.
+    send_sync_static::<ft_hessenberg::FtReport>();
+    clone_debug::<ft_hessenberg::FtReport>();
+    send_sync_static::<ft_hessenberg::FailureReason>();
+    clone_debug::<ft_hessenberg::FailureReason>();
+    send_sync_static::<ft_serve::JobStatus>();
+    clone_debug::<ft_serve::JobStatus>();
+}

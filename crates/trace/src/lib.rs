@@ -55,7 +55,13 @@
 //! * `gehrd.*` / `lahr2` — the plain LAPACK-layer blocked reduction.
 //! * `pool.*` — threaded-backend internals (`pool.dispatch` on the
 //!   caller, `pool.task` on workers).
+//! * `serve.*` — the reduction service: a `serve.run` span per executed
+//!   attempt, plus the `serve.submitted` / `serve.completed` /
+//!   `serve.failed` / `serve.retries` … counter family and the
+//!   `serve.queue_depth` / `serve.in_flight` gauges (registered through
+//!   [`counter`] / [`gauge`] by `ft-serve`).
 
+pub mod env_knob;
 mod registry;
 mod span;
 mod writer;
@@ -122,8 +128,7 @@ mod gate {
     fn init_from_env() {
         let mut m = MODE.lock().unwrap();
         if m.is_none() {
-            let parsed = std::env::var("FT_TRACE")
-                .map(|v| TraceMode::parse(&v))
+            let parsed = super::env_knob::parse_with("FT_TRACE", |v| Some(TraceMode::parse(v)))
                 .unwrap_or(TraceMode::Off);
             COLLECT.store(parsed.collects(), Ordering::Relaxed);
             *m = Some(parsed);

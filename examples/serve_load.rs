@@ -1,0 +1,123 @@
+//! Closed-loop load test of the reduction service — the end-to-end proof
+//! that a stream of mixed-size, mixed-priority, fault-injected reduction
+//! jobs flows through `ft-serve` with nothing lost: every weak job
+//! (submitted with a zero in-run recovery budget plus an injected fault)
+//! is rescued by the service's escalated retry, every failure carries its
+//! detection report, and the run exits non-zero if any service-contract
+//! invariant breaks. CI runs this under `FT_BLAS_BACKEND=threaded:4`.
+//!
+//! Knobs (all via the shared `env_knob` parsing — unset/empty = default):
+//! `FT_SERVE_WORKERS`, `FT_SERVE_QUEUE_CAP`, `FT_SERVE_DEADLINE_MS`
+//! configure the service; `SERVE_LOAD_JOBS` / `SERVE_LOAD_CLIENTS`
+//! scale the mix.
+//!
+//! Run with: `cargo run --release --example serve_load`
+
+use ft_hess_repro::serve::{loadgen, JobStatus, LoadgenConfig, Service, ServiceConfig, Shutdown};
+use ft_hess_repro::trace::env_knob;
+use std::time::Duration;
+
+fn main() {
+    let service_cfg = ServiceConfig::from_env();
+    let service = Service::start(service_cfg);
+    println!(
+        "service: {} workers x {:?}, queue capacity {}",
+        service.worker_count(),
+        service.worker_backend(),
+        service.queue_capacity()
+    );
+
+    let cfg = LoadgenConfig {
+        clients: env_knob::usize_or("SERVE_LOAD_CLIENTS", 4).max(1),
+        jobs: env_knob::usize_or("SERVE_LOAD_JOBS", 64).max(1),
+        sizes: vec![24, 32, 48, 64],
+        nb: 8,
+        fault_fraction: 0.25,
+        weak_fraction: 0.5,
+        deadline: None,
+        submit_timeout: Duration::from_secs(300),
+        seed: 0x5EED,
+    };
+    println!(
+        "load: {} clients, {} jobs, sizes {:?}, {:.0}% faulted ({:.0}% of those weak)\n",
+        cfg.clients,
+        cfg.jobs,
+        cfg.sizes,
+        cfg.fault_fraction * 100.0,
+        cfg.weak_fraction * 100.0
+    );
+
+    let summary = loadgen::run(&service, &cfg);
+    let stats = service.shutdown(Shutdown::Drain);
+
+    let completed = summary.count(|o| o.status == JobStatus::Completed);
+    let failed = summary.count(|o| matches!(o.status, JobStatus::Failed(_)));
+    let missed = summary.count(|o| o.status == JobStatus::DeadlineMissed);
+    let injected = summary.count(|o| o.injected);
+    let weak = summary.count(|o| o.weak);
+    let rescued = summary.count(|o| o.weak && o.status == JobStatus::Completed);
+    let recovered_in_run = summary.count(|o| o.injected && !o.weak && o.recovered_in_run);
+
+    println!("== outcome ==");
+    println!("accepted             {}", summary.accepted);
+    println!("completed            {completed}");
+    println!("failed               {failed}");
+    println!("deadline missed      {missed}");
+    println!("lost                 {}", summary.lost);
+    println!("injected-fault jobs  {injected}");
+    println!("  recovered in-run   {recovered_in_run}");
+    println!("  weak (retry path)  {weak}, rescued by escalation {rescued}");
+    println!("service retries      {}", stats.retries);
+    println!();
+    println!("== latency (completed jobs, exact) ==");
+    let l = &summary.latency_all;
+    println!(
+        "all: n={} mean={}us p50={}us p95={}us p99={}us max={}us",
+        l.count, l.mean_us, l.p50_us, l.p95_us, l.p99_us, l.max_us
+    );
+    for p in ft_hess_repro::serve::Priority::ALL {
+        let l = &summary.latency[p.index()];
+        if l.count > 0 {
+            println!(
+                "{:>6}: n={} mean={}us p50={}us p95={}us p99={}us",
+                p.name(),
+                l.count,
+                l.mean_us,
+                l.p50_us,
+                l.p95_us,
+                l.p99_us
+            );
+        }
+    }
+    println!(
+        "\nthroughput: {:.2} jobs/s over {:.2}s wall",
+        summary.throughput_jobs_per_s,
+        summary.wall.as_secs_f64()
+    );
+
+    // The hard checks CI keys off: the generic service contract, plus the
+    // mix-specific guarantees of this load shape.
+    let mut violations = summary.violations();
+    if summary.accepted != cfg.jobs {
+        violations.push(format!(
+            "accepted {} of {} jobs (closed loop with generous timeout must admit all)",
+            summary.accepted, cfg.jobs
+        ));
+    }
+    if rescued != weak {
+        violations.push(format!(
+            "only {rescued} of {weak} weak jobs rescued by escalated retry"
+        ));
+    }
+    if injected > 0 && completed + failed < injected {
+        violations.push("some injected-fault jobs neither completed nor failed".to_string());
+    }
+    if !violations.is_empty() {
+        eprintln!("\nSERVICE CONTRACT VIOLATIONS:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nall service-contract invariants held");
+}

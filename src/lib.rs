@@ -14,6 +14,9 @@
 //! * [`fault`] — the transient soft-error model and injection campaigns;
 //! * [`hessenberg`] — the paper's contribution: checksum-encoded,
 //!   self-detecting, self-correcting hybrid Hessenberg reduction;
+//! * [`serve`] — a batched, backpressured multi-client reduction service
+//!   (bounded priority queue, deadlines, FT-aware escalated retries) over
+//!   the FT driver;
 //! * [`trace`] — the `FT_TRACE`-gated span/counter observability layer
 //!   threaded through all of the above.
 //!
@@ -37,6 +40,7 @@ pub use ft_hessenberg as hessenberg;
 pub use ft_hybrid as hybrid;
 pub use ft_lapack as lapack;
 pub use ft_matrix as matrix;
+pub use ft_serve as serve;
 pub use ft_trace as trace;
 
 /// The most commonly used items in one import.
@@ -49,6 +53,7 @@ pub mod prelude {
     pub use ft_hybrid::{CostModel, ExecMode, HybridCtx};
     pub use ft_lapack::{eigenvalues_hessenberg, gehrd, GehrdConfig, HessFactorization};
     pub use ft_matrix::Matrix;
+    pub use ft_serve::{JobSpec, JobStatus, Service, ServiceConfig, Shutdown};
 }
 
 #[cfg(test)]
