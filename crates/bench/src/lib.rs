@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared harness utilities for the experiment binaries that regenerate
 //! the paper's tables and figures (see DESIGN.md §4 for the index).
 

@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // index-based loops mirror the LAPACK reference codes
 //! From-scratch BLAS kernels for the FT-Hess reproduction.
@@ -27,10 +28,12 @@
 pub mod accurate;
 pub mod backend;
 pub mod flops;
+pub mod latch;
 pub mod level1;
 pub mod level2;
 pub mod level3;
 pub mod pool;
+mod sync;
 pub mod types;
 pub mod workspace;
 

@@ -38,7 +38,7 @@
 //! calling another kernel) deadlock-free by construction: blocked waiters
 //! can never exhaust the worker supply.
 
-use std::any::Any;
+use crate::latch::Latch;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -150,57 +150,25 @@ fn ensure_workers(pool: &'static Pool, target: usize) {
     }
 }
 
-/// Completion latch shared between a dispatching caller and its tasks.
-struct Latch {
-    remaining: Mutex<usize>,
-    done: Condvar,
-    panic: Mutex<Option<Box<dyn Any + Send>>>,
-}
-
-impl Latch {
-    fn new(count: usize) -> Latch {
-        Latch {
-            remaining: Mutex::new(count),
-            done: Condvar::new(),
-            panic: Mutex::new(None),
-        }
-    }
-
-    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
-        if let Some(p) = panic {
-            let mut slot = self.panic.lock().unwrap();
-            if slot.is_none() {
-                *slot = Some(p);
-            }
-        }
-        let mut remaining = self.remaining.lock().unwrap();
-        *remaining -= 1;
-        if *remaining == 0 {
-            self.done.notify_all();
-        }
-    }
-
-    fn wait(&self) {
-        let mut remaining = self.remaining.lock().unwrap();
-        while *remaining > 0 {
-            remaining = self.done.wait(remaining).unwrap();
-        }
-    }
-}
-
 /// Raw latch pointer made `Send` so it can travel inside a `Job`. The
 /// pointee is a stack-pinned [`Latch`] that [`run_scoped`] keeps alive
 /// until every task has completed (see the safety comments there).
 #[derive(Clone, Copy)]
 struct LatchPtr(*const Latch);
 
+// SAFETY: the pointee is a stack-pinned Latch that outlives every Job
+// carrying this pointer (run_scoped waits before returning), so sending
+// the raw pointer across threads cannot produce a dangling access.
 unsafe impl Send for LatchPtr {}
 
 impl LatchPtr {
-    /// SAFETY: caller must guarantee the pointee latch is still alive
+    /// # Safety
+    /// The caller must guarantee the pointee latch is still alive
     /// (upheld by [`run_scoped`]'s wait-before-return discipline).
     unsafe fn latch(self) -> &'static Latch {
-        &*self.0
+        // SAFETY: the caller contract above keeps the pointee alive; the
+        // 'static lifetime never escapes the pool's job plumbing.
+        unsafe { &*self.0 }
     }
 }
 
@@ -271,8 +239,7 @@ pub(crate) fn run_scoped(tasks: Vec<ScopedTask<'_>>) {
         local();
         drop(guard); // blocks until all workers finish
     }
-    let panic = latch.panic.lock().unwrap().take();
-    if let Some(p) = panic {
+    if let Some(p) = latch.take_panic() {
         resume_unwind(p);
     }
 }

@@ -1,0 +1,15 @@
+//! Sync primitives behind a loom-switchable facade.
+//!
+//! Only the dispatch latch ([`crate::latch`]) is model-checked — the pool
+//! itself is a process-lifetime singleton (workers never exit), which is
+//! incompatible with per-execution model state, so [`crate::pool`] stays
+//! on `std` types and its latch interactions are verified through the
+//! latch models in `tests/loom_latch.rs` (see DESIGN.md §11). Built with
+//! `RUSTFLAGS="--cfg loom"`, these aliases resolve to the vendored `loom`
+//! model checker's types; normal builds resolve to `std`.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::{Condvar, Mutex};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Condvar, Mutex};

@@ -1,0 +1,58 @@
+//! Loom models of the pool's dispatch latch: racing completions against
+//! the waiting dispatcher, and panic-payload propagation. Run with
+//! `RUSTFLAGS="--cfg loom" cargo test -p ft-blas --test loom_latch`.
+
+#![cfg(loom)]
+
+use ft_blas::latch::Latch;
+use loom::sync::Arc;
+
+#[test]
+fn racing_completions_release_the_waiter() {
+    loom::model(|| {
+        let l = Arc::new(Latch::new(2));
+        let l1 = Arc::clone(&l);
+        let l2 = Arc::clone(&l);
+        let t1 = loom::thread::spawn(move || l1.complete(None));
+        let t2 = loom::thread::spawn(move || l2.complete(None));
+        // A missed final-completion wakeup would deadlock this wait.
+        l.wait();
+        assert!(l.take_panic().is_none());
+        t1.join().unwrap();
+        t2.join().unwrap();
+    });
+}
+
+#[test]
+fn panic_payload_survives_the_completion_race() {
+    loom::model(|| {
+        let l = Arc::new(Latch::new(2));
+        let l1 = Arc::clone(&l);
+        let l2 = Arc::clone(&l);
+        let t1 = loom::thread::spawn(move || l1.complete(Some(Box::new("boom"))));
+        let t2 = loom::thread::spawn(move || l2.complete(None));
+        l.wait();
+        let p = l.take_panic().expect("the panic payload must survive");
+        assert_eq!(*p.downcast::<&str>().expect("payload type"), "boom");
+        t1.join().unwrap();
+        t2.join().unwrap();
+    });
+}
+
+#[test]
+fn first_of_two_panics_wins_and_none_is_lost() {
+    loom::model(|| {
+        let l = Arc::new(Latch::new(2));
+        let l1 = Arc::clone(&l);
+        let l2 = Arc::clone(&l);
+        let t1 = loom::thread::spawn(move || l1.complete(Some(Box::new("a"))));
+        let t2 = loom::thread::spawn(move || l2.complete(Some(Box::new("b"))));
+        l.wait();
+        let p = l.take_panic().expect("one payload must survive");
+        let s = *p.downcast::<&str>().expect("payload type");
+        assert!(s == "a" || s == "b", "unexpected payload {s}");
+        assert!(l.take_panic().is_none(), "exactly one payload is kept");
+        t1.join().unwrap();
+        t2.join().unwrap();
+    });
+}

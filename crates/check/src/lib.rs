@@ -1,0 +1,862 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! `ft-check`: project-invariant lints for the FT-Hess workspace.
+//!
+//! The runtime under the FT guarantee is a hand-rolled concurrency stack
+//! whose invariants are conventions — env knobs live in
+//! `ft_trace::env_knob`, threads come only from the `ft-blas` pool,
+//! `unsafe` is justified in writing, deterministic math crates never read
+//! wall clocks, and metric names come from one declared registry. This
+//! crate turns those conventions into machine-checked, deny-by-default
+//! rules (run `cargo run -p ft-check`):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | FTC000 | every `check_allow.toml` entry still matches something |
+//! | FTC001 | no `std::env::var` outside `ft_trace::env_knob` |
+//! | FTC002 | no `thread::spawn`/`scope`/`Builder` outside the pool |
+//! | FTC003 | every `unsafe` is annotated with `SAFETY`/`# Safety` |
+//! | FTC004 | no `unwrap`/`expect`/`panic!` in non-test library code |
+//! | FTC005 | no `Instant::now`/`SystemTime` in deterministic math crates |
+//! | FTC006 | counter/gauge/span name literals appear in `names.rs` |
+//!
+//! The scanner is deliberately not a full parser: it strips comments and
+//! literals with a small state machine, tracks `#[cfg(test)]` regions by
+//! brace depth, and matches tokens at identifier boundaries. That is
+//! exact enough for these rules (the workspace is the test: see
+//! `tests/clean_tree.rs`) and keeps the tool dependency-free.
+//!
+//! Known escapes are recorded in `check_allow.toml` at the repo root:
+//! every entry names a rule, a file, and an audit reason, and may cap the
+//! number of matches it excuses (`max`). Stale entries fail the run
+//! (FTC000) so the allowlist can only shrink by itself.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation (or allowlist-hygiene failure).
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule ID (`FTC000`–`FTC006`).
+    pub rule: &'static str,
+    /// What was found.
+    pub message: String,
+    /// One-line fix hint.
+    pub hint: &'static str,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} [{}] {}\n    hint: {}",
+            self.path, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// The declared metric-name registry, parsed from
+/// `crates/trace/src/names.rs`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    /// Declared counter names.
+    pub counters: BTreeSet<String>,
+    /// Declared gauge names.
+    pub gauges: BTreeSet<String>,
+    /// Declared span names.
+    pub spans: BTreeSet<String>,
+}
+
+/// One audited `[[allow]]` entry from `check_allow.toml`.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule ID the entry excuses.
+    pub rule: String,
+    /// Repo-relative file the entry applies to.
+    pub path: String,
+    /// Why the escape is sound (required; this is the audit).
+    pub reason: String,
+    /// Maximum matches excused (entries beyond it are reported).
+    pub max: usize,
+    /// Line of the `[[allow]]` header, for FTC000 reports.
+    pub line: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Source stripping
+// ---------------------------------------------------------------------------
+
+/// Source text with comments and literal *contents* blanked (structure —
+/// newlines, quote positions — preserved), plus the extracted string
+/// literals keyed by position.
+struct Stripped {
+    /// Code-only lines: comments and literal contents become spaces.
+    code: Vec<String>,
+    /// String literals: (0-based line, column of the opening quote,
+    /// contents). Raw strings are blanked but not recorded.
+    literals: Vec<(usize, usize, String)>,
+}
+
+fn strip(source: &str) -> Stripped {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str { byte_esc: bool },
+        RawStr(u32),
+        CharLit,
+    }
+    let chars: Vec<char> = source.chars().collect();
+    let mut st = St::Code;
+    let mut out = String::with_capacity(source.len());
+    let mut literals = Vec::new();
+    let mut lit_buf = String::new();
+    let mut lit_start = (0usize, 0usize);
+    let mut line = 0usize;
+    let mut col = 0usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match st {
+            St::Code => {
+                if c == '/' && next == Some('/') {
+                    st = St::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                    col += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                    col += 2;
+                    continue;
+                }
+                // Raw strings: r"…", r#"…"#, br"…", br#"…"# — blanked,
+                // not recorded (no metric name lives in a raw string).
+                let raw_from = if c == 'r' && !prev_is_ident(&chars, i) {
+                    Some(i + 1)
+                } else if c == 'b' && next == Some('r') && !prev_is_ident(&chars, i) {
+                    Some(i + 2)
+                } else {
+                    None
+                };
+                if let Some(mut j) = raw_from {
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            out.push(' ');
+                            col += 1;
+                        }
+                        i = j + 1;
+                        st = St::RawStr(hashes);
+                        continue;
+                    }
+                }
+                if c == '"' || (c == 'b' && next == Some('"')) {
+                    if c == 'b' {
+                        out.push(' ');
+                        i += 1;
+                        col += 1;
+                    }
+                    lit_start = (line, col);
+                    lit_buf.clear();
+                    out.push('"');
+                    st = St::Str { byte_esc: false };
+                    i += 1;
+                    col += 1;
+                    continue;
+                }
+                if c == '\'' && !prev_is_ident(&chars, i) {
+                    // Char literal vs lifetime: a char literal closes with
+                    // a quote after one (possibly escaped) character.
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        out.push(' ');
+                        st = St::CharLit;
+                        i += 1;
+                        col += 1;
+                        continue;
+                    }
+                }
+                out.push(c);
+                i += 1;
+                if c == '\n' {
+                    line += 1;
+                    col = 0;
+                } else {
+                    col += 1;
+                }
+            }
+            St::LineComment => {
+                if c == '\n' {
+                    out.push('\n');
+                    line += 1;
+                    col = 0;
+                    st = St::Code;
+                } else {
+                    out.push(' ');
+                    col += 1;
+                }
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                    col += 2;
+                } else if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                    col += 2;
+                } else {
+                    if c == '\n' {
+                        out.push('\n');
+                        line += 1;
+                        col = 0;
+                    } else {
+                        out.push(' ');
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            St::Str { byte_esc } => {
+                if byte_esc {
+                    lit_buf.push(c);
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    if c == '\n' {
+                        line += 1;
+                        col = 0;
+                    } else {
+                        col += 1;
+                    }
+                    st = St::Str { byte_esc: false };
+                    i += 1;
+                } else if c == '\\' {
+                    lit_buf.push(c);
+                    out.push(' ');
+                    col += 1;
+                    st = St::Str { byte_esc: true };
+                    i += 1;
+                } else if c == '"' {
+                    literals.push((lit_start.0, lit_start.1, lit_buf.clone()));
+                    out.push('"');
+                    col += 1;
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    lit_buf.push(c);
+                    if c == '\n' {
+                        out.push('\n');
+                        line += 1;
+                        col = 0;
+                    } else {
+                        out.push(' ');
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes as usize {
+                            out.push(' ');
+                            col += 1;
+                        }
+                        i += 1 + hashes as usize;
+                        st = St::Code;
+                        continue;
+                    }
+                }
+                if c == '\n' {
+                    out.push('\n');
+                    line += 1;
+                    col = 0;
+                } else {
+                    out.push(' ');
+                    col += 1;
+                }
+                i += 1;
+            }
+            St::CharLit => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                    col += 2;
+                } else if c == '\'' {
+                    out.push(' ');
+                    col += 1;
+                    st = St::Code;
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    col += 1;
+                    i += 1;
+                }
+            }
+        }
+    }
+    Stripped {
+        code: out.lines().map(str::to_string).collect(),
+        literals,
+    }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && is_ident(chars[i - 1])
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Positions (0-based columns) where `tok` occurs in `line` bounded by
+/// non-identifier characters. Multi-segment tokens (`env::var`) work
+/// because `:` is not an identifier character.
+fn find_token(line: &str, tok: &str) -> Vec<usize> {
+    let mut found = Vec::new();
+    let bytes = line.as_bytes();
+    let tlen = tok.len();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(tok) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1] as char);
+        let first = tok.as_bytes()[0] as char;
+        let before_ok = before_ok && !(is_ident(first) && at > 0 && bytes[at - 1] == b':');
+        let after_ok = at + tlen >= bytes.len() || !is_ident(bytes[at + tlen] as char);
+        // `::token` is still a match (paths); only identifier adjacency
+        // disqualifies. Re-allow the `:` prefix.
+        let before_ok = before_ok || (at >= 2 && &line[at - 2..at] == "::");
+        if before_ok && after_ok {
+            found.push(at);
+        }
+        from = at + tlen;
+    }
+    found
+}
+
+// ---------------------------------------------------------------------------
+// Test-region tracking
+// ---------------------------------------------------------------------------
+
+/// Marks lines inside `#[cfg(test)]`-gated items (by brace depth).
+fn test_line_mask(code: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        // `#[cfg(test)]` or any `cfg(all(test, …))` combination — but not
+        // `cfg(not(test))`. `feature = "test"` cannot confuse this: literal
+        // contents are already blanked in `code`.
+        let gated = code[i].contains("#[cfg(")
+            && !find_token(&code[i], "test").is_empty()
+            && !code[i].contains("not(test)");
+        if !gated {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut started = false;
+        let mut j = i;
+        while j < code.len() {
+            for ch in code[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            mask[j] = true;
+            if started && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// Scope classification
+// ---------------------------------------------------------------------------
+
+/// Crates whose `src/` must stay wall-clock-free (bit-identical math).
+const DETERMINISTIC_CRATES: [&str; 4] = [
+    "crates/matrix/src/",
+    "crates/blas/src/",
+    "crates/lapack/src/",
+    "crates/hessenberg/src/",
+];
+
+/// The one sanctioned `std::env::var` site.
+const ENV_KNOB: &str = "crates/trace/src/env_knob.rs";
+
+/// The one sanctioned thread-creation site.
+const POOL: &str = "crates/blas/src/pool.rs";
+
+fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/") || rel.contains("/tests/")
+}
+
+fn is_library_path(rel: &str) -> bool {
+    let in_src = rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/"));
+    in_src && !rel.contains("/bin/") && !rel.ends_with("/main.rs") && !rel.ends_with("build.rs")
+}
+
+fn is_deterministic_math_path(rel: &str) -> bool {
+    DETERMINISTIC_CRATES.iter().any(|p| rel.starts_with(p))
+}
+
+// ---------------------------------------------------------------------------
+// The rules
+// ---------------------------------------------------------------------------
+
+/// Scans one file's source, returning its findings (allowlist not yet
+/// applied). `rel` is the repo-relative path and decides rule scope.
+pub fn scan_source(rel: &str, source: &str, registry: &Registry) -> Vec<Finding> {
+    let stripped = strip(source);
+    let originals: Vec<&str> = source.lines().collect();
+    let test_mask = test_line_mask(&stripped.code);
+    let file_is_test = is_test_path(rel);
+    let in_test = |idx: usize| file_is_test || test_mask.get(idx).copied().unwrap_or(false);
+    let mut findings = Vec::new();
+    let mut push = |line: usize, rule: &'static str, message: String, hint: &'static str| {
+        findings.push(Finding {
+            path: rel.to_string(),
+            line: line + 1,
+            rule,
+            message,
+            hint,
+        });
+    };
+
+    for (idx, code) in stripped.code.iter().enumerate() {
+        // FTC001 — env access outside the knob module (non-test code).
+        if rel != ENV_KNOB && !in_test(idx) {
+            for tok in ["env::var", "env::var_os", "env::vars"] {
+                if !find_token(code, tok).is_empty() {
+                    push(
+                        idx,
+                        "FTC001",
+                        format!("`{tok}` outside `ft_trace::env_knob`"),
+                        "read configuration through ft_trace::env_knob so every knob \
+                         is centralized, documented, and trace-consistent",
+                    );
+                }
+            }
+        }
+
+        // FTC002 — thread creation outside the pool (non-test code).
+        if rel != POOL && !in_test(idx) {
+            for tok in ["thread::spawn", "thread::scope", "thread::Builder"] {
+                if !find_token(code, tok).is_empty() {
+                    push(
+                        idx,
+                        "FTC002",
+                        format!("`{tok}` outside `ft-blas/src/pool.rs`"),
+                        "run work on the persistent ft-blas pool, or audit the new \
+                         thread with a check_allow.toml entry",
+                    );
+                }
+            }
+        }
+
+        // FTC003 — unannotated unsafe (all code, tests included).
+        if !find_token(code, "unsafe").is_empty() && !has_safety_annotation(&originals, idx) {
+            push(
+                idx,
+                "FTC003",
+                "`unsafe` without a `// SAFETY:` comment".to_string(),
+                "state the proof obligation discharged by this unsafe in a \
+                 SAFETY comment directly above it (or a `# Safety` doc section)",
+            );
+        }
+
+        // FTC004 — panicking calls in non-test library code.
+        if is_library_path(rel) && !in_test(idx) {
+            for (tok, needs_bang) in [("unwrap", false), ("expect", false), ("panic", true)] {
+                for at in find_token(code, tok) {
+                    let after = &code[at + tok.len()..];
+                    if needs_bang != after.starts_with('!') {
+                        continue;
+                    }
+                    push(
+                        idx,
+                        "FTC004",
+                        format!(
+                            "`{tok}{}` in non-test library code",
+                            if needs_bang { "!" } else { "()" }
+                        ),
+                        "return a Result, degrade gracefully, or audit the abort \
+                         with a check_allow.toml entry",
+                    );
+                    break; // one finding per token kind per line
+                }
+            }
+        }
+
+        // FTC005 — wall clocks in deterministic math crates (non-test).
+        if is_deterministic_math_path(rel) && !in_test(idx) {
+            for tok in ["Instant::now", "SystemTime"] {
+                if !find_token(code, tok).is_empty() {
+                    push(
+                        idx,
+                        "FTC005",
+                        format!("`{tok}` in a deterministic math crate"),
+                        "math crates must stay replayable: take timings through \
+                         ft_trace (spans or ft_trace::clock) at the call boundary",
+                    );
+                }
+            }
+        }
+
+        // FTC006 — metric/span names must be declared (non-test code).
+        if !in_test(idx) {
+            for (tok, is_macro, set, kind) in [
+                ("counter", false, &registry.counters, "counter"),
+                ("gauge", false, &registry.gauges, "gauge"),
+                ("span", true, &registry.spans, "span"),
+            ] {
+                for at in find_token(code, tok) {
+                    let Some(name) =
+                        call_name_literal(code, &stripped.literals, idx, at + tok.len(), is_macro)
+                    else {
+                        continue;
+                    };
+                    if !set.contains(&name) {
+                        push(
+                            idx,
+                            "FTC006",
+                            format!("{kind} name \"{name}\" is not declared in the registry"),
+                            "declare the name in crates/trace/src/names.rs (typo'd \
+                             names silently report zero)",
+                        );
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// For a `counter(`/`gauge(`/`span!(` token ending at `after`, returns
+/// the string literal opening the argument list on the same line.
+fn call_name_literal(
+    code: &str,
+    literals: &[(usize, usize, String)],
+    line: usize,
+    mut after: usize,
+    is_macro: bool,
+) -> Option<String> {
+    let bytes = code.as_bytes();
+    if is_macro {
+        if bytes.get(after) != Some(&b'!') {
+            return None;
+        }
+        after += 1;
+    }
+    while bytes.get(after) == Some(&b' ') {
+        after += 1;
+    }
+    if bytes.get(after) != Some(&b'(') {
+        return None;
+    }
+    after += 1;
+    while bytes.get(after) == Some(&b' ') {
+        after += 1;
+    }
+    if bytes.get(after) != Some(&b'"') {
+        return None;
+    }
+    literals
+        .iter()
+        .find(|(l, c, _)| *l == line && *c == after)
+        .map(|(_, _, s)| s.clone())
+}
+
+/// `true` when the contiguous comment/attribute block above `idx` (or the
+/// original line itself) carries a SAFETY annotation.
+fn has_safety_annotation(originals: &[&str], idx: usize) -> bool {
+    let carries = |s: &str| s.contains("SAFETY") || s.contains("# Safety");
+    if originals.get(idx).is_some_and(|l| carries(l)) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let t = originals[j].trim_start();
+        if t.is_empty() || t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") {
+            if carries(t) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Registry parsing
+// ---------------------------------------------------------------------------
+
+/// Parses `crates/trace/src/names.rs`: the string literals of the
+/// `COUNTERS`, `GAUGES`, and `SPANS` const slices.
+pub fn parse_registry(source: &str) -> Registry {
+    let stripped = strip(source);
+    let mut reg = Registry::default();
+    let mut section: Option<u8> = None;
+    let mut bounds = [None, None, None]; // start line per section
+    let mut ends = [usize::MAX, usize::MAX, usize::MAX];
+    for (idx, code) in stripped.code.iter().enumerate() {
+        for (s, name) in [(0u8, "COUNTERS"), (1, "GAUGES"), (2, "SPANS")] {
+            if !find_token(code, name).is_empty() && code.contains('=') {
+                section = Some(s);
+                bounds[s as usize] = Some(idx);
+            }
+        }
+        if let Some(s) = section {
+            if code.contains("];") {
+                ends[s as usize] = idx;
+                section = None;
+            }
+        }
+    }
+    for (l, _c, lit) in &stripped.literals {
+        for s in 0..3usize {
+            if let Some(start) = bounds[s] {
+                if *l >= start && *l <= ends[s] {
+                    let set = match s {
+                        0 => &mut reg.counters,
+                        1 => &mut reg.gauges,
+                        _ => &mut reg.spans,
+                    };
+                    set.insert(lit.clone());
+                }
+            }
+        }
+    }
+    reg
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist
+// ---------------------------------------------------------------------------
+
+/// Parses the minimal TOML dialect of `check_allow.toml`: `[[allow]]`
+/// tables with `rule`/`path`/`reason` strings and an optional integer
+/// `max`.
+pub fn parse_allowlist(text: &str) -> Result<Vec<Allow>, String> {
+    let mut entries: Vec<Allow> = Vec::new();
+    let mut current: Option<Allow> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(e) = current.take() {
+                entries.push(validate_entry(e)?);
+            }
+            current = Some(Allow {
+                rule: String::new(),
+                path: String::new(),
+                reason: String::new(),
+                max: usize::MAX,
+                line: idx + 1,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "check_allow.toml:{}: expected `key = value`",
+                idx + 1
+            ));
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(format!(
+                "check_allow.toml:{}: key outside an [[allow]] table",
+                idx + 1
+            ));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let as_string = |v: &str| -> Result<String, String> {
+            let v = v.strip_prefix('"').and_then(|v| v.strip_suffix('"'));
+            v.map(str::to_string)
+                .ok_or_else(|| format!("check_allow.toml:{}: expected a quoted string", idx + 1))
+        };
+        match key {
+            "rule" => entry.rule = as_string(value)?,
+            "path" => entry.path = as_string(value)?,
+            "reason" => entry.reason = as_string(value)?,
+            "max" => {
+                entry.max = value.parse().map_err(|_| {
+                    format!("check_allow.toml:{}: `max` must be an integer", idx + 1)
+                })?;
+            }
+            other => {
+                return Err(format!(
+                    "check_allow.toml:{}: unknown key `{other}`",
+                    idx + 1
+                ));
+            }
+        }
+    }
+    if let Some(e) = current.take() {
+        entries.push(validate_entry(e)?);
+    }
+    Ok(entries)
+}
+
+fn validate_entry(e: Allow) -> Result<Allow, String> {
+    if e.rule.is_empty() || e.path.is_empty() {
+        return Err(format!(
+            "check_allow.toml:{}: entry needs both `rule` and `path`",
+            e.line
+        ));
+    }
+    if e.reason.trim().is_empty() {
+        return Err(format!(
+            "check_allow.toml:{}: entry needs a non-empty `reason` (that is the audit)",
+            e.line
+        ));
+    }
+    Ok(e)
+}
+
+/// Suppresses findings covered by the allowlist. Entries that matched
+/// nothing, or whose `max` was exceeded, produce findings of their own.
+pub fn apply_allowlist(findings: Vec<Finding>, allow: &[Allow]) -> Vec<Finding> {
+    let mut used = vec![0usize; allow.len()];
+    let mut out = Vec::new();
+    for f in findings {
+        let slot = allow
+            .iter()
+            .position(|a| a.rule == f.rule && a.path == f.path);
+        match slot {
+            Some(i) if used[i] < allow[i].max => used[i] += 1,
+            _ => out.push(f),
+        }
+    }
+    for (i, a) in allow.iter().enumerate() {
+        if used[i] == 0 {
+            out.push(Finding {
+                path: "check_allow.toml".to_string(),
+                line: a.line,
+                rule: "FTC000",
+                message: format!(
+                    "stale allowlist entry: {} on {} matched nothing",
+                    a.rule, a.path
+                ),
+                hint: "delete the entry — the allowlist must only shrink by itself",
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walk
+// ---------------------------------------------------------------------------
+
+/// Directory names never scanned.
+const SKIP_DIRS: [&str; 3] = [".git", "target", "vendor"];
+
+/// Repo-relative prefixes never scanned (rule fixtures violate rules on
+/// purpose).
+const SKIP_PREFIXES: [&str; 1] = ["crates/check/tests/fixtures"];
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let rel = relative(root, &path);
+        if path.is_dir() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if SKIP_DIRS.contains(&name.as_ref()) || SKIP_PREFIXES.contains(&rel.as_str()) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Scans the whole workspace under `root`, applying the allowlist and the
+/// name registry. Returns findings sorted by path and line.
+pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let names_path = root.join("crates/trace/src/names.rs");
+    let registry = match std::fs::read_to_string(&names_path) {
+        Ok(src) => parse_registry(&src),
+        Err(e) => return Err(format!("cannot read {}: {e}", names_path.display())),
+    };
+    let allow = match std::fs::read_to_string(root.join("check_allow.toml")) {
+        Ok(text) => parse_allowlist(&text)?,
+        Err(_) => Vec::new(),
+    };
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for path in &files {
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        findings.extend(scan_source(&relative(root, path), &source, &registry));
+    }
+    let mut findings = apply_allowlist(findings, &allow);
+    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(findings)
+}
+
+/// The number of files the last scan would cover (for reporting).
+pub fn count_scanned_files(root: &Path) -> usize {
+    let mut files = Vec::new();
+    let _ = collect_rs_files(root, root, &mut files);
+    files.len()
+}

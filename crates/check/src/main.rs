@@ -1,0 +1,41 @@
+//! `ft-check` binary: scans the workspace and exits non-zero on any
+//! finding. Usage: `cargo run -p ft-check [workspace-root]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(default_root);
+    match ft_check::scan_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!(
+                "ft-check: clean ({} files scanned, rules FTC001-FTC006)",
+                ft_check::count_scanned_files(&root)
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("ft-check: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("ft-check: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root relative to this crate's manifest (stable under
+/// `cargo run` from any directory).
+fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}

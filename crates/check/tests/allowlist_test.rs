@@ -1,0 +1,73 @@
+//! The `check_allow.toml` machinery: parsing, suppression, the `max`
+//! cap, and FTC000 staleness.
+
+use ft_check::{apply_allowlist, parse_allowlist, Finding};
+
+fn finding(path: &str, line: usize) -> Finding {
+    Finding {
+        path: path.to_string(),
+        line,
+        rule: "FTC004",
+        message: "test".to_string(),
+        hint: "test",
+    }
+}
+
+#[test]
+fn parses_entries_with_caps() {
+    let text = r#"
+# comment
+[[allow]]
+rule = "FTC004"
+path = "crates/x/src/lib.rs"
+reason = "lock poisoning is unrecoverable"
+max = 3
+"#;
+    let allow = parse_allowlist(text).expect("parse");
+    assert_eq!(allow.len(), 1);
+    assert_eq!(allow[0].rule, "FTC004");
+    assert_eq!(allow[0].path, "crates/x/src/lib.rs");
+    assert_eq!(allow[0].max, 3);
+}
+
+#[test]
+fn rejects_entries_without_a_reason() {
+    let text = "[[allow]]\nrule = \"FTC004\"\npath = \"a.rs\"\n";
+    let err = parse_allowlist(text).expect_err("reason is the audit");
+    assert!(err.contains("reason"), "unexpected error: {err}");
+}
+
+#[test]
+fn suppresses_up_to_max_and_reports_the_excess() {
+    let text = "[[allow]]\nrule = \"FTC004\"\npath = \"a.rs\"\nreason = \"ok\"\nmax = 2\n";
+    let allow = parse_allowlist(text).expect("parse");
+    let findings = vec![finding("a.rs", 1), finding("a.rs", 2), finding("a.rs", 3)];
+    let left = apply_allowlist(findings, &allow);
+    assert_eq!(
+        left.len(),
+        1,
+        "two suppressed, the third reported: {left:#?}"
+    );
+    assert_eq!(left[0].line, 3);
+}
+
+#[test]
+fn stale_entries_fail_as_ftc000() {
+    let text = "[[allow]]\nrule = \"FTC002\"\npath = \"gone.rs\"\nreason = \"was audited\"\n";
+    let allow = parse_allowlist(text).expect("parse");
+    let left = apply_allowlist(Vec::new(), &allow);
+    assert_eq!(left.len(), 1);
+    assert_eq!(left[0].rule, "FTC000");
+    assert!(left[0].message.contains("gone.rs"));
+}
+
+#[test]
+fn entries_only_cover_their_own_rule_and_path() {
+    let text = "[[allow]]\nrule = \"FTC004\"\npath = \"a.rs\"\nreason = \"ok\"\n";
+    let allow = parse_allowlist(text).expect("parse");
+    let left = apply_allowlist(vec![finding("b.rs", 1)], &allow);
+    // b.rs stays reported, and the a.rs entry is now stale.
+    assert_eq!(left.len(), 2, "{left:#?}");
+    assert!(left.iter().any(|f| f.path == "b.rs" && f.rule == "FTC004"));
+    assert!(left.iter().any(|f| f.rule == "FTC000"));
+}

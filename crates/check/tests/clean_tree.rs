@@ -1,0 +1,37 @@
+//! The acceptance gate: the workspace itself scans clean. Any rule
+//! violation introduced anywhere in the repo fails this test (and the
+//! `cargo run -p ft-check` CI step) until it is fixed or audited in
+//! `check_allow.toml`.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_scans_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = ft_check::scan_workspace(&root).expect("workspace scan");
+    assert!(
+        findings.is_empty(),
+        "ft-check findings in the tree:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn registry_declares_the_names_the_tree_uses() {
+    // Sanity on the parsed registry itself: a handful of load-bearing
+    // names must be present (guards against a names.rs refactor that
+    // silently empties the registry and turns FTC006 into a no-op).
+    let names = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../trace/src/names.rs");
+    let reg = ft_check::parse_registry(&std::fs::read_to_string(names).expect("read"));
+    for c in ["pool.dispatch", "ft.recoveries", "serve.submitted"] {
+        assert!(reg.counters.contains(c), "missing counter {c}");
+    }
+    assert!(reg.gauges.contains("serve.queue_depth"));
+    for s in ["ft.panel", "gehrd.tail", "serve.run"] {
+        assert!(reg.spans.contains(s), "missing span {s}");
+    }
+}

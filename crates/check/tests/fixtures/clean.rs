@@ -1,0 +1,24 @@
+//! Fixture: a file every rule accepts — annotated unsafe, registered
+//! metric names, no clocks, no panics, no threads, no env reads.
+
+/// Reads one element with a written safety argument.
+pub fn read_first(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    // SAFETY: the emptiness check above proves index 0 is in bounds.
+    Some(unsafe { *xs.get_unchecked(0) })
+}
+
+/// Records progress under a registered counter name.
+pub fn record_dispatch() {
+    ft_trace::counter("pool.dispatch").incr();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(super::read_first(&[2.0]).unwrap(), 2.0);
+    }
+}

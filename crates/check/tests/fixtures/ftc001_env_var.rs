@@ -1,0 +1,6 @@
+//! Fixture: exactly one FTC001 violation (direct env read) on line 5.
+
+/// Reads a knob without going through `ft_trace::env_knob`.
+pub fn backend() -> Option<String> {
+    std::env::var("FT_BLAS_BACKEND").ok()
+}

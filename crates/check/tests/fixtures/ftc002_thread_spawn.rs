@@ -1,0 +1,6 @@
+//! Fixture: exactly one FTC002 violation (ad-hoc thread) on line 5.
+
+/// Spawns a helper thread instead of dispatching to the ft-blas pool.
+pub fn compute_in_background() -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(|| 42)
+}

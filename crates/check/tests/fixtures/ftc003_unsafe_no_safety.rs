@@ -1,0 +1,8 @@
+//! Fixture: exactly one FTC003 violation (bare unsafe) on line 6.
+
+/// Dereferences a raw pointer without stating the proof obligation.
+pub fn read_raw(p: *const f64) -> f64 {
+    let value =
+        unsafe { *p };
+    value
+}

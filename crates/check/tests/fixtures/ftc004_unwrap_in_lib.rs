@@ -1,0 +1,16 @@
+//! Fixture: exactly one FTC004 violation (unwrap in library code) on
+//! line 6.
+
+/// Unwraps an Option in non-test library code.
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: exactly one FTC005 violation (wall clock in a deterministic
+//! math crate) on line 6. Scanned under a pretend ft-blas path.
+
+/// Times a kernel with a raw clock instead of ft_trace spans.
+pub fn timed_kernel() -> f64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_secs_f64()
+}

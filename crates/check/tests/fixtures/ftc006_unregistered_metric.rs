@@ -1,0 +1,7 @@
+//! Fixture: exactly one FTC006 violation (typo'd counter name) on line 6.
+
+/// Increments a counter whose name is not in the declared registry —
+/// the typo would silently report zero forever.
+pub fn record_retry() {
+    ft_trace::counter("serve.retrys").incr();
+}

@@ -1,0 +1,105 @@
+//! Each fixture under `tests/fixtures/` violates exactly one rule; the
+//! scanner must report that rule — at the expected line — and nothing
+//! else. The fixtures are excluded from the workspace scan itself.
+
+use ft_check::{parse_registry, scan_source, Finding, Registry};
+use std::path::PathBuf;
+
+/// The real workspace registry (so fixture expectations track names.rs).
+fn registry() -> Registry {
+    let names = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../trace/src/names.rs");
+    parse_registry(&std::fs::read_to_string(names).expect("read names.rs"))
+}
+
+/// Scans a fixture under a pretend repo-relative path (the path decides
+/// which rules are in scope).
+fn scan(fixture: &str, pretend_path: &str) -> Vec<Finding> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    let source = std::fs::read_to_string(&path).expect("read fixture");
+    scan_source(pretend_path, &source, &registry())
+}
+
+fn assert_single(findings: &[Finding], rule: &str, line: usize) {
+    assert_eq!(
+        findings.len(),
+        1,
+        "expected exactly one {rule} finding, got: {findings:#?}"
+    );
+    assert_eq!(findings[0].rule, rule);
+    assert_eq!(
+        findings[0].line, line,
+        "wrong line for {rule}: {findings:#?}"
+    );
+    assert!(
+        !findings[0].hint.is_empty(),
+        "every finding carries a fix hint"
+    );
+}
+
+#[test]
+fn ftc001_env_var_outside_knob() {
+    let f = scan("ftc001_env_var.rs", "crates/serve/src/fixture.rs");
+    assert_single(&f, "FTC001", 5);
+}
+
+#[test]
+fn ftc002_thread_outside_pool() {
+    let f = scan("ftc002_thread_spawn.rs", "crates/serve/src/fixture.rs");
+    assert_single(&f, "FTC002", 5);
+}
+
+#[test]
+fn ftc003_unsafe_without_safety_comment() {
+    let f = scan("ftc003_unsafe_no_safety.rs", "crates/fixture/src/lib.rs");
+    assert_single(&f, "FTC003", 6);
+}
+
+#[test]
+fn ftc004_unwrap_in_library_code() {
+    let f = scan("ftc004_unwrap_in_lib.rs", "crates/fixture/src/lib.rs");
+    assert_single(&f, "FTC004", 6);
+}
+
+#[test]
+fn ftc004_is_out_of_scope_for_test_files() {
+    // The same source under a tests/ path is fine: the rule covers
+    // library code only.
+    let f = scan("ftc004_unwrap_in_lib.rs", "crates/fixture/tests/it.rs");
+    assert!(f.is_empty(), "tests may unwrap: {f:#?}");
+}
+
+#[test]
+fn ftc005_wall_clock_in_math_crate() {
+    let f = scan("ftc005_wall_clock.rs", "crates/blas/src/fixture.rs");
+    assert_single(&f, "FTC005", 6);
+}
+
+#[test]
+fn ftc005_is_out_of_scope_elsewhere() {
+    // The service layer may read clocks (deadlines are wall-clock).
+    let f = scan("ftc005_wall_clock.rs", "crates/serve/src/fixture.rs");
+    assert!(f.is_empty(), "clocks outside math crates are fine: {f:#?}");
+}
+
+#[test]
+fn ftc006_unregistered_metric_name() {
+    let f = scan(
+        "ftc006_unregistered_metric.rs",
+        "crates/serve/src/fixture.rs",
+    );
+    assert_single(&f, "FTC006", 6);
+    assert!(
+        f[0].message.contains("serve.retrys"),
+        "the typo'd name is quoted: {}",
+        f[0].message
+    );
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    // Scanned under the strictest scope (library code in a math crate).
+    let f = scan("clean.rs", "crates/blas/src/clean.rs");
+    assert!(f.is_empty(), "clean fixture must scan clean: {f:#?}");
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Transient soft-error model for the FT-Hess reproduction.
 //!

@@ -162,7 +162,7 @@ fn ft_gehrd_hybrid_inner(
     let threshold = cfg.threshold.resolve(a);
     let loc_tol = threshold / (n as f64).sqrt().max(1.0);
 
-    let wall_start = std::time::Instant::now();
+    let wall_start = ft_trace::clock::Stopwatch::start();
     let trace_mark = ft_trace::mark();
 
     let mut report = FtReport {
@@ -425,7 +425,7 @@ fn ft_gehrd_hybrid_inner(
 
     report.sim_seconds = ctx.elapsed();
     report.stats = ctx.stats().clone();
-    report.wall_seconds = wall_start.elapsed().as_secs_f64();
+    report.wall_seconds = wall_start.elapsed_seconds();
     if ft_trace::enabled() {
         // Attribute only this thread's events after our watermark: in a
         // shared process (parallel tests) the sink interleaves runs.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // index-based loops mirror the LAPACK reference codes
 //! LAPACK-style factorizations for the FT-Hess reproduction.

@@ -416,7 +416,7 @@ pub fn steqr_eigenvalues(d: &[f64], e: &[f64]) -> Result<Vec<f64>, crate::hseqr:
             e[m] = 0.0;
         }
     }
-    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    d.sort_by(|a, b| a.total_cmp(b));
     Ok(d)
 }
 

@@ -125,7 +125,8 @@ impl Matrix {
     /// Out-of-bounds indices are undefined behaviour.
     #[inline(always)]
     pub unsafe fn get_unchecked(&self, i: usize, j: usize) -> f64 {
-        *self.data.get_unchecked(i + j * self.rows)
+        // SAFETY: the caller contract above is exactly the in-bounds proof.
+        unsafe { *self.data.get_unchecked(i + j * self.rows) }
     }
 
     /// Unchecked write. Caller must guarantee `i < rows && j < cols`.
@@ -134,7 +135,8 @@ impl Matrix {
     /// Out-of-bounds indices are undefined behaviour.
     #[inline(always)]
     pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: f64) {
-        *self.data.get_unchecked_mut(i + j * self.rows) = v;
+        // SAFETY: the caller contract above is exactly the in-bounds proof.
+        unsafe { *self.data.get_unchecked_mut(i + j * self.rows) = v };
     }
 
     /// Column `j` as a contiguous slice.

@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 //! Dense column-major matrix types for the FT-Hess reproduction.
 //!

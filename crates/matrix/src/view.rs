@@ -91,7 +91,8 @@ impl<'a> MatView<'a> {
     /// `i < rows && j < cols` must hold.
     #[inline(always)]
     pub unsafe fn at_unchecked(&self, i: usize, j: usize) -> f64 {
-        *self.data.get_unchecked(i + j * self.lda)
+        // SAFETY: the caller contract above is exactly the in-bounds proof.
+        unsafe { *self.data.get_unchecked(i + j * self.lda) }
     }
 
     /// Column `j` as a contiguous slice of length `rows`.
@@ -219,6 +220,7 @@ impl<'a> MatViewMut<'a> {
             i < self.rows && j < self.cols,
             "view index ({i},{j}) out of bounds"
         );
+        // SAFETY: the bounds assert above keeps the offset inside the window.
         unsafe { *self.ptr.add(i + j * self.lda) }
     }
 
@@ -229,6 +231,7 @@ impl<'a> MatViewMut<'a> {
             i < self.rows && j < self.cols,
             "view index ({i},{j}) out of bounds"
         );
+        // SAFETY: the bounds assert above keeps the offset inside the window.
         unsafe { *self.ptr.add(i + j * self.lda) = v }
     }
 
@@ -238,7 +241,8 @@ impl<'a> MatViewMut<'a> {
     /// `i < rows && j < cols` must hold.
     #[inline(always)]
     pub unsafe fn at_unchecked(&self, i: usize, j: usize) -> f64 {
-        *self.ptr.add(i + j * self.lda)
+        // SAFETY: the caller contract above is exactly the in-bounds proof.
+        unsafe { *self.ptr.add(i + j * self.lda) }
     }
 
     /// Unchecked element write.
@@ -247,7 +251,8 @@ impl<'a> MatViewMut<'a> {
     /// `i < rows && j < cols` must hold.
     #[inline(always)]
     pub unsafe fn set_unchecked(&mut self, i: usize, j: usize, v: f64) {
-        *self.ptr.add(i + j * self.lda) = v
+        // SAFETY: the caller contract above is exactly the in-bounds proof.
+        unsafe { *self.ptr.add(i + j * self.lda) = v }
     }
 
     /// Column `j` as a contiguous mutable slice of length `rows`.
@@ -324,8 +329,8 @@ impl<'a> MatViewMut<'a> {
                 _marker: PhantomData,
             };
         }
-        // SAFETY: the sub-window's index set is contained in the parent's.
         MatViewMut {
+            // SAFETY: the sub-window's index set is contained in the parent's.
             ptr: unsafe { self.ptr.add(r0 + c0 * self.lda) },
             rows: m,
             cols: n,

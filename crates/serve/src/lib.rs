@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `ft-serve`: a batched, backpressured reduction service over the FT
 //! Hessenberg stack.
 //!
@@ -48,11 +49,17 @@
 
 pub mod job;
 pub mod loadgen;
+/// The oneshot rendezvous is an implementation detail, but the loom
+/// suites model-check it directly, so it is public under `cfg(loom)`.
+#[cfg(loom)]
+pub mod oneshot;
+#[cfg(not(loom))]
 mod oneshot;
 pub mod queue;
 pub mod retry;
 pub mod scheduler;
 pub mod stats;
+mod sync;
 
 pub use job::{FaultSpec, JobHandle, JobId, JobResult, JobSpec, JobStatus, Priority};
 pub use loadgen::{JobOutcome, LoadgenConfig, LoadgenSummary};

@@ -2,7 +2,7 @@
 //! runtime or channel crates; a mutex + condvar is all a job completion
 //! needs).
 
-use std::sync::{Condvar, Mutex};
+use crate::sync::{Condvar, Instant, Mutex};
 use std::time::Duration;
 
 /// A write-once cell a consumer can block on.
@@ -65,14 +65,14 @@ impl<T> OneShot<T> {
     /// Waits up to `timeout` for a value to become available without
     /// taking it; `true` if one is there.
     pub fn wait_until_set(&self, timeout: Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         let mut s = self.slot.lock().unwrap();
         loop {
             match *s {
                 State::Set(_) => return true,
                 State::Taken => return false,
                 State::Empty => {
-                    let now = std::time::Instant::now();
+                    let now = Instant::now();
                     if now >= deadline {
                         return false;
                     }

@@ -16,9 +16,9 @@
 //!   return `None` — no item is lost or duplicated.
 
 use crate::job::Priority;
+use crate::sync::{Condvar, Instant, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Why a submission was not accepted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,0 +1,50 @@
+//! Loom models of the oneshot rendezvous: set/take/wait/drop races. Run
+//! with `RUSTFLAGS="--cfg loom" cargo test -p ft-serve --test loom_oneshot`.
+
+#![cfg(loom)]
+
+use ft_serve::oneshot::OneShot;
+use loom::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn set_and_take_rendezvous() {
+    loom::model(|| {
+        let c = Arc::new(OneShot::new());
+        let c2 = Arc::clone(&c);
+        let t = loom::thread::spawn(move || c2.take_blocking());
+        c.set(7);
+        assert_eq!(t.join().unwrap(), 7, "taker must observe the set value");
+    });
+}
+
+#[test]
+fn timed_wait_races_with_set() {
+    loom::model(|| {
+        let c = Arc::new(OneShot::new());
+        let c2 = Arc::clone(&c);
+        let t = loom::thread::spawn(move || c2.set(1));
+        let ready = c.wait_until_set(Duration::from_millis(1));
+        if ready {
+            assert!(c.is_set(), "wait_until_set(true) implies a waiting value");
+        }
+        t.join().unwrap();
+        // Whichever branch the wait took, the set has landed by now.
+        assert_eq!(c.take_blocking(), 1);
+        assert!(!c.is_set(), "taken cell must not report a value");
+    });
+}
+
+#[test]
+fn set_races_with_observation_and_drop() {
+    loom::model(|| {
+        let c = Arc::new(OneShot::new());
+        let c2 = Arc::clone(&c);
+        let t = loom::thread::spawn(move || c2.set(String::from("payload")));
+        let _ = c.is_set();
+        t.join().unwrap();
+        // Dropped with the value unread: the String must be released
+        // exactly once (any double-free would abort the model).
+        drop(c);
+    });
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! `ft-trace` — the observability spine of the FT-Hess pipeline.
 //!
@@ -61,7 +62,9 @@
 //!   `serve.queue_depth` / `serve.in_flight` gauges (registered through
 //!   [`counter`] / [`gauge`] by `ft-serve`).
 
+pub mod clock;
 pub mod env_knob;
+pub mod names;
 mod registry;
 mod span;
 mod writer;

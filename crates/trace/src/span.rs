@@ -7,10 +7,10 @@
 //! spans surround, and a single ordered vector makes per-run attribution
 //! (`mark` / `events_since`) trivial.
 
+use crate::clock::now_us;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::Mutex;
 
 /// One completed span (or simulated-clock interval) in the trace.
 #[derive(Clone, Debug)]
@@ -33,7 +33,6 @@ pub struct Event {
 }
 
 static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
-static EPOCH: OnceLock<Instant> = OnceLock::new();
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
@@ -50,10 +49,6 @@ pub fn current_tid() -> u64 {
         }
         t.get()
     })
-}
-
-fn now_us() -> f64 {
-    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e6
 }
 
 /// RAII span guard: construct via [`crate::span!`]. Records start on

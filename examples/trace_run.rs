@@ -20,7 +20,7 @@ use ft_hess_repro::trace;
 
 fn main() {
     // Default to a chrome trace when the caller didn't pick a sink.
-    if std::env::var("FT_TRACE").map_or(true, |v| v.is_empty()) {
+    if trace::env_knob::raw("FT_TRACE").is_none() {
         trace::set_mode(trace::TraceMode::Chrome("trace.json".into()));
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! FT-Hess: a reproduction of *"Hessenberg Reduction with Transient Error
 //! Resilience on GPU-Based Hybrid Architectures"* (Jia, Luszczek,

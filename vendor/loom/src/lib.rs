@@ -1,0 +1,63 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) model checker.
+//!
+//! The registry mirror is unreachable from the build environment, so this
+//! crate reimplements the loom API subset the workspace uses — enough to
+//! model-check the `ft-serve` queue/oneshot and the `ft-blas` latch:
+//!
+//! * [`model`] — run a closure under every schedule (up to a preemption
+//!   bound) of its threads;
+//! * [`thread::spawn`] / [`thread::JoinHandle`];
+//! * [`sync::Mutex`], [`sync::Condvar`] (with `wait_timeout`),
+//!   [`sync::Arc`];
+//! * [`time::Instant`] — a deterministic virtual clock advanced by
+//!   timed-wait timeouts.
+//!
+//! # How it works
+//!
+//! Each call to the model closure is one *execution*. The runtime spawns a
+//! real OS thread per model thread but serializes them cooperatively: a
+//! scheduler allows exactly one thread to run at a time, and every visible
+//! operation (mutex lock, condvar wait/notify, spawn, join) is a
+//! *scheduling point* where the scheduler picks which thread runs next.
+//! The sequence of picks is recorded; after an execution completes, the
+//! runtime backtracks depth-first to the deepest pick with an untried
+//! alternative and replays, exploring the full schedule tree.
+//!
+//! Exploration is bounded by a *preemption budget* (`LOOM_MAX_PREEMPTIONS`,
+//! default 3): schedules that pause a runnable thread in favour of another
+//! more than the budget allows are pruned. This is the CHESS result —
+//! most concurrency bugs manifest within two or three preemptions — and it
+//! keeps exhaustive runs tractable. An iteration cap
+//! (`LOOM_MAX_ITERATIONS`, default 250 000 executions) turns runaway
+//! models into loud failures rather than silent multi-hour runs.
+//!
+//! A blocked-thread configuration with no runnable thread is reported as a
+//! deadlock (with a per-thread state dump); a panic on any model thread
+//! aborts the execution and is re-raised from [`model`] on the caller.
+//!
+//! # Timed waits and virtual time
+//!
+//! [`sync::Condvar::wait_timeout`] is modeled as a genuine scheduling
+//! branch: a timed waiter is always schedulable, and scheduling it before
+//! any notify arrives takes the *timeout* branch, advancing the virtual
+//! clock to the wait's deadline. [`time::Instant::now`] reads that clock,
+//! so deadline rechecks (`Instant::now() >= deadline`) behave exactly as
+//! they would after a real timeout — deterministically, per schedule.
+//!
+//! # Divergences from real loom
+//!
+//! * **Sequential consistency only.** No atomics API and no weak-memory
+//!   modeling; this checker explores interleavings of mutex/condvar
+//!   programs, which is exactly what the shimmed crates use.
+//! * **FIFO condvar wakeup, no spurious wakeups.** `notify_one` wakes the
+//!   longest-waiting thread. Code relying on *which* waiter wakes would be
+//!   under-tested; the shimmed code never does (all waits sit in
+//!   recheck loops).
+//! * **No leak checking.**
+
+mod rt;
+pub mod sync;
+pub mod thread;
+pub mod time;
+
+pub use rt::model;

@@ -1,0 +1,566 @@
+//! The execution core: a cooperative scheduler that serializes model
+//! threads (exactly one runnable at a time) and drives a depth-first
+//! search over scheduling decisions, bounded by a preemption budget.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{panic_any, resume_unwind};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+use std::time::Duration;
+
+const DEFAULT_PREEMPTION_BOUND: usize = 3;
+const DEFAULT_MAX_ITERATIONS: u64 = 250_000;
+
+/// Sentinel panic payload used to unwind parked threads once an execution
+/// aborts (deadlock, or a model panic on another thread). Swallowed by the
+/// thread wrapper; never surfaced to the user.
+struct AbortExecution;
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The runtime + thread id of the execution the calling OS thread belongs
+/// to. Panics when called outside [`model`].
+pub(crate) fn current() -> (Arc<Rt>, usize) {
+    CURRENT
+        .with(|c| c.borrow().clone())
+        .expect("loom: sync primitive used outside loom::model")
+}
+
+/// What a model thread is doing, from the scheduler's point of view.
+enum Run {
+    Runnable,
+    /// Waiting to acquire the mutex with this id.
+    BlockedMutex(usize),
+    /// Parked on a condvar. `woken` is set by notify; a `deadline_ns`
+    /// makes the thread schedulable even unwoken (the timeout branch).
+    CondvarWait {
+        cv: usize,
+        deadline_ns: Option<u64>,
+        woken: bool,
+    },
+    /// Joining the thread with this id.
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadSt {
+    state: Run,
+    /// The closure's return value, boxed for [`crate::thread::JoinHandle`].
+    result: Option<Box<dyn Any + Send>>,
+}
+
+struct MutexRec {
+    held_by: Option<usize>,
+}
+
+struct CondvarRec {
+    /// FIFO wait queue (see the crate docs for this simplification).
+    waiters: VecDeque<usize>,
+}
+
+/// One scheduling decision: which thread ran, out of which enabled set.
+struct Branch {
+    /// Thread ids in exploration order: the previously active thread
+    /// first when still enabled (the free, non-preemptive continuation),
+    /// then the other enabled threads in id order.
+    order: Vec<usize>,
+    /// Index into `order` of the choice taken this execution.
+    chosen: usize,
+    /// Whether choices other than `order[0]` preempt a runnable thread
+    /// (and therefore cost one unit of the preemption budget).
+    preemptive_tail: bool,
+}
+
+impl Branch {
+    fn cost(&self) -> usize {
+        usize::from(self.preemptive_tail && self.chosen != 0)
+    }
+}
+
+struct Sched {
+    threads: Vec<ThreadSt>,
+    mutexes: Vec<MutexRec>,
+    condvars: Vec<CondvarRec>,
+    /// The one thread allowed to run right now.
+    active: usize,
+    /// Scheduling decisions: a replayed prefix plus fresh tail.
+    path: Vec<Branch>,
+    /// Next decision index (< path.len() while replaying).
+    pos: usize,
+    /// Virtual clock (ns); advanced only by timed-wait timeouts.
+    clock_ns: u64,
+    abort: bool,
+    panic_payload: Option<Box<dyn Any + Send>>,
+    unfinished: usize,
+}
+
+impl Sched {
+    fn enabled(&self, tid: usize) -> bool {
+        match &self.threads[tid].state {
+            Run::Runnable => true,
+            Run::BlockedMutex(m) => self.mutexes[*m].held_by.is_none(),
+            Run::CondvarWait {
+                woken, deadline_ns, ..
+            } => *woken || deadline_ns.is_some(),
+            Run::BlockedJoin(t) => matches!(self.threads[*t].state, Run::Finished),
+            Run::Finished => false,
+        }
+    }
+
+    fn choice_order(&self, enabled: &[usize]) -> (Vec<usize>, bool) {
+        let cont = enabled.contains(&self.active);
+        let mut order = Vec::with_capacity(enabled.len());
+        if cont {
+            order.push(self.active);
+        }
+        order.extend(enabled.iter().copied().filter(|&t| t != self.active));
+        (order, cont)
+    }
+
+    fn state_dump(&self) -> String {
+        let mut out = String::new();
+        for (tid, t) in self.threads.iter().enumerate() {
+            let s = match &t.state {
+                Run::Runnable => "runnable".to_string(),
+                Run::BlockedMutex(m) => format!("blocked on mutex #{m}"),
+                Run::CondvarWait {
+                    cv,
+                    deadline_ns,
+                    woken,
+                } => {
+                    format!("waiting on condvar #{cv} (deadline: {deadline_ns:?}, woken: {woken})")
+                }
+                Run::BlockedJoin(t) => format!("joining thread {t}"),
+                Run::Finished => "finished".to_string(),
+            };
+            out.push_str(&format!("\n  thread {tid}: {s}"));
+        }
+        out
+    }
+}
+
+pub(crate) struct Rt {
+    sched: StdMutex<Sched>,
+    cv: StdCondvar,
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Rt {
+    fn new(replay: Vec<Branch>) -> Rt {
+        Rt {
+            sched: StdMutex::new(Sched {
+                threads: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                active: 0,
+                path: replay,
+                pos: 0,
+                clock_ns: 0,
+                abort: false,
+                panic_payload: None,
+                unfinished: 0,
+            }),
+            cv: StdCondvar::new(),
+            handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Sched> {
+        self.sched
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut s = self.lock();
+        s.threads.push(ThreadSt {
+            state: Run::Runnable,
+            result: None,
+        });
+        s.unfinished += 1;
+        s.threads.len() - 1
+    }
+
+    pub(crate) fn alloc_mutex(&self) -> usize {
+        let mut s = self.lock();
+        s.mutexes.push(MutexRec { held_by: None });
+        s.mutexes.len() - 1
+    }
+
+    pub(crate) fn alloc_condvar(&self) -> usize {
+        let mut s = self.lock();
+        s.condvars.push(CondvarRec {
+            waiters: VecDeque::new(),
+        });
+        s.condvars.len() - 1
+    }
+
+    pub(crate) fn clock_ns(&self) -> u64 {
+        self.lock().clock_ns
+    }
+
+    fn add_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(h);
+    }
+
+    /// Picks the next thread to run and wakes it. Called with the
+    /// scheduler lock held, at every scheduling point.
+    fn pick(&self, s: &mut Sched) {
+        if s.unfinished == 0 || s.abort {
+            self.cv.notify_all();
+            return;
+        }
+        let enabled: Vec<usize> = (0..s.threads.len()).filter(|&t| s.enabled(t)).collect();
+        if enabled.is_empty() {
+            s.abort = true;
+            if s.panic_payload.is_none() {
+                s.panic_payload = Some(Box::new(format!(
+                    "loom: deadlock — every unfinished thread is blocked:{}",
+                    s.state_dump()
+                )));
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let next = if s.pos < s.path.len() {
+            // Replay: take the recorded decision, re-deriving the enabled
+            // set as a determinism check.
+            let (order, _cont) = s.choice_order(&enabled);
+            let b = &s.path[s.pos];
+            assert_eq!(
+                order, b.order,
+                "loom: nondeterministic model — scheduling replay diverged at step {}",
+                s.pos
+            );
+            let tid = b.order[b.chosen];
+            s.pos += 1;
+            tid
+        } else {
+            let (order, preemptive_tail) = s.choice_order(&enabled);
+            let tid = order[0];
+            s.path.push(Branch {
+                order,
+                chosen: 0,
+                preemptive_tail,
+            });
+            s.pos += 1;
+            tid
+        };
+        s.active = next;
+        self.cv.notify_all();
+    }
+
+    /// A scheduling point: `update` mutates this thread's state (e.g. to
+    /// block it), the scheduler picks the next thread, and the calling
+    /// thread parks until it is chosen again.
+    fn switch(&self, me: usize, update: impl FnOnce(&mut Sched)) {
+        let mut s = self.lock();
+        update(&mut s);
+        self.pick(&mut s);
+        loop {
+            if s.abort {
+                drop(s);
+                panic_any(AbortExecution);
+            }
+            if s.active == me {
+                return;
+            }
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Parks a freshly spawned thread until the scheduler first picks it.
+    fn wait_until_scheduled(&self, me: usize) {
+        let mut s = self.lock();
+        loop {
+            if s.abort {
+                drop(s);
+                panic_any(AbortExecution);
+            }
+            if s.active == me {
+                return;
+            }
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Acquire-or-block, without the leading yield (used on resume paths
+    /// that already sat at a scheduling point).
+    fn mutex_relock(&self, me: usize, m: usize) {
+        loop {
+            {
+                let mut s = self.lock();
+                if s.abort {
+                    drop(s);
+                    panic_any(AbortExecution);
+                }
+                if s.mutexes[m].held_by.is_none() {
+                    s.mutexes[m].held_by = Some(me);
+                    s.threads[me].state = Run::Runnable;
+                    return;
+                }
+            }
+            self.switch(me, |s| s.threads[me].state = Run::BlockedMutex(m));
+        }
+    }
+
+    /// Lock acquisition: a visible operation (yield), then acquire or
+    /// block until the holder releases.
+    pub(crate) fn mutex_lock(&self, me: usize, m: usize) {
+        self.switch(me, |_| {});
+        self.mutex_relock(me, m);
+    }
+
+    /// Release. Not itself a scheduling point: waiters become enabled and
+    /// the branch happens at the releasing thread's next visible
+    /// operation (or thread exit), which reaches the same schedules.
+    pub(crate) fn mutex_unlock(&self, me: usize, m: usize) {
+        let mut s = self.lock();
+        debug_assert_eq!(s.mutexes[m].held_by, Some(me), "loom: unlock by non-holder");
+        s.mutexes[m].held_by = None;
+    }
+
+    /// Condvar wait: atomically release the mutex, enqueue as a waiter,
+    /// and park. Returns `true` on the timeout branch (timed waits only),
+    /// after advancing the virtual clock to the deadline. Reacquires the
+    /// mutex before returning either way.
+    pub(crate) fn condvar_wait(
+        &self,
+        me: usize,
+        cv: usize,
+        m: usize,
+        timeout: Option<Duration>,
+    ) -> bool {
+        let deadline_ns = timeout.map(|d| {
+            let s = self.lock();
+            s.clock_ns
+                .saturating_add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        });
+        self.switch(me, |s| {
+            assert_eq!(
+                s.mutexes[m].held_by,
+                Some(me),
+                "loom: condvar wait without holding the mutex"
+            );
+            s.mutexes[m].held_by = None;
+            s.condvars[cv].waiters.push_back(me);
+            s.threads[me].state = Run::CondvarWait {
+                cv,
+                deadline_ns,
+                woken: false,
+            };
+        });
+        // Scheduled again: either a notify woke this thread, or (timed
+        // waits only) the scheduler chose the timeout branch.
+        let timed_out = {
+            let mut s = self.lock();
+            match s.threads[me].state {
+                Run::CondvarWait { woken: true, .. } => {
+                    s.threads[me].state = Run::Runnable;
+                    false
+                }
+                Run::CondvarWait {
+                    deadline_ns: Some(d),
+                    ..
+                } => {
+                    s.condvars[cv].waiters.retain(|&t| t != me);
+                    s.clock_ns = s.clock_ns.max(d);
+                    s.threads[me].state = Run::Runnable;
+                    true
+                }
+                _ => unreachable!("loom: condvar waiter scheduled in a non-wait state"),
+            }
+        };
+        self.mutex_relock(me, m);
+        timed_out
+    }
+
+    pub(crate) fn notify_one(&self, me: usize, cv: usize) {
+        self.switch(me, |_| {});
+        let mut s = self.lock();
+        if let Some(t) = s.condvars[cv].waiters.pop_front() {
+            if let Run::CondvarWait { woken, .. } = &mut s.threads[t].state {
+                *woken = true;
+            }
+        }
+    }
+
+    pub(crate) fn notify_all(&self, me: usize, cv: usize) {
+        self.switch(me, |_| {});
+        let mut s = self.lock();
+        while let Some(t) = s.condvars[cv].waiters.pop_front() {
+            if let Run::CondvarWait { woken, .. } = &mut s.threads[t].state {
+                *woken = true;
+            }
+        }
+    }
+
+    /// Yield without a state change (spawn is a visible operation).
+    pub(crate) fn yield_point(&self, me: usize) {
+        self.switch(me, |_| {});
+    }
+
+    /// Block until `target` finishes.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        self.switch(me, |s| {
+            if !matches!(s.threads[target].state, Run::Finished) {
+                s.threads[me].state = Run::BlockedJoin(target);
+            }
+        });
+        let mut s = self.lock();
+        s.threads[me].state = Run::Runnable;
+    }
+
+    pub(crate) fn take_result(&self, tid: usize) -> Option<Box<dyn Any + Send>> {
+        self.lock().threads[tid].result.take()
+    }
+
+    fn finish(&self, me: usize, result: std::thread::Result<Box<dyn Any + Send>>) {
+        let mut s = self.lock();
+        match result {
+            Ok(v) => s.threads[me].result = Some(v),
+            Err(p) => {
+                if !p.is::<AbortExecution>() {
+                    if s.panic_payload.is_none() {
+                        s.panic_payload = Some(p);
+                    }
+                    s.abort = true;
+                }
+            }
+        }
+        s.threads[me].state = Run::Finished;
+        s.unfinished -= 1;
+        if s.unfinished == 0 || s.abort {
+            self.cv.notify_all();
+        } else if s.active == me {
+            self.pick(&mut s);
+        }
+    }
+
+    fn wait_execution_done(&self) {
+        let mut s = self.lock();
+        while s.unfinished > 0 {
+            s = self
+                .cv
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn join_os_threads(&self) {
+        let handles = std::mem::take(
+            &mut *self
+                .handles
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn into_results(&self) -> (Vec<Branch>, Option<Box<dyn Any + Send>>) {
+        let mut s = self.lock();
+        (std::mem::take(&mut s.path), s.panic_payload.take())
+    }
+}
+
+/// Runs `f` on a fresh model thread of `rt`, catching panics and handing
+/// the outcome to the scheduler.
+pub(crate) fn spawn_model_thread<F, T>(rt: Arc<Rt>, tid: usize, f: F)
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let rt2 = Arc::clone(&rt);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&rt2), tid)));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                rt2.wait_until_scheduled(tid);
+                f()
+            }));
+            rt2.finish(tid, result.map(|v| Box::new(v) as Box<dyn Any + Send>));
+        })
+        .expect("loom: failed to spawn an OS thread for a model thread");
+    rt.add_handle(os);
+}
+
+/// Advances `path` to the next unexplored schedule (depth-first): the
+/// deepest decision with an untried sibling within the preemption budget.
+/// Returns `false` when the schedule tree is exhausted.
+fn advance(path: &mut Vec<Branch>, bound: usize) -> bool {
+    while let Some(mut b) = path.pop() {
+        let used: usize = path.iter().map(Branch::cost).sum();
+        let next = b.chosen + 1;
+        // Every sibling beyond index 0 has the same cost, so one budget
+        // check covers them all.
+        if next < b.order.len() && used + usize::from(b.preemptive_tail) <= bound {
+            b.chosen = next;
+            path.push(b);
+            return true;
+        }
+    }
+    false
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Checks `f` under every schedule of its threads, up to the preemption
+/// bound (`LOOM_MAX_PREEMPTIONS`, default 3). Panics (re-raising the
+/// model's own panic) on the first failing schedule; detects deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let bound = env_u64("LOOM_MAX_PREEMPTIONS", DEFAULT_PREEMPTION_BOUND as u64) as usize;
+    let max_iters = env_u64("LOOM_MAX_ITERATIONS", DEFAULT_MAX_ITERATIONS);
+    let mut replay: Vec<Branch> = Vec::new();
+    let mut iters: u64 = 0;
+    loop {
+        iters += 1;
+        assert!(
+            iters <= max_iters,
+            "loom: exceeded LOOM_MAX_ITERATIONS={max_iters} executions; \
+             shrink the model or raise the cap"
+        );
+        let rt = Arc::new(Rt::new(replay));
+        let t0 = rt.register_thread();
+        debug_assert_eq!(t0, 0);
+        let g = Arc::clone(&f);
+        spawn_model_thread(Arc::clone(&rt), t0, move || g());
+        rt.wait_execution_done();
+        rt.join_os_threads();
+        let (path, payload) = rt.into_results();
+        if let Some(p) = payload {
+            eprintln!("loom: model failed after {iters} execution(s)");
+            resume_unwind(p);
+        }
+        replay = path;
+        if !advance(&mut replay, bound) {
+            break;
+        }
+    }
+    if std::env::var("LOOM_LOG").is_ok() {
+        eprintln!("loom: explored {iters} execution(s)");
+    }
+}

@@ -1,0 +1,198 @@
+//! Model-checked drop-ins for `std::sync::{Mutex, Condvar}` (plus a
+//! re-exported `Arc`). Construction is free of runtime state: a primitive
+//! registers with the current execution lazily, on first use, so types
+//! containing these can be built anywhere inside a [`crate::model`]
+//! closure.
+
+use crate::rt::current;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, OnceLock};
+use std::time::Duration;
+
+pub use std::sync::Arc;
+
+/// A mutex whose lock/unlock operations are scheduling points of the
+/// model. Data is stored in an (uncontended, by construction) `std`
+/// mutex; exclusion is enforced logically by the scheduler.
+pub struct Mutex<T> {
+    data: StdMutex<T>,
+    id: OnceLock<usize>,
+}
+
+impl<T> Mutex<T> {
+    /// A new unlocked mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            data: StdMutex::new(value),
+            id: OnceLock::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self.id.get_or_init(|| current().0.alloc_mutex())
+    }
+
+    /// Acquires the mutex, blocking (in model time) until it is free.
+    /// Never poisoned: a model panic aborts the whole execution instead.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let (rt, me) = current();
+        let id = self.id();
+        rt.mutex_lock(me, id);
+        Ok(MutexGuard {
+            inner: Some(
+                self.data
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            ),
+            mx: self,
+        })
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.data.try_lock() {
+            Ok(g) => f.debug_struct("Mutex").field("data", &*g).finish(),
+            Err(_) => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releasing it (drop) re-enables
+/// blocked waiters.
+pub struct MutexGuard<'a, T> {
+    /// `None` once the guard has been dismantled by a condvar wait (the
+    /// logical release then belongs to the wait, not to drop).
+    inner: Option<StdMutexGuard<'a, T>>,
+    mx: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("loom: guard already released")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("loom: guard already released")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            let (rt, me) = current();
+            rt.mutex_unlock(me, self.mx.id());
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Result of a timed wait: whether the timeout branch was taken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable whose wait/notify operations are scheduling
+/// points. Timed waits branch the schedule: the timeout path advances the
+/// virtual clock ([`crate::time::Instant`]) to the wait's deadline.
+#[derive(Default)]
+pub struct Condvar {
+    id: OnceLock<usize>,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub fn new() -> Condvar {
+        Condvar {
+            id: OnceLock::new(),
+        }
+    }
+
+    fn id(&self) -> usize {
+        *self.id.get_or_init(|| current().0.alloc_condvar())
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: Option<Duration>,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let (rt, me) = current();
+        let mx = guard.mx;
+        let m = mx.id();
+        let cv = self.id();
+        // Drop the std guard; the *logical* release happens inside
+        // `condvar_wait`, atomically with enqueueing as a waiter.
+        drop(guard.inner.take());
+        drop(guard);
+        let timed_out = rt.condvar_wait(me, cv, m, timeout);
+        let inner = mx
+            .data
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (
+            MutexGuard {
+                inner: Some(inner),
+                mx,
+            },
+            WaitTimeoutResult { timed_out },
+        )
+    }
+
+    /// Releases the guard and blocks until notified, then reacquires.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        Ok(self.wait_inner(guard, None).0)
+    }
+
+    /// Like [`Condvar::wait`], bounded by `timeout` of virtual time.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        Ok(self.wait_inner(guard, Some(timeout)))
+    }
+
+    /// Wakes the longest-waiting thread, if any (lost when none waits).
+    pub fn notify_one(&self) {
+        let (rt, me) = current();
+        let cv = self.id();
+        rt.notify_one(me, cv);
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        let (rt, me) = current();
+        let cv = self.id();
+        rt.notify_all(me, cv);
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

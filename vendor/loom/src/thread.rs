@@ -1,0 +1,51 @@
+//! Model-checked drop-ins for `std::thread::{spawn, JoinHandle}`.
+
+use crate::rt::{current, spawn_model_thread};
+use std::marker::PhantomData;
+
+/// Handle to a spawned model thread; [`JoinHandle::join`] is a scheduling
+/// point that blocks (in model time) until the thread finishes.
+pub struct JoinHandle<T> {
+    tid: usize,
+    _t: PhantomData<fn() -> T>,
+}
+
+/// Spawns a new model thread. A visible operation: the scheduler may run
+/// the child (or anyone else) at the very next scheduling point.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (rt, me) = current();
+    let tid = rt.register_thread();
+    spawn_model_thread(std::sync::Arc::clone(&rt), tid, f);
+    rt.yield_point(me);
+    JoinHandle {
+        tid,
+        _t: PhantomData,
+    }
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. A panic on
+    /// the child aborts the whole execution (re-raised from
+    /// [`crate::model`]), so unlike `std` this never returns `Err`.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (rt, me) = current();
+        rt.join_thread(me, self.tid);
+        let boxed = rt
+            .take_result(self.tid)
+            .expect("loom: joined thread left no result");
+        Ok(*boxed
+            .downcast::<T>()
+            .expect("loom: join result had an unexpected type"))
+    }
+}
+
+/// Yields to the scheduler without blocking: an explicit extra
+/// interleaving point.
+pub fn yield_now() {
+    let (rt, me) = current();
+    rt.yield_point(me);
+}

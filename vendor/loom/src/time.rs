@@ -1,0 +1,63 @@
+//! A deterministic virtual clock. [`Instant::now`] reads the execution's
+//! clock, which starts at zero and advances only when a timed condvar
+//! wait takes its timeout branch (to that wait's deadline). Deadline
+//! rechecks after a timeout therefore observe expired deadlines exactly
+//! as they would on a real clock — deterministically, per schedule.
+
+use crate::rt::current;
+use std::ops::{Add, Sub};
+
+pub use std::time::Duration;
+
+/// Virtual monotonic timestamp (nanoseconds since execution start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Instant {
+    ns: u64,
+}
+
+impl Instant {
+    /// The current virtual time of the running model execution.
+    pub fn now() -> Instant {
+        let (rt, _me) = current();
+        Instant { ns: rt.clock_ns() }
+    }
+
+    /// Virtual time elapsed since `self`.
+    pub fn elapsed(&self) -> Duration {
+        Instant::now() - *self
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant {
+            ns: self
+                .ns
+                .saturating_add(u64::try_from(rhs.as_nanos()).unwrap_or(u64::MAX)),
+        }
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        Duration::from_nanos(
+            self.ns
+                .checked_sub(rhs.ns)
+                .expect("loom: Instant subtraction went negative"),
+        )
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant {
+            ns: self
+                .ns
+                .checked_sub(u64::try_from(rhs.as_nanos()).unwrap_or(u64::MAX))
+                .expect("loom: Instant subtraction went negative"),
+        }
+    }
+}

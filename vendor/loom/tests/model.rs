@@ -1,0 +1,140 @@
+//! Self-tests for the vendored model checker: it must explore all
+//! interleavings (both orders of a racing pair, both branches of a timed
+//! wait), detect deadlocks, and propagate model panics.
+
+use loom::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc as StdArc;
+use std::time::Duration;
+
+#[test]
+fn explores_both_orders_of_a_racing_pair() {
+    let saw_12 = StdArc::new(AtomicBool::new(false));
+    let saw_21 = StdArc::new(AtomicBool::new(false));
+    let (a, b) = (StdArc::clone(&saw_12), StdArc::clone(&saw_21));
+    loom::model(move || {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l2 = Arc::clone(&log);
+        let t = loom::thread::spawn(move || l2.lock().unwrap().push(2));
+        log.lock().unwrap().push(1);
+        t.join().unwrap();
+        let order = log.lock().unwrap().clone();
+        match order.as_slice() {
+            [1, 2] => a.store(true, Ordering::Relaxed),
+            [2, 1] => b.store(true, Ordering::Relaxed),
+            other => panic!("impossible order {other:?}"),
+        }
+    });
+    assert!(saw_12.load(Ordering::Relaxed), "never saw main-first order");
+    assert!(
+        saw_21.load(Ordering::Relaxed),
+        "never saw child-first order"
+    );
+}
+
+#[test]
+fn detects_lost_notification_as_deadlock() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            // Buggy rendezvous: the waiter never checks the flag before
+            // waiting, so a notify that lands first is lost forever.
+            let cell = Arc::new((Mutex::new(false), Condvar::new()));
+            let c2 = Arc::clone(&cell);
+            let t = loom::thread::spawn(move || {
+                let (flag, cv) = &*c2;
+                *flag.lock().unwrap() = true;
+                cv.notify_one();
+            });
+            let (flag, cv) = &*cell;
+            let guard = flag.lock().unwrap();
+            drop(cv.wait(guard).unwrap());
+            t.join().unwrap();
+        });
+    }));
+    let payload = result.expect_err("the lost-notify schedule must fail");
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .unwrap_or("");
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+#[test]
+fn timed_wait_explores_both_branches_and_advances_the_clock() {
+    let saw_timeout = StdArc::new(AtomicBool::new(false));
+    let saw_notify = StdArc::new(AtomicBool::new(false));
+    let (a, b) = (StdArc::clone(&saw_timeout), StdArc::clone(&saw_notify));
+    loom::model(move || {
+        let cell = Arc::new((Mutex::new(()), Condvar::new()));
+        let c2 = Arc::clone(&cell);
+        let t = loom::thread::spawn(move || c2.1.notify_one());
+        let before = loom::time::Instant::now();
+        let wait = Duration::from_millis(10);
+        let guard = cell.0.lock().unwrap();
+        let (guard, res) = cell.1.wait_timeout(guard, wait).unwrap();
+        drop(guard);
+        if res.timed_out() {
+            a.store(true, Ordering::Relaxed);
+            assert!(
+                loom::time::Instant::now() >= before + wait,
+                "timeout must advance the virtual clock past the deadline"
+            );
+        } else {
+            b.store(true, Ordering::Relaxed);
+        }
+        t.join().unwrap();
+    });
+    assert!(
+        saw_timeout.load(Ordering::Relaxed),
+        "never saw the timeout branch"
+    );
+    assert!(
+        saw_notify.load(Ordering::Relaxed),
+        "never saw the notified branch"
+    );
+}
+
+#[test]
+fn join_returns_the_thread_result() {
+    loom::model(|| {
+        let t = loom::thread::spawn(|| 40 + 2);
+        assert_eq!(t.join().unwrap(), 42);
+    });
+}
+
+#[test]
+fn model_thread_panics_propagate() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let t = loom::thread::spawn(|| panic!("child boom"));
+            let _ = t.join();
+        });
+    }));
+    let payload = result.expect_err("a child panic must fail the model");
+    let msg = payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .unwrap_or("");
+    assert!(msg.contains("child boom"), "unexpected payload: {msg}");
+}
+
+#[test]
+fn mutex_provides_mutual_exclusion() {
+    loom::model(|| {
+        let n = Arc::new(Mutex::new(0u32));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let n2 = Arc::clone(&n);
+            handles.push(loom::thread::spawn(move || {
+                let mut g = n2.lock().unwrap();
+                let v = *g;
+                *g = v + 1;
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+}
