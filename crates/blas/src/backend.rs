@@ -38,7 +38,17 @@ use std::cell::Cell;
 /// on the problem size — never on the thread count — so the chosen
 /// algorithm (and hence the bit pattern of the result) is the same for
 /// every backend.
-pub const PARALLEL_MIN_VOLUME: usize = 128 * 128 * 128;
+///
+/// **Calibration** (from the `dispatch_overhead` record in
+/// `BENCH_gemm.json`): one pool dispatch costs ≈ 5.9 µs. At the packed
+/// kernel's measured serial rate (tens of GFLOP/s) a chunk must carry a
+/// few MFLOPs before that tax drops under a couple of percent; the old
+/// `128³` gate admitted `n = 256` (16 M volume split across 4 workers →
+/// ≈ 4 M each) yet the smoke bench showed threaded at 0.44× serial once
+/// per-call pack duplication was added on top. `160³` keeps per-worker
+/// chunks ≥ ~4 M volume (≥ ~8 MFLOPs) *before* splitting, pushing the
+/// crossover to sizes where the pool measurably wins.
+pub const PARALLEL_MIN_VOLUME: usize = 160 * 160 * 160;
 
 /// The memory-bound parallel gate: minimum element count (`m·n` for
 /// `gemv`/`ger`, output length² for checksum sweeps) before a level-2 or
@@ -46,7 +56,10 @@ pub const PARALLEL_MIN_VOLUME: usize = 128 * 128 * 128;
 /// faster than their flop count suggests — each element is touched once —
 /// so this gate is far lower than [`PARALLEL_MIN_VOLUME`]. Consulted via
 /// [`fork_threads_mem`]; same backend-independence rule as above.
-pub const PARALLEL_MIN_ELEMS: usize = 32 * 1024;
+/// Recalibrated alongside [`PARALLEL_MIN_VOLUME`]: at ≈ 5.9 µs per
+/// dispatch a memory-bound sweep needs ≥ ~10⁵ touched elements before
+/// forking amortizes.
+pub const PARALLEL_MIN_ELEMS: usize = 128 * 1024;
 
 /// Which execution backend the level-3 kernels use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -234,6 +247,49 @@ where
     pool::run_scoped(tasks);
 }
 
+/// 2-D analogue of [`for_each_col_chunk`]: splits `c` into a `tr × tc`
+/// grid of near-equal contiguous tiles and runs `f(first_global_row,
+/// first_global_col, tile)` on each, extra tiles on pool workers. The
+/// gemm threaded path partitions its output this way (`jc`/`ic`
+/// macro-tiles) so each worker runs the full packed serial kernel on a
+/// private block of `C` — per-element results do not depend on the grid,
+/// preserving the bit-identity contract.
+pub(crate) fn for_each_tile<F>(c: MatViewMut<'_>, tr: usize, tc: usize, f: F)
+where
+    F: Fn(usize, usize, MatViewMut<'_>) + Sync,
+{
+    let (m, n) = (c.rows(), c.cols());
+    let tr = tr.min(m.max(1)).max(1);
+    let tc = tc.min(n.max(1)).max(1);
+    if tr * tc <= 1 {
+        f(0, 0, c);
+        return;
+    }
+    let (rbase, rextra) = (m / tr, m % tr);
+    let (cbase, cextra) = (n / tc, n % tc);
+    let mut tasks: Vec<ScopedTask<'_>> = Vec::with_capacity(tr * tc);
+    let fr = &f;
+    let mut rest = c;
+    let mut j0 = 0usize;
+    for wc in 0..tc {
+        let width = cbase + usize::from(wc < cextra);
+        let (band, tail) = rest.split_at_col(width);
+        rest = tail;
+        let mut brest = band;
+        let mut i0 = 0usize;
+        for wr in 0..tr {
+            let height = rbase + usize::from(wr < rextra);
+            let (tile, btail) = brest.split_at_row(height);
+            brest = btail;
+            let (r0, c0) = (i0, j0);
+            tasks.push(Box::new(move || fr(r0, c0, tile)));
+            i0 += height;
+        }
+        j0 += width;
+    }
+    pool::run_scoped(tasks);
+}
+
 /// Slice analogue of [`for_each_col_chunk`]: splits `out` into up to
 /// `workers` near-equal contiguous ranges and runs `f(first_global_index,
 /// chunk)` on each. Used by the parallel level-2 path, where the output is
@@ -372,6 +428,26 @@ mod tests {
             for j in 0..3 {
                 for i in 0..10 {
                     assert_eq!(a[(i, j)], i as f64, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiles_cover_exactly_once() {
+        for (tr, tc) in [(1usize, 1usize), (2, 2), (3, 1), (1, 4), (2, 3), (5, 5)] {
+            let mut a = Matrix::zeros(11, 13);
+            for_each_tile(a.as_view_mut(), tr, tc, |i0, j0, mut tile| {
+                for j in 0..tile.cols() {
+                    for i in 0..tile.rows() {
+                        let old = tile.at(i, j);
+                        tile.set(i, j, old + ((i0 + i) * 100 + j0 + j) as f64);
+                    }
+                }
+            });
+            for j in 0..13 {
+                for i in 0..11 {
+                    assert_eq!(a[(i, j)], (i * 100 + j) as f64, "grid {tr}x{tc}");
                 }
             }
         }

@@ -1,5 +1,16 @@
 //! General matrix–matrix multiply: `C ← α·op(A)·op(B) + β·C`.
+//!
+//! All implementations share **one accumulation contract** per element of
+//! `C` (see [`super::microkernel`]): scale by `β` once, then for each
+//! `KC`-deep block of the inner dimension (ascending) accumulate a fused
+//! multiply-add chain over `p` ascending and fold it in with
+//! `c = fma(α, acc, c)`. The reference oracle, the packed blocked kernel,
+//! the AVX2 and scalar microkernel paths, and every thread-count of the
+//! tiled parallel path therefore produce **bit-identical** results — the
+//! invariant the FT driver's checksum thresholds rely on.
 
+use super::abft::AbftSink;
+use super::microkernel::{self, Isa, MR, NR};
 use crate::backend;
 use crate::flops::{model, record};
 use crate::types::Trans;
@@ -7,12 +18,12 @@ use crate::workspace;
 use ft_matrix::{MatView, MatViewMut};
 
 /// Cache-blocking parameters (tuned for a ~32 KiB L1 / 256 KiB L2 class
-/// core; the microkernel is `MR × NR` and relies on LLVM auto-vectorization).
-const MC: usize = 128;
-const KC: usize = 256;
-const NC: usize = 1024;
-const MR: usize = 8;
-const NR: usize = 4;
+/// core). The register tile is `MR × NR` (see [`super::microkernel`]): the
+/// packed `A` block (`MC × KC` ≈ 256 KiB) targets L2, the `B` panel slice
+/// in flight stays L1-resident.
+pub(super) const MC: usize = 128;
+pub(super) const KC: usize = 256;
+pub(super) const NC: usize = 1024;
 
 /// Minimum problem volume (`m·n·k`) before the packed kernel pays off.
 /// The parallel gate lives in [`backend`] (`PARALLEL_MIN_VOLUME`), shared
@@ -24,17 +35,20 @@ const BLOCKED_THRESHOLD: usize = 32 * 32 * 32;
 pub enum GemmAlgo {
     /// Pick based on problem size and available threads.
     Auto,
-    /// Naive triple loop (test oracle; fastest for tiny problems).
+    /// Loop-based oracle following the shared accumulation contract
+    /// (bit-identical to the packed kernels; fastest for tiny problems).
     Reference,
-    /// Cache-blocked with packed panels.
+    /// Cache-blocked with packed panels and the register-tiled
+    /// microkernel.
     Blocked,
-    /// [`GemmAlgo::Blocked`] with rows of `C` split across OS threads.
-    /// Bit-identical to [`GemmAlgo::Blocked`] for every thread count.
+    /// [`GemmAlgo::Blocked`] with `C` split into `jc`/`ic` macro-tiles
+    /// across the persistent pool. Bit-identical to [`GemmAlgo::Blocked`]
+    /// for every thread count.
     Parallel,
 }
 
 #[inline]
-fn op_dims(trans: Trans, a: &MatView<'_>) -> (usize, usize) {
+pub(super) fn op_dims(trans: Trans, a: &MatView<'_>) -> (usize, usize) {
     match trans {
         Trans::No => (a.rows(), a.cols()),
         Trans::Yes => (a.cols(), a.rows()),
@@ -42,7 +56,7 @@ fn op_dims(trans: Trans, a: &MatView<'_>) -> (usize, usize) {
 }
 
 #[inline(always)]
-fn op_at(trans: Trans, a: &MatView<'_>, i: usize, k: usize) -> f64 {
+pub(super) fn op_at(trans: Trans, a: &MatView<'_>, i: usize, k: usize) -> f64 {
     // SAFETY: callers index within op(A)'s bounds, checked at entry.
     unsafe {
         match trans {
@@ -52,7 +66,7 @@ fn op_at(trans: Trans, a: &MatView<'_>, i: usize, k: usize) -> f64 {
     }
 }
 
-fn check_dims(
+pub(super) fn check_dims(
     transa: Trans,
     transb: Trans,
     a: &MatView<'_>,
@@ -67,8 +81,16 @@ fn check_dims(
     (m, n, ka)
 }
 
-/// Reference GEMM: straightforward loops, used as the oracle in tests and
-/// for small problems where blocking overhead dominates.
+/// Reference GEMM: plain loops following the shared accumulation contract
+/// — the oracle the packed kernels are bit-compared against, and the
+/// fastest path for tiny problems where packing overhead dominates.
+///
+/// Unlike the pre-microkernel version, there is **no** `b(p,j) == 0.0`
+/// early-out: skipping a multiply that the packed kernel performs made
+/// oracle and kernel disagree on non-finite inputs (`0·NaN`, `0·Inf`,
+/// signed-zero accumulation). Every update runs unconditionally; the
+/// regression test `non_finite_inputs_bit_identical_across_algos` pins
+/// the equivalence down.
 pub fn gemm_ref(
     transa: Trans,
     transb: Trans,
@@ -84,26 +106,67 @@ pub fn gemm_ref(
     if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
         return;
     }
-    // j-k-i ordering: innermost loop walks a column of C and (for
-    // Trans::No) a column of A — both contiguous.
+    let mut acc = workspace::scratch(m);
+    match microkernel::resolve_isa() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: both `Avx2` and `ScalarFma` are only resolved after
+        // runtime detection confirmed the `fma` CPU feature.
+        Isa::Avx2 | Isa::ScalarFma => unsafe {
+            ref_body_fma(transa, transb, alpha, a, b, c, m, n, k, &mut acc)
+        },
+        _ => ref_body(transa, transb, alpha, a, b, c, m, n, k, &mut acc),
+    }
+}
+
+/// The reference loop nest. `#[inline(always)]` so [`ref_body_fma`]
+/// compiles it with the `fma` target feature (`mul_add` becomes one
+/// instruction); without hardware FMA the compiler emits the correctly
+/// rounded soft `fma` — same bits either way.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn ref_body(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: &MatView<'_>,
+    b: &MatView<'_>,
+    c: &mut MatViewMut<'_>,
+    m: usize,
+    n: usize,
+    k: usize,
+    acc: &mut [f64],
+) {
     for j in 0..n {
-        for p in 0..k {
-            let bpj = alpha * op_at(transb, b, p, j);
-            if bpj == 0.0 {
-                continue;
-            }
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
             match transa {
                 Trans::No => {
-                    let acol = a.col(p);
+                    // Column-friendly: accumulate the block's contribution
+                    // to the whole column of C in a scratch vector.
+                    let accs = &mut acc[..m];
+                    accs.fill(0.0);
+                    for p in 0..kc {
+                        let bpj = op_at(transb, b, pc + p, j);
+                        let acol = a.col(pc + p);
+                        for i in 0..m {
+                            accs[i] = acol[i].mul_add(bpj, accs[i]);
+                        }
+                    }
                     let ccol = c.col_mut(j);
                     for i in 0..m {
-                        ccol[i] += bpj * acol[i];
+                        ccol[i] = alpha.mul_add(accs[i], ccol[i]);
                     }
                 }
                 Trans::Yes => {
+                    // Row `i` of op(A) is column `i` of A — contiguous.
                     let ccol = c.col_mut(j);
                     for (i, cij) in ccol.iter_mut().enumerate() {
-                        *cij += bpj * op_at(Trans::Yes, a, i, p);
+                        let arow = &a.col(i)[pc..pc + kc];
+                        let mut s = 0.0f64;
+                        for (p, &av) in arow.iter().enumerate() {
+                            s = av.mul_add(op_at(transb, b, pc + p, j), s);
+                        }
+                        *cij = alpha.mul_add(s, *cij);
                     }
                 }
             }
@@ -111,8 +174,26 @@ pub fn gemm_ref(
     }
 }
 
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "fma")]
+fn ref_body_fma(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: &MatView<'_>,
+    b: &MatView<'_>,
+    c: &mut MatViewMut<'_>,
+    m: usize,
+    n: usize,
+    k: usize,
+    acc: &mut [f64],
+) {
+    ref_body(transa, transb, alpha, a, b, c, m, n, k, acc);
+}
+
 #[inline]
-fn scale_c(beta: f64, c: &mut MatViewMut<'_>) {
+pub(super) fn scale_c(beta: f64, c: &mut MatViewMut<'_>) {
     if beta == 1.0 {
         return;
     }
@@ -124,8 +205,11 @@ fn scale_c(beta: f64, c: &mut MatViewMut<'_>) {
 }
 
 /// Packs a `mc × kc` block of `op(A)` into row-panels of height `MR`,
-/// zero-padding the ragged edge.
-fn pack_a(
+/// zero-padding the ragged edge. The online-ABFT column sums are *not*
+/// fused here — `AbftSink::accum_asum` re-reads the packed (cache-hot)
+/// buffer with the vector-dispatched sum pass, keeping this loop
+/// identical for the plain and fused paths.
+pub(super) fn pack_a(
     transa: Trans,
     a: &MatView<'_>,
     i0: usize,
@@ -151,8 +235,11 @@ fn pack_a(
 }
 
 /// Packs a `kc × nc` block of `op(B)` into column-panels of width `NR`,
-/// zero-padding the ragged edge.
-fn pack_b(
+/// zero-padding the ragged edge. The online-ABFT row sums are *not*
+/// fused here — `AbftSink::accum_bsum` re-reads the packed (cache-hot)
+/// buffer instead, because it needs them partitioned per verification
+/// band.
+pub(super) fn pack_b(
     transb: Trans,
     b: &MatView<'_>,
     p0: usize,
@@ -177,43 +264,110 @@ fn pack_b(
     }
 }
 
-/// `MR × NR` register-tiled microkernel: accumulates
-/// `alpha · Apanel · Bpanel` into `C(i0+.., j0+..)` (height `h ≤ MR`, width
-/// `w ≤ NR`).
-#[inline(always)]
+/// The serial blocked kernel body: BLIS loop nest `jc → pc → ic → jr → ir`
+/// over one region of `C`, with `β` applied up front. Both the serial
+/// entry points and every macro-tile of the threaded path run exactly this
+/// code, which is what makes the partition irrelevant to the result bits.
+///
+/// When `abft` is given, the online-ABFT encode rides the packing stage
+/// (`asum` fused into `pack_a`, `bsum` from a cache-hot pass over the
+/// packed `B` panels) and the verification sums ride the final-`pc`
+/// epilogue — see [`super::abft`]. The region may span any number of
+/// `jc` blocks; [`super::abft::gemm_ft`] hands each worker one
+/// band-aligned region so `A` is packed exactly once per `pc` block.
 #[allow(clippy::too_many_arguments)]
-fn microkernel(
-    kc: usize,
+pub(super) fn gemm_block_serial(
+    isa: Isa,
+    transa: Trans,
+    transb: Trans,
     alpha: f64,
-    apanel: &[f64],
-    bpanel: &[f64],
+    a: &MatView<'_>,
+    b: &MatView<'_>,
+    beta: f64,
     c: &mut MatViewMut<'_>,
-    i0: usize,
-    j0: usize,
-    h: usize,
-    w: usize,
+    mut abft: Option<&mut AbftSink<'_>>,
 ) {
-    let mut acc = [[0.0f64; MR]; NR];
-    for p in 0..kc {
-        let av = &apanel[p * MR..p * MR + MR];
-        let bv = &bpanel[p * NR..p * NR + NR];
-        for (jj, accj) in acc.iter_mut().enumerate() {
-            let bj = bv[jj];
-            for (ii, a) in accj.iter_mut().enumerate() {
-                *a += av[ii] * bj;
-            }
-        }
+    let (m, k) = op_dims(transa, a);
+    let n = c.cols();
+    debug_assert_eq!(c.rows(), m);
+    debug_assert_eq!(op_dims(transb, b), (k, n));
+
+    match abft.as_deref_mut() {
+        Some(sink) => sink.scale_and_base(beta, c),
+        None => scale_c(beta, c),
     }
-    for jj in 0..w {
-        let ccol = &mut c.col_mut(j0 + jj)[i0..i0 + h];
-        for (ii, cij) in ccol.iter_mut().enumerate() {
-            *cij += alpha * acc[jj][ii];
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        if let Some(sink) = abft {
+            sink.finish_no_update();
+        }
+        return;
+    }
+
+    // Pack buffers come from the thread-local workspace arena: allocated
+    // once per thread, reused by every subsequent call (each pool worker
+    // owns its own arena, so the threaded path packs per macro-tile with
+    // zero steady-state allocation).
+    let mut abuf = workspace::scratch(MC.div_ceil(MR) * MR * KC);
+    let mut bbuf = workspace::scratch(NC.div_ceil(NR) * NR * KC);
+
+    let last_pc = (k - 1) / KC * KC;
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            if let Some(sink) = abft.as_deref_mut() {
+                sink.begin_block(kc);
+            }
+            pack_b(transb, b, pc, jc, kc, nc, &mut bbuf);
+            if let Some(sink) = abft.as_deref_mut() {
+                sink.accum_bsum(jc, nc, kc, &bbuf);
+            }
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(transa, a, ic, pc, mc, kc, &mut abuf);
+                if let Some(sink) = abft.as_deref_mut() {
+                    sink.accum_asum(mc, kc, &abuf);
+                    sink.accum_rowpred(ic, mc, kc, &abuf, jc, nc);
+                }
+                for jr in (0..nc).step_by(NR) {
+                    let w = NR.min(nc - jr);
+                    let bpanel = &bbuf[(jr / NR) * NR * kc..(jr / NR + 1) * NR * kc];
+                    for ir in (0..mc).step_by(MR) {
+                        let h = MR.min(mc - ir);
+                        let apanel = &abuf[(ir / MR) * MR * kc..(ir / MR + 1) * MR * kc];
+                        microkernel::tile(
+                            isa,
+                            kc,
+                            alpha,
+                            apanel,
+                            bpanel,
+                            c,
+                            ic + ir,
+                            jc + jr,
+                            h,
+                            w,
+                        );
+                    }
+                }
+                // Fresh-sum epilogue: once per finished block of the
+                // final `pc` pass, while the block is cache-warm. Kept
+                // out of the tile loops so the inner nest stays identical
+                // to the plain path.
+                if pc == last_pc {
+                    if let Some(sink) = abft.as_deref_mut() {
+                        sink.block_fresh_sums(c, ic, mc, jc, nc);
+                    }
+                }
+            }
+            if let Some(sink) = abft.as_deref_mut() {
+                sink.accum_colpred(jc, nc, kc, &bbuf);
+            }
         }
     }
 }
 
-/// Cache-blocked packed GEMM (single-threaded): the BLIS loop nest
-/// `jc → pc → ic → jr → ir` with `A` and `B` panels packed per block.
+/// Cache-blocked packed GEMM (single-threaded): the BLIS loop nest with
+/// the runtime-selected microkernel.
 pub fn gemm_blocked(
     transa: Trans,
     transb: Trans,
@@ -225,49 +379,72 @@ pub fn gemm_blocked(
 ) {
     let (m, n, k) = check_dims(transa, transb, a, b, c);
     record(model::gemm(m, n, k));
-    scale_c(beta, c);
-    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
-        return;
-    }
+    let isa = microkernel::resolve_isa();
+    gemm_block_serial(isa, transa, transb, alpha, a, b, beta, c, None);
+}
 
-    // Pack buffers come from the thread-local workspace arena: allocated
-    // once per thread, reused by every subsequent call (and by each pool
-    // worker's row block in the threaded path).
-    let mut abuf = workspace::scratch(MC.div_ceil(MR) * MR * KC);
-    let mut bbuf = workspace::scratch(NC.div_ceil(NR) * NR * KC);
-
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
-            pack_b(transb, b, pc, jc, kc, nc, &mut bbuf);
-            for ic in (0..m).step_by(MC) {
-                let mc = MC.min(m - ic);
-                pack_a(transa, a, ic, pc, mc, kc, &mut abuf);
-                for jr in (0..nc).step_by(NR) {
-                    let w = NR.min(nc - jr);
-                    let bpanel = &bbuf[(jr / NR) * NR * kc..(jr / NR + 1) * NR * kc];
-                    for ir in (0..mc).step_by(MR) {
-                        let h = MR.min(mc - ir);
-                        let apanel = &abuf[(ir / MR) * MR * kc..(ir / MR + 1) * MR * kc];
-                        microkernel(kc, alpha, apanel, bpanel, c, ic + ir, jc + jr, h, w);
-                    }
-                }
-            }
-        }
+/// The sub-view of `a` corresponding to rows `[i0, i0+h)` of `op(A)`.
+pub(super) fn op_row_slice<'a>(
+    transa: Trans,
+    a: &MatView<'a>,
+    i0: usize,
+    h: usize,
+    k: usize,
+) -> MatView<'a> {
+    match transa {
+        Trans::No => a.subview(i0, 0, h, k),
+        Trans::Yes => a.subview(0, i0, k, h),
     }
 }
 
-/// Threaded GEMM: splits `C` into contiguous row blocks (`threads` of
-/// them, `0` = available parallelism) and runs [`gemm_blocked`] on each
-/// block with the matching row slice of `op(A)`, one persistent pool
-/// worker per extra block. Each worker owns a disjoint `MatViewMut`, so
-/// the parallelism is data-race free by construction.
+/// The sub-view of `b` corresponding to columns `[j0, j0+w)` of `op(B)`.
+pub(super) fn op_col_slice<'b>(
+    transb: Trans,
+    b: &MatView<'b>,
+    j0: usize,
+    w: usize,
+    k: usize,
+) -> MatView<'b> {
+    match transb {
+        Trans::No => b.subview(0, j0, k, w),
+        Trans::Yes => b.subview(j0, 0, w, k),
+    }
+}
+
+/// Picks a `tr × tc` macro-tile grid for `t` workers over an `m × n`
+/// result. The larger dimension is split first (splitting columns
+/// duplicates only `A`-packing across bands and vice versa); the grid goes
+/// 2-D only when one dimension cannot host `t` bands of at least two
+/// register tiles. `tr·tc ≤ t`, so the pool never grows beyond the
+/// requested worker count.
+fn tile_grid(m: usize, n: usize, t: usize) -> (usize, usize) {
+    if t <= 1 {
+        return (1, 1);
+    }
+    let max_r = m.div_ceil(2 * MR).max(1);
+    let max_c = n.div_ceil(2 * NR).max(1);
+    if n >= m {
+        let tc = t.min(max_c);
+        let tr = (t / tc).min(max_r).max(1);
+        (tr, tc)
+    } else {
+        let tr = t.min(max_r);
+        let tc = (t / tr).min(max_c).max(1);
+        (tr, tc)
+    }
+}
+
+/// Threaded GEMM: partitions `C` into `jc`/`ic` macro-tiles (at most
+/// `threads` of them, `0` = available parallelism) and runs the serial
+/// blocked kernel on each tile with the matching `op(A)` row and `op(B)`
+/// column slices, one persistent pool worker per extra tile. Each worker
+/// owns a disjoint `MatViewMut`, so the parallelism is data-race free by
+/// construction.
 ///
-/// Because every element of `C` is accumulated in exactly the order the
-/// serial blocked kernel uses (the row partition never changes a per-
-/// element reduction), the result is **bit-identical** to
-/// [`gemm_blocked`] for any thread count.
+/// Every element of `C` is produced by exactly the serial accumulation
+/// chain regardless of which tile it lands in, so the result is
+/// **bit-identical** to [`gemm_blocked`] (and [`gemm_ref`]) for any thread
+/// count and any grid shape.
 #[allow(clippy::too_many_arguments)] // standard BLAS gemm signature + thread count
 pub fn gemm_threaded(
     threads: usize,
@@ -279,24 +456,20 @@ pub fn gemm_threaded(
     beta: f64,
     c: &mut MatViewMut<'_>,
 ) {
-    let (_m, _n, k) = check_dims(transa, transb, a, b, c);
+    let (m, n, k) = check_dims(transa, transb, a, b, c);
+    record(model::gemm(m, n, k));
     let t = if threads == 0 {
         backend::available_parallelism()
     } else {
         threads
     };
-    backend::for_each_row_chunk(c.rb_mut(), t, |i0, mut chunk| {
-        let av = op_row_slice(transa, a, i0, chunk.rows(), k);
-        gemm_blocked(transa, transb, alpha, &av, b, beta, &mut chunk);
+    let isa = microkernel::resolve_isa();
+    let (tr, tc) = tile_grid(m, n, t);
+    backend::for_each_tile(c.rb_mut(), tr, tc, |i0, j0, mut tile| {
+        let av = op_row_slice(transa, a, i0, tile.rows(), k);
+        let bv = op_col_slice(transb, b, j0, tile.cols(), k);
+        gemm_block_serial(isa, transa, transb, alpha, &av, &bv, beta, &mut tile, None);
     });
-}
-
-/// The sub-view of `a` corresponding to rows `[i0, i0+h)` of `op(A)`.
-fn op_row_slice<'a>(transa: Trans, a: &MatView<'a>, i0: usize, h: usize, k: usize) -> MatView<'a> {
-    match transa {
-        Trans::No => a.subview(i0, 0, h, k),
-        Trans::Yes => a.subview(0, i0, k, h),
-    }
 }
 
 /// GEMM with an explicit algorithm choice.
@@ -370,6 +543,14 @@ mod tests {
                 .map(|p| op_at(transa, &av, i, p) * op_at(transb, &bv, p, j))
                 .sum()
         })
+    }
+
+    fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: {x:?} vs {y:?}");
+        }
     }
 
     #[test]
@@ -449,13 +630,110 @@ mod tests {
     }
 
     #[test]
+    fn algos_are_bit_identical() {
+        // The contract is stronger than closeness: ref, blocked, and every
+        // tiled parallel variant agree to the bit.
+        for &(m, n, k) in &[(17usize, 13usize, 70usize), (64, 48, 300), (33, 129, 5)] {
+            let a = ft_matrix::random::uniform(m, k, 11);
+            let b = ft_matrix::random::uniform(k, n, 12);
+            let c0 = ft_matrix::random::uniform(m, n, 13);
+            let mut c_ref = c0.clone();
+            gemm_ref(
+                Trans::No,
+                Trans::No,
+                1.7,
+                &a.as_view(),
+                &b.as_view(),
+                -0.3,
+                &mut c_ref.as_view_mut(),
+            );
+            let mut c_blk = c0.clone();
+            gemm_blocked(
+                Trans::No,
+                Trans::No,
+                1.7,
+                &a.as_view(),
+                &b.as_view(),
+                -0.3,
+                &mut c_blk.as_view_mut(),
+            );
+            assert_bits_eq(&c_ref, &c_blk, "ref vs blocked");
+            for t in [2usize, 3, 5] {
+                let mut c_par = c0.clone();
+                gemm_threaded(
+                    t,
+                    Trans::No,
+                    Trans::No,
+                    1.7,
+                    &a.as_view(),
+                    &b.as_view(),
+                    -0.3,
+                    &mut c_par.as_view_mut(),
+                );
+                assert_bits_eq(&c_ref, &c_par, "ref vs threaded");
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs_bit_identical_across_algos() {
+        // Regression for the old `bpj == 0.0` early-out in the oracle: a
+        // zero in op(B) against Inf/NaN in A must flow through the same
+        // fma chain everywhere (0·Inf = NaN, not "skip").
+        let mut a = ft_matrix::random::uniform(11, 9, 21);
+        a[(3, 2)] = f64::INFINITY;
+        a[(7, 5)] = f64::NAN;
+        a[(0, 0)] = -0.0;
+        let mut b = ft_matrix::random::uniform(9, 8, 22);
+        b[(2, 1)] = 0.0;
+        b[(5, 4)] = 0.0;
+        b[(8, 7)] = f64::NEG_INFINITY;
+        let c0 = ft_matrix::random::uniform(11, 8, 23);
+        let mut c_ref = c0.clone();
+        gemm_ref(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.as_view(),
+            &b.as_view(),
+            1.0,
+            &mut c_ref.as_view_mut(),
+        );
+        assert!(c_ref.has_non_finite(), "test must exercise NaN/Inf paths");
+        let mut c_blk = c0.clone();
+        gemm_blocked(
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.as_view(),
+            &b.as_view(),
+            1.0,
+            &mut c_blk.as_view_mut(),
+        );
+        assert_bits_eq(&c_ref, &c_blk, "non-finite ref vs blocked");
+        let mut c_par = c0.clone();
+        gemm_threaded(
+            3,
+            Trans::No,
+            Trans::No,
+            1.0,
+            &a.as_view(),
+            &b.as_view(),
+            1.0,
+            &mut c_par.as_view_mut(),
+        );
+        assert_bits_eq(&c_ref, &c_par, "non-finite ref vs threaded");
+    }
+
+    #[test]
     fn blocked_ragged_edges() {
-        // Sizes chosen to leave remainders against MR=8 / NR=4 / KC=256.
+        // Sizes chosen to leave remainders against MR=8 / NR=6 / KC=256.
         for &(m, n, k) in &[
             (1usize, 1usize, 1usize),
             (9, 5, 2),
             (17, 3, 300),
-            (8, 4, 256),
+            (8, 6, 256),
+            (15, 13, 259),
         ] {
             let a = ft_matrix::random::uniform(m, k, 3);
             let b = ft_matrix::random::uniform(k, n, 4);
@@ -552,5 +830,20 @@ mod tests {
             &mut c.as_view_mut(),
         );
         assert_eq!(c, Matrix::filled(2, 2, 6.0));
+    }
+
+    #[test]
+    fn tile_grid_respects_bounds() {
+        for &(m, n, t) in &[
+            (1usize, 1usize, 4usize),
+            (1000, 8, 4),
+            (8, 1000, 4),
+            (256, 256, 7),
+            (0, 16, 4),
+        ] {
+            let (tr, tc) = tile_grid(m, n, t);
+            assert!(tr * tc <= t.max(1), "{m}x{n} t={t} -> {tr}x{tc}");
+            assert!(tr >= 1 && tc >= 1);
+        }
     }
 }

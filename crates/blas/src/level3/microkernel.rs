@@ -1,0 +1,418 @@
+//! Runtime-dispatched `MR × NR` register-tiled GEMM microkernel.
+//!
+//! The kernel computes one `MR × NR` tile of `C += α · Apanel · Bpanel`
+//! from packed operand panels (see `pack_a`/`pack_b` in
+//! [`super::gemm`]). Three implementations share **one accumulation
+//! contract** so they are bit-identical:
+//!
+//! * for every element, each `KC` block contributes
+//!   `acc = fma(a, b, acc)` over `p` ascending, starting from `acc = 0`;
+//! * the block is folded in with `c = fma(α, acc, c)`.
+//!
+//! Because `_mm256_fmadd_pd` performs the same single-rounding fused
+//! multiply-add per lane as `f64::mul_add` (which in turn matches the
+//! correctly-rounded soft `fma` used on targets without the instruction),
+//! the AVX2 path, the hardware-FMA scalar path, and the plain scalar path
+//! all produce the **same bits** — the property suite in
+//! `crates/blas/tests/simd_properties.rs` pins this down. The selected ISA
+//! therefore changes throughput only, never results, and the backend
+//! determinism contract (see [`crate::backend`]) extends to SIMD choice.
+//!
+//! Selection: the `FT_BLAS_SIMD` environment knob (`auto` | `avx2` |
+//! `portable`, read once through [`ft_trace::env_knob`]) combined with
+//! runtime CPU feature detection; [`with_simd_path`] overrides it per
+//! thread for tests and benches. Under Miri the portable path is forced —
+//! results are identical by the contract above.
+
+use ft_matrix::MatViewMut;
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Microkernel tile height (rows of `C` per tile): two 4-lane AVX2
+/// registers.
+pub(crate) const MR: usize = 8;
+/// Microkernel tile width (columns of `C` per tile): with `MR = 8` this
+/// fills 12 of the 16 `ymm` registers with accumulators, leaving room for
+/// two `A` vectors and a `B` broadcast.
+pub(crate) const NR: usize = 6;
+
+/// User-facing SIMD path selection (the `FT_BLAS_SIMD` knob and the
+/// [`with_simd_path`] override).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdPath {
+    /// Use the best instruction set the CPU supports (the default).
+    Auto,
+    /// Force the AVX2+FMA vector kernel; falls back to the portable path
+    /// if the CPU lacks the features.
+    Avx2,
+    /// Force the portable scalar kernel (still uses the hardware `fma`
+    /// *instruction* where available — the result bits never change, only
+    /// the speed).
+    Portable,
+}
+
+/// The concrete instruction mix a kernel invocation runs with. All three
+/// produce bit-identical results; see the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Isa {
+    /// AVX2 vector loads/stores with `vfmadd` accumulation.
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    Avx2,
+    /// Scalar loop compiled with the `fma` target feature enabled, so
+    /// `f64::mul_add` lowers to the hardware instruction.
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    ScalarFma,
+    /// Scalar loop with `f64::mul_add` as the compiler lowers it for the
+    /// baseline target (a correctly-rounded library call when the CPU has
+    /// no FMA — same bits, much slower; exists so exotic targets still
+    /// work).
+    Scalar,
+}
+
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+fn cpu_avx2_fma() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(all(target_arch = "x86_64", not(miri)))]
+fn cpu_fma() -> bool {
+    std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(not(all(target_arch = "x86_64", not(miri))))]
+fn cpu_avx2_fma() -> bool {
+    false
+}
+
+#[cfg(not(all(target_arch = "x86_64", not(miri))))]
+fn cpu_fma() -> bool {
+    false
+}
+
+/// `true` when the vector (AVX2+FMA) kernel is available on this CPU.
+pub fn simd_available() -> bool {
+    cpu_avx2_fma()
+}
+
+fn parse_simd_path(s: &str) -> Option<SimdPath> {
+    let s = s.trim();
+    if s.eq_ignore_ascii_case("auto") || s.is_empty() {
+        Some(SimdPath::Auto)
+    } else if s.eq_ignore_ascii_case("avx2") {
+        Some(SimdPath::Avx2)
+    } else if s.eq_ignore_ascii_case("portable") || s.eq_ignore_ascii_case("scalar") {
+        Some(SimdPath::Portable)
+    } else {
+        None
+    }
+}
+
+/// The process-wide default path from the `FT_BLAS_SIMD` knob
+/// (unset/unrecognized → `Auto`), read once.
+fn env_path() -> SimdPath {
+    static PATH: OnceLock<SimdPath> = OnceLock::new();
+    *PATH.get_or_init(|| {
+        ft_trace::env_knob::parse_with("FT_BLAS_SIMD", parse_simd_path).unwrap_or(SimdPath::Auto)
+    })
+}
+
+thread_local! {
+    static OVERRIDE: Cell<Option<SimdPath>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with the calling thread's SIMD path forced to `path`,
+/// restoring the previous override afterwards (also on panic). The forced
+/// path is captured at each GEMM entry point and carried into pool
+/// workers, so it covers the threaded backend too. Intended for tests and
+/// benches that must exercise both codepaths in one process; production
+/// code should rely on the `FT_BLAS_SIMD` knob.
+pub fn with_simd_path<R>(path: SimdPath, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<SimdPath>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.get()));
+    OVERRIDE.with(|c| c.set(Some(path)));
+    f()
+}
+
+fn resolve(path: SimdPath) -> Isa {
+    match path {
+        SimdPath::Auto | SimdPath::Avx2 => {
+            if cpu_avx2_fma() {
+                Isa::Avx2
+            } else if cpu_fma() {
+                Isa::ScalarFma
+            } else {
+                Isa::Scalar
+            }
+        }
+        SimdPath::Portable => {
+            if cpu_fma() {
+                Isa::ScalarFma
+            } else {
+                Isa::Scalar
+            }
+        }
+    }
+}
+
+/// The ISA the next kernel invocation on this thread will use. Captured
+/// once per GEMM call and passed down, so one call never mixes ISAs (not
+/// that mixing would change results — see the module docs).
+pub(crate) fn resolve_isa() -> Isa {
+    resolve(OVERRIDE.with(|c| c.get()).unwrap_or_else(env_path))
+}
+
+/// Human-readable name of the path [`resolve_isa`] currently selects
+/// (`"avx2+fma"`, `"scalar+fma"` or `"scalar"`); benches record it.
+pub fn active_simd_path() -> &'static str {
+    match resolve_isa() {
+        Isa::Avx2 => "avx2+fma",
+        Isa::ScalarFma => "scalar+fma",
+        Isa::Scalar => "scalar",
+    }
+}
+
+/// Shared scalar tile body: the accumulation-contract reference that the
+/// vector kernel reproduces lane-for-lane. `#[inline(always)]` so the
+/// `ScalarFma` wrapper compiles it with the `fma` target feature and
+/// `mul_add` becomes a single instruction.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn scalar_tile(
+    kc: usize,
+    alpha: f64,
+    apanel: &[f64],
+    bpanel: &[f64],
+    c: &mut MatViewMut<'_>,
+    i0: usize,
+    j0: usize,
+    h: usize,
+    w: usize,
+) {
+    let mut acc = [[0.0f64; MR]; NR];
+    for p in 0..kc {
+        let av = &apanel[p * MR..p * MR + MR];
+        let bv = &bpanel[p * NR..p * NR + NR];
+        for (jj, accj) in acc.iter_mut().enumerate() {
+            let bj = bv[jj];
+            for (ii, s) in accj.iter_mut().enumerate() {
+                *s = av[ii].mul_add(bj, *s);
+            }
+        }
+    }
+    for (jj, accj) in acc.iter().enumerate().take(w) {
+        let col = &mut c.col_mut(j0 + jj)[i0..i0 + h];
+        for (ii, cij) in col.iter_mut().enumerate() {
+            *cij = alpha.mul_add(accj[ii], *cij);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "fma")]
+fn scalar_tile_fma(
+    kc: usize,
+    alpha: f64,
+    apanel: &[f64],
+    bpanel: &[f64],
+    c: &mut MatViewMut<'_>,
+    i0: usize,
+    j0: usize,
+    h: usize,
+    w: usize,
+) {
+    scalar_tile(kc, alpha, apanel, bpanel, c, i0, j0, h, w);
+}
+
+/// AVX2+FMA tile kernel: 12 accumulator registers (`2 × NR`), one
+/// broadcast `B` register, two `A` vectors. The per-lane operation stream
+/// is exactly [`scalar_tile`]'s per-element stream.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+fn avx2_tile(
+    kc: usize,
+    alpha: f64,
+    apanel: &[f64],
+    bpanel: &[f64],
+    c: &mut MatViewMut<'_>,
+    i0: usize,
+    j0: usize,
+    h: usize,
+    w: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(apanel.len() >= kc * MR && bpanel.len() >= kc * NR);
+    let ap = apanel.as_ptr();
+    let bp = bpanel.as_ptr();
+    let mut acc = [[_mm256_setzero_pd(); 2]; NR];
+    for p in 0..kc {
+        // SAFETY: `apanel` holds at least `kc * MR` elements (asserted
+        // above), so lanes `p*MR .. p*MR+8` are in bounds; `loadu` has no
+        // alignment requirement.
+        let (a0, a1) = unsafe {
+            (
+                _mm256_loadu_pd(ap.add(p * MR)),
+                _mm256_loadu_pd(ap.add(p * MR + 4)),
+            )
+        };
+        for (jj, accj) in acc.iter_mut().enumerate() {
+            // SAFETY: `bpanel` holds at least `kc * NR` elements and
+            // `jj < NR`, so `p*NR + jj` is in bounds.
+            let b = unsafe { _mm256_set1_pd(*bp.add(p * NR + jj)) };
+            accj[0] = _mm256_fmadd_pd(a0, b, accj[0]);
+            accj[1] = _mm256_fmadd_pd(a1, b, accj[1]);
+        }
+    }
+    let alpha_v = _mm256_set1_pd(alpha);
+    for (jj, accj) in acc.iter().enumerate().take(w) {
+        let col = &mut c.col_mut(j0 + jj)[i0..i0 + h];
+        if h == MR {
+            let ptr = col.as_mut_ptr();
+            // SAFETY: `col` is a unique `&mut [f64]` of exactly `MR = 8`
+            // elements in this branch, so both 4-lane loads/stores are in
+            // bounds and non-overlapping with any other borrow.
+            unsafe {
+                let c0 = _mm256_loadu_pd(ptr);
+                let c1 = _mm256_loadu_pd(ptr.add(4));
+                _mm256_storeu_pd(ptr, _mm256_fmadd_pd(alpha_v, accj[0], c0));
+                _mm256_storeu_pd(ptr.add(4), _mm256_fmadd_pd(alpha_v, accj[1], c1));
+            }
+        } else {
+            // Ragged tile bottom: spill the accumulator and fold in with
+            // scalar fma — identical bits, partial store.
+            let mut tmp = [0.0f64; MR];
+            // SAFETY: `tmp` is exactly `MR = 8` contiguous f64 slots.
+            unsafe {
+                _mm256_storeu_pd(tmp.as_mut_ptr(), accj[0]);
+                _mm256_storeu_pd(tmp.as_mut_ptr().add(4), accj[1]);
+            }
+            for (ii, cij) in col.iter_mut().enumerate() {
+                *cij = alpha.mul_add(tmp[ii], *cij);
+            }
+        }
+    }
+}
+
+/// Dispatches one `h × w` tile update (`h ≤ MR`, `w ≤ NR`) at
+/// `C(i0.., j0..)` from packed panels for one `kc` block.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn tile(
+    isa: Isa,
+    kc: usize,
+    alpha: f64,
+    apanel: &[f64],
+    bpanel: &[f64],
+    c: &mut MatViewMut<'_>,
+    i0: usize,
+    j0: usize,
+    h: usize,
+    w: usize,
+) {
+    debug_assert!(h <= MR && w <= NR);
+    debug_assert!(apanel.len() >= kc * MR && bpanel.len() >= kc * NR);
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Isa::Avx2` is only ever produced by `resolve` after
+        // runtime detection confirmed the `avx2` and `fma` CPU features.
+        Isa::Avx2 => unsafe { avx2_tile(kc, alpha, apanel, bpanel, c, i0, j0, h, w) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Isa::ScalarFma` is only produced when runtime detection
+        // confirmed the `fma` CPU feature.
+        Isa::ScalarFma => unsafe { scalar_tile_fma(kc, alpha, apanel, bpanel, c, i0, j0, h, w) },
+        _ => scalar_tile(kc, alpha, apanel, bpanel, c, i0, j0, h, w),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_parse_forms() {
+        assert_eq!(parse_simd_path("auto"), Some(SimdPath::Auto));
+        assert_eq!(parse_simd_path(" AVX2 "), Some(SimdPath::Avx2));
+        assert_eq!(parse_simd_path("portable"), Some(SimdPath::Portable));
+        assert_eq!(parse_simd_path("scalar"), Some(SimdPath::Portable));
+        assert_eq!(parse_simd_path("neon"), None);
+    }
+
+    #[test]
+    fn override_restores_on_exit_and_panic() {
+        let base = resolve_isa();
+        with_simd_path(SimdPath::Portable, || {
+            assert_ne!(resolve_isa(), Isa::Avx2);
+        });
+        assert_eq!(resolve_isa(), base);
+        let r = std::panic::catch_unwind(|| {
+            with_simd_path(SimdPath::Portable, || panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert_eq!(resolve_isa(), base);
+    }
+
+    #[test]
+    fn forced_portable_never_vectorizes() {
+        with_simd_path(SimdPath::Portable, || {
+            assert_ne!(resolve_isa(), Isa::Avx2);
+            assert!(matches!(active_simd_path(), "scalar+fma" | "scalar"));
+        });
+    }
+
+    #[test]
+    fn tile_paths_bit_identical() {
+        // Direct microkernel-level check; the integration suite covers the
+        // full GEMM paths.
+        let kc = 37;
+        let apanel: Vec<f64> = (0..kc * MR)
+            .map(|i| ((i * 7919) % 1000) as f64 * 1e-3)
+            .collect();
+        let bpanel: Vec<f64> = (0..kc * NR)
+            .map(|i| ((i * 104729) % 997) as f64 * 1e-3)
+            .collect();
+        let mut isas = vec![Isa::Scalar];
+        if cpu_fma() {
+            isas.push(Isa::ScalarFma);
+        }
+        if cpu_avx2_fma() {
+            isas.push(Isa::Avx2);
+        }
+        let mut results: Vec<ft_matrix::Matrix> = vec![];
+        for &isa in &isas {
+            for (h, w) in [(MR, NR), (5, 3), (1, 1), (MR, 2), (3, NR)] {
+                let mut c = ft_matrix::Matrix::from_fn(MR, NR, |i, j| (i + 10 * j) as f64 * 0.5);
+                tile(
+                    isa,
+                    kc,
+                    1.25,
+                    &apanel,
+                    &bpanel,
+                    &mut c.as_view_mut(),
+                    0,
+                    0,
+                    h,
+                    w,
+                );
+                results.push(c);
+            }
+        }
+        let per = 5;
+        for group in 1..isas.len() {
+            for t in 0..per {
+                assert_eq!(
+                    results[t].as_slice(),
+                    results[group * per + t].as_slice(),
+                    "{:?} vs {:?} tile {t}",
+                    isas[0],
+                    isas[group]
+                );
+            }
+        }
+    }
+}

@@ -2,21 +2,29 @@
 //!
 //! `gemm` is the performance-critical kernel (the paper's trailing-matrix
 //! updates are almost entirely GEMM) and comes in three implementations
-//! selected by [`GemmAlgo`]: a reference triple loop (test oracle), a
-//! cache-blocked packed kernel, and a threaded variant that splits the
-//! result into row blocks over the persistent worker pool
-//! ([`crate::pool`]) — data-race free by construction (each worker owns
-//! a disjoint `MatViewMut`) and bit-identical to the serial kernel by
-//! the contract in [`crate::backend`]. `trmm`, `trsm` and `syrk` gain
-//! the same pooled split when the active [`crate::backend::Backend`] is
-//! threaded.
+//! selected by [`GemmAlgo`]: a reference loop nest (test oracle), a
+//! cache-blocked kernel built on the register-tiled [`microkernel`]
+//! (AVX2+FMA with runtime detection, bit-identical scalar fallback), and
+//! a threaded variant that splits the result into `jc`/`ic` macro-tiles
+//! over the persistent worker pool ([`crate::pool`]) — data-race free by
+//! construction (each worker owns a disjoint `MatViewMut`) and
+//! bit-identical to the serial kernel by the contract in
+//! [`crate::backend`]. [`gemm_ft`] fuses an online-ABFT detector into
+//! the same kernel ([`abft`]). `trmm`, `trsm` and `syrk` gain the same
+//! pooled split when the active [`crate::backend::Backend`] is threaded.
 
+mod abft;
 mod gemm;
+mod microkernel;
 mod syrk;
 mod trmm;
 mod trsm;
 
-pub use gemm::{gemm, gemm_ref, gemm_threaded, gemm_with_algo, GemmAlgo};
+pub use abft::{
+    gemm_ft, gemm_ft_with_inject, AbftError, AbftInject, AbftOptions, AbftReport, ABFT_BAND,
+};
+pub use gemm::{gemm, gemm_blocked, gemm_ref, gemm_threaded, gemm_with_algo, GemmAlgo};
+pub use microkernel::{active_simd_path, simd_available, with_simd_path, SimdPath};
 pub use syrk::syrk;
 pub use trmm::trmm;
 pub use trsm::trsm;

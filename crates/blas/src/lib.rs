@@ -44,5 +44,9 @@ pub use flops::{
 };
 pub use level1::{asum, axpy, copy, dot, iamax, nrm2, scal, swap};
 pub use level2::{gemv, ger, symv, syr, syr2, trmv, trsv};
-pub use level3::{gemm, gemm_ref, gemm_threaded, gemm_with_algo, syrk, trmm, trsm, GemmAlgo};
+pub use level3::{
+    active_simd_path, gemm, gemm_blocked, gemm_ft, gemm_ft_with_inject, gemm_ref, gemm_threaded,
+    gemm_with_algo, simd_available, syrk, trmm, trsm, with_simd_path, AbftError, AbftInject,
+    AbftOptions, AbftReport, GemmAlgo, SimdPath, ABFT_BAND,
+};
 pub use types::{Diag, Side, Trans, Uplo};

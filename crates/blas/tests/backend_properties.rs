@@ -14,12 +14,32 @@
 //! * **above-gate shapes**, sized past the fork threshold so the threaded
 //!   backend demonstrably splits the work across OS threads.
 
+use ft_blas::backend::{PARALLEL_MIN_ELEMS, PARALLEL_MIN_VOLUME};
 use ft_blas::{gemm, gemm_threaded, syrk, trmm, trsm, with_backend, Backend};
 use ft_blas::{Diag, Side, Trans, Uplo};
 use ft_matrix::Matrix;
 use proptest::prelude::*;
 
 const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Smallest cube side clearing the level-3 fork gate — derived from the
+/// constant so gate recalibration keeps the "above gate" tests honest.
+fn side_above_volume() -> usize {
+    let mut s = (PARALLEL_MIN_VOLUME as f64).cbrt().ceil() as usize;
+    while s * s * s < PARALLEL_MIN_VOLUME {
+        s += 1;
+    }
+    s
+}
+
+/// Smallest square side clearing the level-2 element gate.
+fn side_above_elems() -> usize {
+    let mut s = (PARALLEL_MIN_ELEMS as f64).sqrt().ceil() as usize;
+    while s * s < PARALLEL_MIN_ELEMS {
+        s += 1;
+    }
+    s
+}
 
 fn bits(m: &Matrix) -> Vec<u64> {
     let mut out = Vec::with_capacity(m.rows() * m.cols());
@@ -96,9 +116,10 @@ fn gemm_threaded_is_bit_identical_for_any_worker_count() {
 
 #[test]
 fn gemm_above_fork_gate_is_bit_identical() {
-    // 129³ > PARALLEL_MIN_VOLUME: the Auto path genuinely forks under a
+    // Above PARALLEL_MIN_VOLUME: the Auto path genuinely forks under a
     // threaded backend and must still match the serial result exactly.
-    let (m, n, k) = (129usize, 131usize, 129usize);
+    let s = side_above_volume();
+    let (m, n, k) = (s, s + 2, s);
     let a = ft_matrix::random::uniform(m, k, 11);
     let b = ft_matrix::random::uniform(k, n, 12);
     let init = ft_matrix::random::uniform(m, n, 13);
@@ -117,9 +138,10 @@ fn gemm_above_fork_gate_is_bit_identical() {
 
 #[test]
 fn trmm_is_bit_identical_across_backends() {
-    // Left: 131² · 137 and Right: both clear the fork gate; plus an odd
+    // Left and Right at a shape clearing the fork gate; plus an odd
     // small shape that stays serial under every backend.
-    for &(rows, cols) in &[(131usize, 137usize), (9usize, 5usize)] {
+    let s = side_above_volume();
+    for &(rows, cols) in &[(s, s + 7), (9usize, 5usize)] {
         let tri = ft_matrix::random::uniform(rows, rows, 21);
         let init = ft_matrix::random::uniform(rows, cols, 22);
         for uplo in [Uplo::Upper, Uplo::Lower] {
@@ -154,7 +176,8 @@ fn trmm_is_bit_identical_across_backends() {
 
 #[test]
 fn trsm_is_bit_identical_across_backends() {
-    for &(rows, cols) in &[(131usize, 137usize), (7usize, 3usize)] {
+    let s = side_above_volume();
+    for &(rows, cols) in &[(s, s + 7), (7usize, 3usize)] {
         // Diagonally dominant triangle: a well-posed solve.
         let mut tri = ft_matrix::random::uniform(rows, rows, 31);
         for i in 0..rows {
@@ -194,8 +217,10 @@ fn trsm_is_bit_identical_across_backends() {
 
 #[test]
 fn syrk_is_bit_identical_across_backends() {
-    // 145² · 231 / 2 clears the fork gate; 9 × 3 stays serial everywhere.
-    for &(n, k) in &[(145usize, 231usize), (9usize, 3usize)] {
+    // n²·k/2 clears the fork gate at the derived shape; 9 × 3 stays
+    // serial everywhere.
+    let s = side_above_volume();
+    for &(n, k) in &[(s, 2 * s + 1), (9usize, 3usize)] {
         let a = ft_matrix::random::uniform(n, k, 41);
         let at = a.transpose();
         let init = ft_matrix::random::uniform(n, n, 42);
@@ -255,10 +280,11 @@ proptest! {
 
 #[test]
 fn gemv_is_bit_identical_across_backends() {
-    // 256 × 256 = 65 536 elements clears PARALLEL_MIN_ELEMS (the level-2
-    // gate), so the threaded backend genuinely splits `y`; 48 × 48 stays
-    // serial under every backend. Both must match serial bitwise.
-    for &(m, n) in &[(256usize, 256usize), (300, 220), (48, 48), (7, 300)] {
+    // The derived square clears PARALLEL_MIN_ELEMS (the level-2 gate), so
+    // the threaded backend genuinely splits `y`; the smaller shapes stay
+    // serial under every backend. All must match serial bitwise.
+    let e = side_above_elems();
+    for &(m, n) in &[(e, e), (300, 220), (48, 48), (7, 300)] {
         let a = ft_matrix::random::uniform(m, n, 51);
         let x: Vec<f64> = ft_matrix::random::uniform(n, 1, 52).col(0).to_vec();
         let xt: Vec<f64> = ft_matrix::random::uniform(m, 1, 53).col(0).to_vec();
@@ -276,7 +302,8 @@ fn gemv_is_bit_identical_across_backends() {
 
 #[test]
 fn ger_is_bit_identical_across_backends() {
-    for &(m, n) in &[(256usize, 256usize), (190, 345), (31, 17)] {
+    let e = side_above_elems();
+    for &(m, n) in &[(e, e), (190, 345), (31, 17)] {
         let x: Vec<f64> = ft_matrix::random::uniform(m, 1, 61).col(0).to_vec();
         let y: Vec<f64> = ft_matrix::random::uniform(n, 1, 62).col(0).to_vec();
         let a0 = ft_matrix::random::uniform(m, n, 63);
@@ -290,7 +317,8 @@ fn ger_is_bit_identical_across_backends() {
 fn nested_with_backend_restores_each_level() {
     // threaded → serial → threaded nesting: every kernel call sees the
     // innermost backend, and unwinding restores the outer one each time.
-    let (m, n, k) = (129usize, 131usize, 129usize);
+    let s = side_above_volume();
+    let (m, n, k) = (s, s + 2, s);
     let a = ft_matrix::random::uniform(m, k, 71);
     let b = ft_matrix::random::uniform(k, n, 72);
     let c0 = ft_matrix::random::uniform(m, n, 73);

@@ -15,6 +15,7 @@
 //! * **workspace steady state** — repeated kernels stop allocating scratch
 //!   once the arena is warm.
 
+use ft_blas::backend::{PARALLEL_MIN_ELEMS, PARALLEL_MIN_VOLUME};
 use ft_blas::{gemm, gemv, ger, pool, syrk, trmm, trsm, with_backend, workspace, Backend};
 use ft_blas::{Diag, Side, Trans, Uplo};
 use std::sync::Mutex;
@@ -28,11 +29,49 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
     COUNTER_LOCK.lock().unwrap_or_else(|p| p.into_inner())
 }
 
+/// Smallest cube side whose volume clears the level-3 gate. Sizes are
+/// derived from the constant so gate recalibration cannot silently
+/// invalidate this suite.
+fn side_above_volume() -> usize {
+    let mut s = (PARALLEL_MIN_VOLUME as f64).cbrt().ceil() as usize;
+    while s * s * s < PARALLEL_MIN_VOLUME {
+        s += 1;
+    }
+    s
+}
+
+/// Largest cube side whose volume stays below the level-3 gate.
+fn side_below_volume() -> usize {
+    let mut s = side_above_volume();
+    while s * s * s >= PARALLEL_MIN_VOLUME {
+        s -= 1;
+    }
+    s
+}
+
+/// Smallest square side whose element count clears the level-2 gate.
+fn side_above_elems() -> usize {
+    let mut s = (PARALLEL_MIN_ELEMS as f64).sqrt().ceil() as usize;
+    while s * s < PARALLEL_MIN_ELEMS {
+        s += 1;
+    }
+    s
+}
+
+/// A square side comfortably below the level-2 gate.
+fn side_below_elems() -> usize {
+    let mut s = side_above_elems() - 1;
+    while s * s >= PARALLEL_MIN_ELEMS {
+        s -= 1;
+    }
+    s
+}
+
 fn gemm_above_gate() {
-    // 129³ > PARALLEL_MIN_VOLUME = 128³.
-    let a = ft_matrix::random::uniform(129, 129, 1);
-    let b = ft_matrix::random::uniform(129, 129, 2);
-    let mut c = ft_matrix::Matrix::zeros(129, 129);
+    let n = side_above_volume();
+    let a = ft_matrix::random::uniform(n, n, 1);
+    let b = ft_matrix::random::uniform(n, n, 2);
+    let mut c = ft_matrix::Matrix::zeros(n, n);
     gemm(
         Trans::No,
         Trans::No,
@@ -45,10 +84,10 @@ fn gemm_above_gate() {
 }
 
 fn gemv_above_gate() {
-    // 300 × 300 = 90 000 > PARALLEL_MIN_ELEMS = 32 768.
-    let a = ft_matrix::random::uniform(300, 300, 3);
-    let x = vec![1.0; 300];
-    let mut y = vec![0.0; 300];
+    let n = side_above_elems();
+    let a = ft_matrix::random::uniform(n, n, 3);
+    let x = vec![1.0; n];
+    let mut y = vec![0.0; n];
     gemv(Trans::No, 1.0, &a.as_view(), &x, 0.0, &mut y);
 }
 
@@ -96,10 +135,12 @@ fn dispatches(op: impl FnOnce()) -> bool {
 #[test]
 fn all_kernels_consult_the_unified_gates() {
     let _g = lock();
+    let above = side_above_volume();
+    let below = side_below_volume();
     with_backend(Backend::Threaded(4), || {
-        // gemm: volume gate (m·n·k vs 128³).
-        let a = ft_matrix::random::uniform(129, 129, 11);
-        let mut c = ft_matrix::Matrix::zeros(129, 129);
+        // gemm: volume gate (m·n·k vs PARALLEL_MIN_VOLUME).
+        let a = ft_matrix::random::uniform(above, above, 11);
+        let mut c = ft_matrix::Matrix::zeros(above, above);
         assert!(
             dispatches(|| gemm(
                 Trans::No,
@@ -110,10 +151,10 @@ fn all_kernels_consult_the_unified_gates() {
                 0.0,
                 &mut c.as_view_mut(),
             )),
-            "gemm 129^3 is above PARALLEL_MIN_VOLUME and must fork"
+            "gemm {above}^3 is above PARALLEL_MIN_VOLUME and must fork"
         );
-        let s = ft_matrix::random::uniform(100, 100, 12);
-        let mut cs = ft_matrix::Matrix::zeros(100, 100);
+        let s = ft_matrix::random::uniform(below, below, 12);
+        let mut cs = ft_matrix::Matrix::zeros(below, below);
         assert!(
             !dispatches(|| gemm(
                 Trans::No,
@@ -124,18 +165,19 @@ fn all_kernels_consult_the_unified_gates() {
                 0.0,
                 &mut cs.as_view_mut(),
             )),
-            "gemm 100^3 is below PARALLEL_MIN_VOLUME and must stay serial"
+            "gemm {below}^3 is below PARALLEL_MIN_VOLUME and must stay serial"
         );
 
-        // trmm / trsm: volume gate.
+        // trmm / trsm: volume gate on order²·cols.
+        let (to, tc) = (above, above + 7);
         let tri = {
-            let mut t = ft_matrix::random::uniform(131, 131, 13);
-            for i in 0..131 {
-                t[(i, i)] += 131.0;
+            let mut t = ft_matrix::random::uniform(to, to, 13);
+            for i in 0..to {
+                t[(i, i)] += to as f64;
             }
             t
         };
-        let mut b = ft_matrix::random::uniform(131, 137, 14);
+        let mut b = ft_matrix::random::uniform(to, tc, 14);
         assert!(
             dispatches(|| trmm(
                 Side::Left,
@@ -146,7 +188,7 @@ fn all_kernels_consult_the_unified_gates() {
                 &tri.as_view(),
                 &mut b.as_view_mut(),
             )),
-            "trmm 131^2·137 must fork"
+            "trmm {to}^2·{tc} must fork"
         );
         assert!(
             dispatches(|| trsm(
@@ -158,7 +200,7 @@ fn all_kernels_consult_the_unified_gates() {
                 &tri.as_view(),
                 &mut b.as_view_mut(),
             )),
-            "trsm 131^2·137 must fork"
+            "trsm {to}^2·{tc} must fork"
         );
         let tri_s = {
             let mut t = ft_matrix::random::uniform(20, 20, 15);
@@ -194,8 +236,9 @@ fn all_kernels_consult_the_unified_gates() {
         );
 
         // syrk: volume gate on n²k/2.
-        let sa = ft_matrix::random::uniform(145, 231, 17);
-        let mut sc = ft_matrix::Matrix::zeros(145, 145);
+        let (sn, sk) = (above, 2 * above + 1);
+        let sa = ft_matrix::random::uniform(sn, sk, 17);
+        let mut sc = ft_matrix::Matrix::zeros(sn, sn);
         assert!(
             dispatches(|| syrk(
                 Uplo::Upper,
@@ -205,7 +248,7 @@ fn all_kernels_consult_the_unified_gates() {
                 0.0,
                 &mut sc.as_view_mut(),
             )),
-            "syrk 145^2·231/2 must fork"
+            "syrk {sn}^2·{sk}/2 must fork"
         );
         let ss = ft_matrix::random::uniform(40, 40, 18);
         let mut ssc = ft_matrix::Matrix::zeros(40, 40);
@@ -221,31 +264,33 @@ fn all_kernels_consult_the_unified_gates() {
             "small syrk must stay serial"
         );
 
-        // gemv / ger: element gate (m·n vs 32 768).
-        let ga = ft_matrix::random::uniform(256, 256, 19);
-        let gx = vec![1.0; 256];
-        let mut gy = vec![0.0; 256];
+        // gemv / ger: element gate (m·n vs PARALLEL_MIN_ELEMS).
+        let ea = side_above_elems();
+        let eb = side_below_elems();
+        let ga = ft_matrix::random::uniform(ea, ea, 19);
+        let gx = vec![1.0; ea];
+        let mut gy = vec![0.0; ea];
         assert!(
             dispatches(|| gemv(Trans::No, 1.0, &ga.as_view(), &gx, 0.0, &mut gy)),
-            "gemv 256x256 is above PARALLEL_MIN_ELEMS and must fork"
+            "gemv {ea}x{ea} is above PARALLEL_MIN_ELEMS and must fork"
         );
         assert!(
             dispatches(|| gemv(Trans::Yes, 1.0, &ga.as_view(), &gx, 0.0, &mut gy)),
-            "gemv^T 256x256 must fork"
+            "gemv^T {ea}x{ea} must fork"
         );
-        let sm = ft_matrix::random::uniform(128, 128, 20);
-        let sx = vec![1.0; 128];
-        let mut sy = vec![0.0; 128];
+        let sm = ft_matrix::random::uniform(eb, eb, 20);
+        let sx = vec![1.0; eb];
+        let mut sy = vec![0.0; eb];
         assert!(
             !dispatches(|| gemv(Trans::No, 1.0, &sm.as_view(), &sx, 0.0, &mut sy)),
-            "gemv 128x128 (= 16 384 elements) is below the gate and must stay serial"
+            "gemv {eb}x{eb} is below the gate and must stay serial"
         );
-        let mut gm = ft_matrix::random::uniform(256, 256, 21);
-        let gu = vec![1.0; 256];
-        let gv = vec![1.0; 256];
+        let mut gm = ft_matrix::random::uniform(ea, ea, 21);
+        let gu = vec![1.0; ea];
+        let gv = vec![1.0; ea];
         assert!(
             dispatches(|| ger(0.5, &gu, &gv, &mut gm.as_view_mut())),
-            "ger 256x256 must fork"
+            "ger {ea}x{ea} must fork"
         );
         let mut gms = ft_matrix::random::uniform(64, 64, 22);
         let gus = vec![1.0; 64];

@@ -29,8 +29,8 @@ use crate::qprotect::QProtection;
 use crate::recovery::{correct_errors, locate_errors};
 use crate::report::{FailureReason, FtReport, PhaseBreakdown, RecoveryEvent};
 use crate::reverse::{
-    left_update_ext, reverse_left_update_ext, reverse_right_update_ext, right_update_panel_top,
-    right_update_trailing,
+    left_update_ext, left_update_ext_ft, reverse_left_update_ext, reverse_right_update_ext,
+    right_update_panel_top, right_update_trailing, right_update_trailing_ft,
 };
 use crate::threshold::ThresholdPolicy;
 use ft_fault::{classify, FaultPlan, Phase, Region};
@@ -65,6 +65,15 @@ pub struct FtConfig {
     /// [`ft_blas::backend`]), so it changes wall-clock time only — never
     /// results, checksums or detection behavior.
     pub backend: ft_blas::Backend,
+    /// Run the two trailing block updates through the fused online-ABFT
+    /// kernel ([`ft_blas::gemm_ft`]): checksums are encoded during operand
+    /// packing and verified in the kernel epilogue, catching a transient
+    /// strike inside the gemm itself before the iteration-level
+    /// `Sre`/`Sce` detector runs. Clean runs are bit-identical to the
+    /// plain kernels, so this changes detection latency and
+    /// [`FtReport::online_detections`] only — never results. Default
+    /// `false` (the paper's iteration-granularity scheme).
+    pub online_abft: bool,
 }
 
 impl Default for FtConfig {
@@ -77,6 +86,7 @@ impl Default for FtConfig {
             max_recovery_attempts: 3,
             checksum_scheme: ft_blas::SumScheme::Naive,
             backend: ft_blas::Backend::from_env(),
+            online_abft: false,
         }
     }
 }
@@ -133,6 +143,11 @@ struct IterArtifacts {
     yx: Option<Matrix>,
     vx: Option<Matrix>,
     w_left: Option<Matrix>,
+    /// Residual deficits flagged by the fused online-ABFT kernels (0 when
+    /// `FtConfig::online_abft` is off or the iteration was clean).
+    online_detected: usize,
+    /// Elements corrected in place by the fused kernels.
+    online_corrected: usize,
 }
 
 /// Runs Algorithm 3 on the simulated hybrid platform.
@@ -222,6 +237,8 @@ fn ft_gehrd_hybrid_inner(
 
         // ---- run the iteration ------------------------------------------
         let mut artifacts = run_iteration(ctx, &mut ax, n, k, ib, cfg, s0, s1);
+        report.online_detections += artifacts.online_detected;
+        report.online_corrections += artifacts.online_corrected;
 
         // ---- fault hook: right before detection -------------------------
         if let Some(axm) = &mut ax {
@@ -328,6 +345,8 @@ fn ft_gehrd_hybrid_inner(
             // Re-execute the iteration (line: "the entire iteration is
             // repeated after the error correction").
             artifacts = run_iteration(ctx, &mut ax, n, k, ib, cfg, s0, s1);
+            report.online_detections += artifacts.online_detected;
+            report.online_corrections += artifacts.online_corrected;
             detected = detect(ctx, &ax, n, threshold, s0, &[], k, ib);
         }
         if detected {
@@ -534,26 +553,54 @@ fn run_iteration(
 
     // Right update to G + checksum borders (line 10) and the left update
     // (line 11, retaining W for reversal): the trailing-matrix phase.
+    // Under `online_abft` both run through the fused-checksum kernel; the
+    // `blas.abft` spans it opens are subtracted from `ft.trailing` in the
+    // phase breakdown so the rows stay disjoint.
+    let mut online_detected = 0usize;
+    let mut online_corrected = 0usize;
     let _trailing_span = ft_trace::span!("ft.trailing", k);
     ctx.device(
         s0,
         OpClass::DeviceGemm,
         Work::gemm(n + 1, ntrail1, ib),
         || {
-            right_update_trailing(
-                ax.as_mut().unwrap(),
-                k,
-                ib,
-                yx.as_ref().unwrap(),
-                vx.as_ref().unwrap(),
-            );
+            let axm = ax.as_mut().unwrap();
+            if cfg.online_abft {
+                let r = right_update_trailing_ft(
+                    axm,
+                    k,
+                    ib,
+                    yx.as_ref().unwrap(),
+                    vx.as_ref().unwrap(),
+                    ft_blas::AbftOptions::default(),
+                );
+                online_detected += r.detected;
+                online_corrected += r.corrected;
+            } else {
+                right_update_trailing(axm, k, ib, yx.as_ref().unwrap(), vx.as_ref().unwrap());
+            }
         },
     );
 
     let left_flops = (4.0 * m as f64 + ib as f64) * ntrail1 as f64 * ib as f64;
     let w_left = ctx.device(s0, OpClass::DeviceGemm, Work::Flops(left_flops), || {
         let axm = ax.as_mut().unwrap();
-        left_update_ext(axm, k, ib, vx.as_ref().unwrap(), &panel.as_ref().unwrap().t)
+        let t = &panel.as_ref().unwrap().t;
+        if cfg.online_abft {
+            let (w, r) = left_update_ext_ft(
+                axm,
+                k,
+                ib,
+                vx.as_ref().unwrap(),
+                t,
+                ft_blas::AbftOptions::default(),
+            );
+            online_detected += r.detected;
+            online_corrected += r.corrected;
+            w
+        } else {
+            left_update_ext(axm, k, ib, vx.as_ref().unwrap(), t)
+        }
     });
     drop(_trailing_span);
 
@@ -587,6 +634,8 @@ fn run_iteration(
         yx,
         vx,
         w_left,
+        online_detected,
+        online_corrected,
     }
 }
 
@@ -774,6 +823,75 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn online_abft_clean_run_bit_identical() {
+        // Enabling the fused online-ABFT kernels must not change the
+        // factorization by a single bit, flag nothing on clean runs, and
+        // never trip the iteration-level detector.
+        for &(n, nb) in &[(64usize, 16usize), (50, 7)] {
+            let a = ft_matrix::random::uniform(n, n, n as u64 + 1);
+            let base = ft_gehrd_hybrid(
+                &a,
+                &FtConfig::with_nb(nb),
+                &mut full_ctx(),
+                &mut FaultPlan::none(),
+            );
+            let cfg = FtConfig {
+                online_abft: true,
+                ..FtConfig::with_nb(nb)
+            };
+            let on = ft_gehrd_hybrid(&a, &cfg, &mut full_ctx(), &mut FaultPlan::none());
+            assert_eq!(on.report.online_detections, 0, "n={n}");
+            assert_eq!(on.report.online_corrections, 0, "n={n}");
+            assert!(
+                on.report.recoveries.is_empty(),
+                "{:?}",
+                on.report.recoveries
+            );
+            let fb = base.result.unwrap();
+            let fo = on.result.unwrap();
+            assert_eq!(fb.tau, fo.tau, "taus must be bit-identical at n={n}");
+            for j in 0..n {
+                for i in 0..n {
+                    assert_eq!(
+                        fb.packed[(i, j)].to_bits(),
+                        fo.packed[(i, j)].to_bits(),
+                        "packed output differs at ({i},{j}) for n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn online_abft_memory_fault_still_recovered_at_iteration_level() {
+        // A strike landing in memory *between* kernels is input-consistent
+        // for the fused gemms (their base sums absorb it), so it must not
+        // fire the online detector spuriously — it flows through to the
+        // iteration-level Sre/Sce detector and is corrected there.
+        let n = 64;
+        let cfg = FtConfig {
+            online_abft: true,
+            ..FtConfig::with_nb(16)
+        };
+        let a = ft_matrix::random::uniform(n, n, 7);
+        let mut plan = FaultPlan::one(1, Fault::add(40, 50, 0.37));
+        let out = ft_gehrd_hybrid(&a, &cfg, &mut full_ctx(), &mut plan);
+        assert!(
+            !out.report.recoveries.is_empty(),
+            "iteration-level detector must still fire: {:?}",
+            out.report
+        );
+        let rec = &out.report.recoveries[0];
+        assert!(
+            rec.corrected.iter().any(|&(r, c, _)| r == 40 && c == 50),
+            "{rec:?}"
+        );
+        let f = out.result.unwrap();
+        let r = ResidualReport::compute(&a, &f.q(), &f.h());
+        assert!(r.acceptable(1e-12), "{r:?}");
     }
 
     #[test]

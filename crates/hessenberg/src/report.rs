@@ -59,6 +59,13 @@ pub struct FtReport {
     /// Indices of reflector scales repaired via the `tau` scalar checksum
     /// by the end-of-run check.
     pub tau_corrections: Vec<usize>,
+    /// Residual deficits flagged by the fused online-ABFT kernels
+    /// (`FtConfig::online_abft`); 0 when the mode is off or all gemms ran
+    /// clean. Unlike [`FtReport::recoveries`] these fire *inside* the
+    /// trailing updates, before the iteration-level detector.
+    pub online_detections: usize,
+    /// Elements corrected in place by the fused online-ABFT kernels.
+    pub online_corrections: usize,
     /// Faults injected by the test harness (provenance for reports).
     pub injected: Vec<AppliedFault>,
     /// Resolved detection threshold used.
@@ -85,8 +92,14 @@ pub struct PhaseBreakdown {
     pub encode: f64,
     /// Panel factorizations (`ft.panel`).
     pub panel: f64,
-    /// Trailing-matrix updates (`ft.trailing`).
+    /// Trailing-matrix updates (`ft.trailing`), *excluding* any fused
+    /// online-ABFT verify time nested inside them (see
+    /// [`PhaseBreakdown::abft`]).
     pub trailing: f64,
+    /// Fused online-ABFT verify/locate/correct epilogues (`blas.abft`).
+    /// These spans nest inside `ft.trailing`, so their time is moved out
+    /// of [`PhaseBreakdown::trailing`] to keep the rows disjoint.
+    pub abft: f64,
     /// Checksum-mismatch detection scans (`ft.detect`).
     pub detect: f64,
     /// Reverse-computation rollbacks (`ft.reverse`).
@@ -115,6 +128,13 @@ impl PhaseBreakdown {
                 "ft.encode" => b.encode += secs,
                 "ft.panel" => b.panel += secs,
                 "ft.trailing" => b.trailing += secs,
+                // The fused-ABFT epilogue span nests inside `ft.trailing`:
+                // move its time out of `trailing` so the rows stay
+                // disjoint and `ft_overhead` charges it correctly.
+                "blas.abft" => {
+                    b.abft += secs;
+                    b.trailing -= secs;
+                }
                 "ft.detect" => b.detect += secs,
                 "ft.reverse" => b.reverse += secs,
                 "ft.locate" => b.locate += secs,
@@ -133,6 +153,7 @@ impl PhaseBreakdown {
         self.encode
             + self.panel
             + self.trailing
+            + self.abft
             + self.detect
             + self.reverse
             + self.locate
@@ -147,11 +168,12 @@ impl PhaseBreakdown {
     }
 
     /// `(name, seconds)` rows in fixed phase order, for report writers.
-    pub fn rows(&self) -> [(&'static str, f64); 8] {
+    pub fn rows(&self) -> [(&'static str, f64); 9] {
         [
             ("encode", self.encode),
             ("panel", self.panel),
             ("trailing", self.trailing),
+            ("abft", self.abft),
             ("detect", self.detect),
             ("reverse", self.reverse),
             ("locate", self.locate),
@@ -242,5 +264,31 @@ mod tests {
         assert!(!b.is_empty());
         assert!(PhaseBreakdown::default().is_empty());
         assert_eq!(b.rows()[1], ("panel", b.panel));
+    }
+
+    #[test]
+    fn abft_time_moves_out_of_trailing() {
+        // The `blas.abft` span nests inside `ft.trailing`; the breakdown
+        // must carve it out so the rows stay disjoint and `total()` does
+        // not double-count the nested seconds.
+        let ev = |name, dur_us| Event {
+            name,
+            cat: "wall",
+            arg: None,
+            tid: 1,
+            start_us: 0.0,
+            dur_us,
+        };
+        let events = vec![
+            ev("ft.trailing", 4e6), // includes 1s of nested abft
+            ev("blas.abft", 1e6),
+            ev("ft.panel", 2e6),
+        ];
+        let b = PhaseBreakdown::from_events(&events, 1);
+        assert!((b.trailing - 3.0).abs() < 1e-12);
+        assert!((b.abft - 1.0).abs() < 1e-12);
+        assert!((b.total() - 6.0).abs() < 1e-12);
+        assert!((b.ft_overhead() - 1.0).abs() < 1e-12, "{}", b.ft_overhead());
+        assert_eq!(b.rows()[3], ("abft", b.abft));
     }
 }

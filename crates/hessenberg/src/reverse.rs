@@ -10,7 +10,7 @@
 //! up to one rounding of the add/subtract pair.
 
 use crate::encode::ExtMatrix;
-use ft_blas::{gemm, trmm, Diag, Side, Trans, Uplo};
+use ft_blas::{gemm, gemm_ft, trmm, AbftOptions, AbftReport, Diag, Side, Trans, Uplo};
 use ft_matrix::Matrix;
 
 /// Forward right update (Algorithm 3 lines 8 & 10, extended):
@@ -28,6 +28,41 @@ pub fn right_update_ext(ax: &mut ExtMatrix, k: usize, ib: usize, yx: &Matrix, vx
 /// line 10 — the `G` update, including both checksum borders).
 pub fn right_update_trailing(ax: &mut ExtMatrix, k: usize, ib: usize, yx: &Matrix, vx: &Matrix) {
     apply_right_trailing(ax, k, ib, yx, vx, -1.0);
+}
+
+/// [`right_update_trailing`] with the fused online-ABFT kernel
+/// ([`ft_blas::gemm_ft`]): checksums of the trailing `G` update are
+/// encoded during packing and verified in the epilogue, so a transient
+/// strike *inside this gemm* is caught (and, when resolvable, corrected)
+/// before the iteration-level `Sre`/`Sce` detector ever runs. Clean runs
+/// are bit-identical to [`right_update_trailing`] — the fused path does
+/// not perturb the iteration aggregates.
+pub fn right_update_trailing_ft(
+    ax: &mut ExtMatrix,
+    k: usize,
+    ib: usize,
+    yx: &Matrix,
+    vx: &Matrix,
+    opts: AbftOptions,
+) -> AbftReport {
+    let n = ax.n();
+    let m = n - k - 1;
+    assert_eq!(yx.rows(), n + 1, "Yx must be (n+1) rows");
+    assert_eq!(vx.rows(), m + 1, "Vx must be (m+1) rows");
+    assert_eq!(yx.cols(), ib);
+    assert_eq!(vx.cols(), ib);
+    let jcount = m - ib + 2; // trailing real columns + checksum column
+    let data = ax.raw_mut();
+    gemm_ft(
+        Trans::No,
+        Trans::Yes,
+        -1.0,
+        &yx.as_view(),
+        &vx.view(ib - 1, 0, jcount, ib),
+        1.0,
+        &mut data.view_mut(0, k + ib, n + 1, jcount),
+        opts,
+    )
 }
 
 /// The panel-columns half of [`right_update_ext`] alone (Algorithm 3
@@ -123,6 +158,61 @@ pub fn left_update_ext(ax: &mut ExtMatrix, k: usize, ib: usize, vx: &Matrix, t: 
     }
     apply_left(ax, k, ib, vx, t, &w, -1.0);
     w
+}
+
+/// [`left_update_ext`] with the fused online-ABFT kernel protecting the
+/// `Ax`-writing gemm. The inner product `W = Vᵀ·Ax(...)` stays on the
+/// plain kernel: it writes scratch, not the protected matrix, and a
+/// strike there surfaces through the protected update it feeds (or the
+/// iteration-level aggregate test). Clean runs are bit-identical to
+/// [`left_update_ext`].
+pub fn left_update_ext_ft(
+    ax: &mut ExtMatrix,
+    k: usize,
+    ib: usize,
+    vx: &Matrix,
+    t: &Matrix,
+    opts: AbftOptions,
+) -> (Matrix, AbftReport) {
+    let n = ax.n();
+    let m = n - k - 1;
+    let jcount = m - ib + 2;
+    let mut w = Matrix::zeros(ib, jcount);
+    {
+        let data = ax.raw();
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            1.0,
+            &vx.view(0, 0, m, ib),
+            &data.view(k + 1, k + ib, m, jcount),
+            0.0,
+            &mut w.as_view_mut(),
+        );
+    }
+    // W2 = Tᵀ·W, identical to apply_left's forward computation.
+    let mut w2 = w.clone();
+    trmm(
+        Side::Left,
+        Uplo::Upper,
+        Trans::Yes,
+        Diag::NonUnit,
+        1.0,
+        &t.as_view(),
+        &mut w2.as_view_mut(),
+    );
+    let data = ax.raw_mut();
+    let report = gemm_ft(
+        Trans::No,
+        Trans::No,
+        -1.0,
+        &vx.as_view(),
+        &w2.as_view(),
+        1.0,
+        &mut data.view_mut(k + 1, k + ib, m + 1, jcount),
+        opts,
+    );
+    (w, report)
 }
 
 /// Exact reversal of [`left_update_ext`] using the retained `W`.
@@ -244,6 +334,40 @@ mod tests {
             for i in 0..=10 {
                 let d = (ax.raw()[(i, j)] - ax0.raw()[(i, j)]).abs();
                 assert!(d < 1e-12, "({i},{j}) differs by {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn ft_variants_bit_identical_to_plain_on_clean_runs() {
+        // The fused online-ABFT kernels must not perturb the update by a
+        // single ulp: the driver's Sre/Sce aggregates and the exactness of
+        // the reversal both depend on it.
+        let (ax0, yx, vx, t) = scenario(24, 3, 5, 9);
+        let mut plain = ax0.clone();
+        right_update_trailing(&mut plain, 3, 5, &yx, &vx);
+        let w_plain = left_update_ext(&mut plain, 3, 5, &vx, &t);
+        let mut ft = ax0.clone();
+        let r1 = right_update_trailing_ft(&mut ft, 3, 5, &yx, &vx, AbftOptions::default());
+        let (w_ft, r2) = left_update_ext_ft(&mut ft, 3, 5, &vx, &t, AbftOptions::default());
+        assert_eq!(r1.detected, 0, "clean right update flagged: {r1:?}");
+        assert_eq!(r2.detected, 0, "clean left update flagged: {r2:?}");
+        for j in 0..=24usize {
+            for i in 0..=24usize {
+                assert_eq!(
+                    plain.raw()[(i, j)].to_bits(),
+                    ft.raw()[(i, j)].to_bits(),
+                    "Ax differs at ({i},{j})"
+                );
+            }
+        }
+        for j in 0..w_plain.cols() {
+            for i in 0..w_plain.rows() {
+                assert_eq!(
+                    w_plain[(i, j)].to_bits(),
+                    w_ft[(i, j)].to_bits(),
+                    "W differs at ({i},{j})"
+                );
             }
         }
     }

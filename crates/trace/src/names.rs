@@ -14,6 +14,8 @@
 /// Every counter name the workspace records (see DESIGN.md §9 for the
 /// meaning of each family).
 pub const COUNTERS: &[&str] = &[
+    "abft.corrected",
+    "abft.detected",
     "ft.corrections",
     "ft.recoveries",
     "pool.dispatch",
@@ -35,6 +37,7 @@ pub const GAUGES: &[&str] = &["serve.in_flight", "serve.queue_depth"];
 /// Every span name the workspace opens. The `ft.*` entries are the
 /// disjoint leaf phases whose durations decompose a run's wall-clock.
 pub const SPANS: &[&str] = &[
+    "blas.abft",
     "ft.correct",
     "ft.detect",
     "ft.encode",
