@@ -23,11 +23,15 @@
 //!
 //! * `serial` — single-threaded (the default);
 //! * `threaded` — threaded, worker count = available parallelism;
-//! * `threaded:4` — threaded with exactly 4 workers.
+//! * `threaded:4` — threaded with exactly 4 workers;
+//! * `threaded:auto` — threaded clamped to the detected core count, and
+//!   plain `serial` when only one core is available (so a 1-core box
+//!   never pays threaded dispatch overhead for zero parallelism).
 
-use crate::pool::{self, ScopedTask};
+use crate::pool::{self, AsyncHandle, ScopedTask};
 use ft_matrix::MatViewMut;
 use std::cell::Cell;
+use std::sync::Arc;
 
 /// **The** compute-bound parallel gate: minimum per-kernel work volume
 /// (`m·n·k`-style element-operation count) before the threaded backend
@@ -80,7 +84,8 @@ impl Backend {
         ft_trace::env_knob::parse_with("FT_BLAS_BACKEND", Backend::parse).unwrap_or(Backend::Serial)
     }
 
-    /// Parses `"serial"`, `"threaded"` or `"threaded:N"`.
+    /// Parses `"serial"`, `"threaded"`, `"threaded:N"` or
+    /// `"threaded:auto"`.
     pub fn parse(s: &str) -> Option<Backend> {
         let s = s.trim();
         if s.eq_ignore_ascii_case("serial") {
@@ -93,6 +98,9 @@ impl Backend {
             .strip_prefix("threaded:")
             .or_else(|| s.strip_prefix("THREADED:"))
         {
+            if rest.trim().eq_ignore_ascii_case("auto") {
+                return Some(Backend::auto());
+            }
             return rest.parse::<usize>().ok().map(|n| {
                 if n <= 1 {
                     Backend::Serial
@@ -102,6 +110,21 @@ impl Backend {
             });
         }
         None
+    }
+
+    /// The `threaded:auto` resolution: threaded with worker count clamped
+    /// to the machine's detected parallelism, degrading to
+    /// [`Backend::Serial`] on a single-core box — there, threaded
+    /// dispatch buys no parallelism but still pays queue/wake overhead
+    /// (the `threaded:4 < serial` regression visible in
+    /// `BENCH_gemm.json` at `cores: 1`).
+    pub fn auto() -> Backend {
+        let cores = available_parallelism();
+        if cores <= 1 {
+            Backend::Serial
+        } else {
+            Backend::Threaded(cores)
+        }
     }
 
     /// The worker count this backend runs with (`Serial` → 1,
@@ -217,6 +240,49 @@ where
         j0 += width;
     }
     pool::run_scoped(tasks);
+}
+
+/// Asynchronous analogue of [`for_each_col_chunk`]: splits `b` into up to
+/// `workers` near-equal contiguous column blocks, dispatches **all** of
+/// them onto pool workers (the caller runs none inline — it is expected
+/// to keep working on the critical path), and returns the completion
+/// token. The column partition is identical to [`for_each_col_chunk`]'s,
+/// and `f` must treat columns independently, so the result is
+/// bit-identical to the synchronous and serial schedules no matter when
+/// the token is waited.
+///
+/// The borrow of `b` stays live until the returned [`AsyncHandle`] is
+/// waited or dropped, which is exactly what makes the overlap safe: the
+/// caller can mutate *other* regions of the parent matrix meanwhile, and
+/// the borrow checker re-admits a full borrow only after the handle dies.
+pub fn spawn_col_chunks<'scope, F>(
+    b: MatViewMut<'scope>,
+    workers: usize,
+    f: F,
+) -> AsyncHandle<'scope>
+where
+    F: Fn(usize, MatViewMut<'scope>) + Send + Sync + 'scope,
+{
+    let n = b.cols();
+    if n == 0 {
+        return pool::dispatch_async(Vec::new());
+    }
+    let t = workers.min(n).max(1);
+    let (base, extra) = (n / t, n % t);
+    let shared = Arc::new(f);
+    let mut tasks: Vec<ScopedTask<'scope>> = Vec::with_capacity(t);
+    let mut rest = b;
+    let mut j0 = 0usize;
+    for w in 0..t {
+        let width = base + usize::from(w < extra);
+        let (chunk, tail) = rest.split_at_col(width);
+        let c0 = j0;
+        let fr = Arc::clone(&shared);
+        tasks.push(Box::new(move || fr(c0, chunk)));
+        rest = tail;
+        j0 += width;
+    }
+    pool::dispatch_async(tasks)
 }
 
 /// Row-block analogue of [`for_each_col_chunk`]: `f(first_global_row,
@@ -370,6 +436,71 @@ mod tests {
         assert_eq!(Backend::parse("threaded:1"), Some(Backend::Serial));
         assert_eq!(Backend::parse(" Threaded "), Some(Backend::Threaded(0)));
         assert_eq!(Backend::parse("gpu"), None);
+    }
+
+    #[test]
+    fn parse_threaded_auto_clamps_to_cores() {
+        let auto = Backend::parse("threaded:auto").expect("threaded:auto must parse");
+        assert_eq!(auto, Backend::auto());
+        assert_eq!(Backend::parse("THREADED:AUTO"), Some(auto));
+        match auto {
+            Backend::Serial => assert_eq!(available_parallelism(), 1),
+            Backend::Threaded(n) => {
+                assert!(n >= 2, "auto must pin a real worker count, got {n}");
+                assert_eq!(n, available_parallelism());
+            }
+        }
+    }
+
+    #[test]
+    fn spawn_col_chunks_covers_exactly_once_and_waits() {
+        for workers in [1usize, 2, 3, 5, 16] {
+            let mut a = Matrix::zeros(7, 11);
+            let handle = spawn_col_chunks(a.as_view_mut(), workers, |j0, mut chunk| {
+                for j in 0..chunk.cols() {
+                    for i in 0..chunk.rows() {
+                        let old = chunk.at(i, j);
+                        chunk.set(i, j, old + (j0 + j + 1) as f64);
+                    }
+                }
+            });
+            handle.wait();
+            for j in 0..11 {
+                for i in 0..7 {
+                    assert_eq!(a[(i, j)], (j + 1) as f64, "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spawn_col_chunks_empty_matrix_resolves_immediately() {
+        let mut a = Matrix::zeros(4, 0);
+        let handle = spawn_col_chunks(a.as_view_mut(), 3, |_, _| {
+            panic!("no chunk should run on an empty matrix")
+        });
+        assert!(handle.is_resolved());
+        handle.wait();
+    }
+
+    #[test]
+    fn spawn_col_chunks_drop_without_wait_completes_tasks() {
+        let mut a = Matrix::zeros(5, 9);
+        {
+            let _handle = spawn_col_chunks(a.as_view_mut(), 3, |_, mut chunk| {
+                for j in 0..chunk.cols() {
+                    for i in 0..chunk.rows() {
+                        chunk.set(i, j, 1.0);
+                    }
+                }
+            });
+            // Dropped here: the drop must block until every chunk ran.
+        }
+        for j in 0..9 {
+            for i in 0..5 {
+                assert_eq!(a[(i, j)], 1.0);
+            }
+        }
     }
 
     #[test]

@@ -8,9 +8,20 @@
 //! columns of `A` for `gemv^T`/`ger`) and keeps every element's
 //! accumulation order exactly serial, so the threaded results are
 //! bit-identical to the serial ones for any worker count.
+//!
+//! The `gemv`/`ger` inner loops additionally dispatch through the same
+//! runtime ISA resolution as the level-3 microkernel (`FT_BLAS_SIMD`,
+//! [`crate::with_simd_path`]): the ISA is captured once per entry point
+//! and carried into the pool workers. The portable bodies accumulate
+//! with a separate multiply and add (two roundings per element) and the
+//! AVX2 bodies reproduce exactly that sequence lane-for-lane —
+//! `_mm256_add_pd(_mm256_mul_pd(…))`, never a fused multiply-add — with
+//! each output element's accumulation order unchanged, so every ISA
+//! produces the same bits.
 
 use crate::backend;
 use crate::flops::{model, record};
+use crate::level3::{resolve_isa, Isa};
 use crate::types::{Diag, Trans, Uplo};
 use ft_matrix::{MatView, MatViewMut};
 
@@ -45,6 +56,7 @@ pub fn gemv(trans: Trans, alpha: f64, a: &MatView<'_>, x: &[f64], beta: f64, y: 
     }
 
     let workers = backend::fork_threads_mem(m * n);
+    let isa = resolve_isa();
     match trans {
         // Column-oriented accumulation: y += (alpha * x[j]) * A(:,j).
         // Parallel split: contiguous row blocks of y, each sweeping all
@@ -56,27 +68,18 @@ pub fn gemv(trans: Trans, alpha: f64, a: &MatView<'_>, x: &[f64], beta: f64, y: 
                 for j in 0..n {
                     let axj = alpha * x[j];
                     if axj != 0.0 {
-                        let col = ablock.col(j);
-                        for (yi, &aij) in ychunk.iter_mut().zip(col) {
-                            *yi += axj * aij;
-                        }
+                        axpy_col(isa, axj, ablock.col(j), ychunk);
                     }
                 }
             });
         }
         // Dot-product per column: y[j] += alpha * A(:,j)ᵀ x. Parallel
         // split: contiguous ranges of output columns; each dot product
-        // keeps its serial accumulation order.
+        // keeps its serial accumulation order (the AVX2 path runs four
+        // columns at once, one dot per lane).
         Trans::Yes => {
             backend::for_each_slice_chunk(y, workers, |j0, ychunk| {
-                for (jj, yj) in ychunk.iter_mut().enumerate() {
-                    let col = a.col(j0 + jj);
-                    let mut s = 0.0;
-                    for (&aij, &xi) in col.iter().zip(x.iter()) {
-                        s += aij * xi;
-                    }
-                    *yj += alpha * s;
-                }
+                dot_cols(isa, a, j0, x, alpha, ychunk);
             });
         }
     }
@@ -94,17 +97,121 @@ pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut MatViewMut<'_>) {
     // Columns of A are fully independent rank-1 column updates: partition
     // them over the pool; each column's update is elementwise serial.
     let workers = backend::fork_threads_mem(m * n);
+    let isa = resolve_isa();
     backend::for_each_col_chunk(a.rb_mut(), workers, |j0, mut chunk| {
         for jj in 0..chunk.cols() {
             let ayj = alpha * y[j0 + jj];
             if ayj != 0.0 {
-                let col = chunk.col_mut(jj);
-                for (aij, &xi) in col.iter_mut().zip(x) {
-                    *aij += ayj * xi;
-                }
+                axpy_col(isa, ayj, x, chunk.col_mut(jj));
             }
         }
     });
+}
+
+/// Shared scalar body of the column update `dst[i] += s * src[i]` — a
+/// separate multiply and add (two roundings per element), which is the
+/// contract every ISA below reproduces.
+#[inline(always)]
+fn axpy_col_scalar(s: f64, src: &[f64], dst: &mut [f64]) {
+    for (di, &si) in dst.iter_mut().zip(src) {
+        *di += s * si;
+    }
+}
+
+/// AVX2 body of the column update. Uses `mul` then `add` (not `vfmadd`)
+/// so each lane performs the same two roundings as the scalar body;
+/// lanes map to distinct `dst` elements, so no accumulation order
+/// changes — the result is bit-identical to [`axpy_col_scalar`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn axpy_col_avx2(s: f64, src: &[f64], dst: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let len = dst.len().min(src.len());
+    let sv = _mm256_set1_pd(s);
+    let mut i = 0;
+    while i + 4 <= len {
+        // SAFETY: i + 4 <= len bounds both slices; loadu/storeu have no
+        // alignment requirement and `dst` is uniquely borrowed.
+        unsafe {
+            let a = _mm256_loadu_pd(src.as_ptr().add(i));
+            let d = _mm256_loadu_pd(dst.as_ptr().add(i));
+            _mm256_storeu_pd(
+                dst.as_mut_ptr().add(i),
+                _mm256_add_pd(d, _mm256_mul_pd(sv, a)),
+            );
+        }
+        i += 4;
+    }
+    axpy_col_scalar(s, &src[i..len], &mut dst[i..len]);
+}
+
+/// ISA dispatch for the column update; `isa` is resolved once per entry
+/// point so pool workers inherit the caller's SIMD override.
+#[inline]
+fn axpy_col(isa: Isa, s: f64, src: &[f64], dst: &mut [f64]) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Isa::Avx2` is only ever produced by `resolve_isa`
+        // after runtime detection of the avx2 feature.
+        Isa::Avx2 => unsafe { axpy_col_avx2(s, src, dst) },
+        _ => axpy_col_scalar(s, src, dst),
+    }
+}
+
+/// Shared scalar body of the `gemv^T` dot: `y[j] += alpha * A(:,j)ᵀ x`
+/// with the plain `s += a * x` accumulation (two roundings per term) in
+/// ascending row order.
+#[inline(always)]
+fn dot_cols_scalar(a: &MatView<'_>, j0: usize, x: &[f64], alpha: f64, ychunk: &mut [f64]) {
+    for (jj, yj) in ychunk.iter_mut().enumerate() {
+        let col = a.col(j0 + jj);
+        let mut s = 0.0;
+        for (&aij, &xi) in col.iter().zip(x.iter()) {
+            s += aij * xi;
+        }
+        *yj += alpha * s;
+    }
+}
+
+/// AVX2 body of the `gemv^T` dot block: four *adjacent output columns*
+/// per iteration, one dot product per lane. Vectorizing across columns
+/// (rather than within a dot) keeps each dot's serial ascending-row
+/// accumulation chain, and `mul`+`add` keeps the two-roundings-per-term
+/// contract, so every lane computes exactly the scalar body's bits.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn dot_cols_avx2(a: &MatView<'_>, j0: usize, x: &[f64], alpha: f64, ychunk: &mut [f64]) {
+    use std::arch::x86_64::*;
+    let mut jj = 0;
+    while jj + 4 <= ychunk.len() {
+        let j = j0 + jj;
+        let (c0, c1, c2, c3) = (a.col(j), a.col(j + 1), a.col(j + 2), a.col(j + 3));
+        let mut acc = _mm256_setzero_pd();
+        for (i, &xi) in x.iter().enumerate().take(c0.len()) {
+            let av = _mm256_set_pd(c3[i], c2[i], c1[i], c0[i]);
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(av, _mm256_set1_pd(xi)));
+        }
+        let mut s = [0.0f64; 4];
+        // SAFETY: `s` is 4 f64s; storeu has no alignment requirement.
+        unsafe { _mm256_storeu_pd(s.as_mut_ptr(), acc) };
+        for (l, &sl) in s.iter().enumerate() {
+            ychunk[jj + l] += alpha * sl;
+        }
+        jj += 4;
+    }
+    dot_cols_scalar(a, j0 + jj, x, alpha, &mut ychunk[jj..]);
+}
+
+/// ISA dispatch for the `gemv^T` dot block.
+#[inline]
+fn dot_cols(isa: Isa, a: &MatView<'_>, j0: usize, x: &[f64], alpha: f64, ychunk: &mut [f64]) {
+    match isa {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Isa::Avx2` is only ever produced by `resolve_isa`
+        // after runtime detection of the avx2 feature.
+        Isa::Avx2 => unsafe { dot_cols_avx2(a, j0, x, alpha, ychunk) },
+        _ => dot_cols_scalar(a, j0, x, alpha, ychunk),
+    }
 }
 
 /// Triangular matrix–vector product in place:

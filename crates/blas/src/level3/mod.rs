@@ -25,6 +25,7 @@ pub use abft::{
 };
 pub use gemm::{gemm, gemm_blocked, gemm_ref, gemm_threaded, gemm_with_algo, GemmAlgo};
 pub use microkernel::{active_simd_path, simd_available, with_simd_path, SimdPath};
+pub(crate) use microkernel::{resolve_isa, Isa};
 pub use syrk::syrk;
 pub use trmm::trmm;
 pub use trsm::trsm;

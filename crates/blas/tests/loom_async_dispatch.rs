@@ -1,0 +1,158 @@
+//! Loom model of the [`ft_blas::AsyncHandle`] completion-token protocol
+//! used by the lookahead pipeline's async far-update dispatch. The pool
+//! itself stays on std under loom (OS threads are not modeled), so —
+//! like `loom_latch.rs` — this models the handle's protocol directly on
+//! the shared [`Latch`] concurrency core: a `ModelHandle` that mirrors
+//! `AsyncHandle::finish` statement for statement (wait on the latch,
+//! re-raise the first task panic unless the thread is already
+//! unwinding, same behavior on drop as on wait).
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p ft-blas --test
+//! loom_async_dispatch`.
+
+#![cfg(loom)]
+
+use ft_blas::latch::Latch;
+use loom::sync::Arc;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Mirror of `AsyncHandle`'s resolution protocol (`pool.rs`): the two
+/// must stay in lockstep for this model to vouch for the real type.
+struct ModelHandle {
+    latch: Option<Arc<Latch>>,
+}
+
+impl ModelHandle {
+    fn new(latch: Arc<Latch>) -> ModelHandle {
+        ModelHandle { latch: Some(latch) }
+    }
+
+    fn wait(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some(latch) = self.latch.take() {
+            latch.wait();
+            if let Some(p) = latch.take_panic() {
+                if !std::thread::panicking() {
+                    resume_unwind(p);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ModelHandle {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// The whole point of the token: `wait` must not return until every
+/// task has run. The counter is bumped before each `complete`, so any
+/// schedule in which the latch releases the waiter early shows up as a
+/// short count (the vendored checker explores mutex/condvar
+/// interleavings; the counter itself is a plain std atomic).
+#[test]
+fn wait_returns_only_after_every_task_effect_is_visible() {
+    loom::model(|| {
+        let latch = Arc::new(Latch::new(2));
+        let done = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let l = Arc::clone(&latch);
+                let d = Arc::clone(&done);
+                loom::thread::spawn(move || {
+                    d.fetch_add(1, Ordering::Relaxed);
+                    l.complete(None);
+                })
+            })
+            .collect();
+        let handle = ModelHandle::new(Arc::clone(&latch));
+        handle.wait();
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            2,
+            "wait returned before a task's writes became visible"
+        );
+        for w in workers {
+            w.join().unwrap();
+        }
+    });
+}
+
+/// A panic inside an async task must cross to the caller at the wait
+/// point with its payload intact.
+#[test]
+fn task_panic_is_rethrown_at_wait() {
+    loom::model(|| {
+        let latch = Arc::new(Latch::new(1));
+        let l = Arc::clone(&latch);
+        let worker = loom::thread::spawn(move || l.complete(Some(Box::new("task boom"))));
+        let handle = ModelHandle::new(Arc::clone(&latch));
+        let payload =
+            catch_unwind(AssertUnwindSafe(|| handle.wait())).expect_err("panic must propagate");
+        assert_eq!(
+            *payload.downcast::<&str>().expect("payload type"),
+            "task boom"
+        );
+        worker.join().unwrap();
+    });
+}
+
+/// Dropping the handle without an explicit wait performs the same join —
+/// an early return between dispatch and wait can never leave a task
+/// running against dead borrows. `is_resolved` after the drop doubles as
+/// the non-blocking-observer check.
+#[test]
+fn drop_before_wait_still_joins_the_tasks() {
+    loom::model(|| {
+        let latch = Arc::new(Latch::new(1));
+        let done = Arc::new(AtomicUsize::new(0));
+        let l = Arc::clone(&latch);
+        let d = Arc::clone(&done);
+        let worker = loom::thread::spawn(move || {
+            d.fetch_add(1, Ordering::Relaxed);
+            l.complete(None);
+        });
+        {
+            let _handle = ModelHandle::new(Arc::clone(&latch));
+            // Dropped here, no wait() call.
+        }
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            1,
+            "drop must join the in-flight task"
+        );
+        assert!(latch.is_resolved());
+        worker.join().unwrap();
+    });
+}
+
+/// When the *caller* is already unwinding, the drop still joins the task
+/// but swallows the task's panic instead of double-panicking (which
+/// would abort the process). The caller's own panic wins.
+#[test]
+fn drop_during_unwind_swallows_the_task_panic() {
+    loom::model(|| {
+        let latch = Arc::new(Latch::new(1));
+        let l = Arc::clone(&latch);
+        let worker = loom::thread::spawn(move || l.complete(Some(Box::new("task boom"))));
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            let _handle = ModelHandle::new(Arc::clone(&latch));
+            panic!("caller unwinding");
+        }))
+        .expect_err("the caller's panic must surface");
+        assert_eq!(
+            *payload.downcast::<&str>().expect("payload type"),
+            "caller unwinding"
+        );
+        assert!(
+            latch.is_resolved(),
+            "the unwinding drop still joined the task"
+        );
+        worker.join().unwrap();
+    });
+}

@@ -15,8 +15,8 @@
 //!   passes before and after the multiply.
 
 use ft_blas::{
-    gemm_blocked, gemm_ft_with_inject, gemm_ref, gemm_threaded, with_simd_path, AbftInject,
-    AbftOptions, SimdPath, Trans,
+    gemm_blocked, gemm_ft_with_inject, gemm_ref, gemm_threaded, gemv, ger, with_backend,
+    with_simd_path, AbftInject, AbftOptions, Backend, SimdPath, Trans,
 };
 use ft_matrix::Matrix;
 use proptest::prelude::*;
@@ -108,6 +108,65 @@ proptest! {
                     bits(&c) == baseline,
                     "bits diverge: path {:?}, runner {}, m={} n={} k={} pad={} ta={:?} tb={:?} α={} β={}",
                     path, runner, m, n, k, pad, ta, tb, alpha, beta
+                );
+            }
+        }
+    }
+
+    /// The level-2 kernels (`gemv`, `gemv^T`, `ger`) dispatch through the
+    /// same ISA resolution as the microkernel; every (path, backend)
+    /// combination must produce the portable serial bits — including the
+    /// ragged vector tails the 4-wide AVX2 bodies fall back to scalar for.
+    #[test]
+    fn level2_bit_identical_across_isa_and_threads(
+        mi in 0usize..SIDES.len(),
+        ni in 0usize..SIDES.len(),
+        pad in 0usize..3,
+        seed in any::<u64>(),
+        trans in prop::bool::ANY,
+        alpha in scalar(),
+        beta in scalar(),
+    ) {
+        let (m, n) = (SIDES[mi], SIDES[ni]);
+        let trans = if trans { Trans::Yes } else { Trans::No };
+        let (xl, yl) = match trans { Trans::No => (n, m), Trans::Yes => (m, n) };
+        let ap = mat(m + 2 * pad, n + pad, seed);
+        let x = mat(xl, 1, seed ^ 1).as_slice().to_vec();
+        let y0 = mat(yl, 1, seed ^ 2).as_slice().to_vec();
+        let gx = mat(m, 1, seed ^ 3).as_slice().to_vec();
+        let gy = mat(n, 1, seed ^ 4).as_slice().to_vec();
+
+        // Baseline: portable scalar bodies on the serial backend.
+        let (ybase, abase) = with_simd_path(SimdPath::Portable, || {
+            with_backend(Backend::Serial, || {
+                let mut y = y0.clone();
+                gemv(trans, alpha, &ap.view(pad, pad, m, n), &x, beta, &mut y);
+                let mut g = ap.clone();
+                ger(alpha, &gx, &gy, &mut g.view_mut(pad, pad, m, n));
+                (y, g)
+            })
+        });
+
+        for path in [SimdPath::Portable, SimdPath::Auto, SimdPath::Avx2] {
+            for backend in [Backend::Serial, Backend::Threaded(2), Backend::Threaded(4)] {
+                let (yv, av) = with_simd_path(path, || {
+                    with_backend(backend, || {
+                        let mut y = y0.clone();
+                        gemv(trans, alpha, &ap.view(pad, pad, m, n), &x, beta, &mut y);
+                        let mut g = ap.clone();
+                        ger(alpha, &gx, &gy, &mut g.view_mut(pad, pad, m, n));
+                        (y, g)
+                    })
+                });
+                prop_assert!(
+                    yv.iter().map(|v| v.to_bits()).eq(ybase.iter().map(|v| v.to_bits())),
+                    "gemv bits diverge: {:?} {:?} m={} n={} pad={} trans={:?} α={} β={}",
+                    path, backend, m, n, pad, trans, alpha, beta
+                );
+                prop_assert!(
+                    bits(&av) == bits(&abase),
+                    "ger bits diverge: {:?} {:?} m={} n={} pad={} α={}",
+                    path, backend, m, n, pad, alpha
                 );
             }
         }

@@ -1,0 +1,218 @@
+//! Parity of the lookahead (pipelined) schedule with the sequential one
+//! in the fault-tolerant driver: clean runs must be bitwise identical,
+//! and fault campaigns that strike *inside the overlapped far-update
+//! window* must produce the same detection, location, correction and
+//! final output as the sequential schedule — the whole point of the
+//! determinism contract (DESIGN.md §8.2).
+
+use ft_fault::{Fault, FaultPlan, Phase, ScheduledFault};
+use ft_hessenberg::ft_alg::{ft_gehrd_hybrid, FtConfig, FtOutcome};
+use ft_hessenberg::verify::ResidualReport;
+use ft_hybrid::{CostModel, ExecMode, HybridCtx};
+use ft_matrix::Matrix;
+
+fn full_ctx() -> HybridCtx {
+    HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::Full, 2)
+}
+
+fn cfg(nb: usize, lookahead: bool, backend: ft_blas::Backend) -> FtConfig {
+    FtConfig {
+        lookahead,
+        backend,
+        ..FtConfig::with_nb(nb)
+    }
+}
+
+fn assert_bitwise_equal(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.rows(), b.rows());
+    assert_eq!(a.cols(), b.cols());
+    for j in 0..a.cols() {
+        for i in 0..a.rows() {
+            assert_eq!(
+                a[(i, j)].to_bits(),
+                b[(i, j)].to_bits(),
+                "{what}: ({i},{j}) differs: {} vs {}",
+                a[(i, j)],
+                b[(i, j)]
+            );
+        }
+    }
+}
+
+/// Detection/recovery behavior must match event for event, not just "both
+/// recovered": same iterations redone, same elements corrected, same
+/// resolution status, same injected-fault records.
+fn assert_report_parity(seq: &FtOutcome, la: &FtOutcome, what: &str) {
+    assert_eq!(
+        seq.report.redone_iterations, la.report.redone_iterations,
+        "{what}: redone iteration counts differ"
+    );
+    assert_eq!(
+        seq.report.recoveries.len(),
+        la.report.recoveries.len(),
+        "{what}: recovery event counts differ:\n  seq: {:?}\n  la:  {:?}",
+        seq.report.recoveries,
+        la.report.recoveries
+    );
+    for (s, l) in seq.report.recoveries.iter().zip(&la.report.recoveries) {
+        assert_eq!(s.iteration, l.iteration, "{what}: recovery iteration");
+        assert_eq!(s.resolved, l.resolved, "{what}: recovery resolution");
+        assert_eq!(
+            s.mismatch.to_bits(),
+            l.mismatch.to_bits(),
+            "{what}: Sre−Sce mismatch magnitude differs: {} vs {}",
+            s.mismatch,
+            l.mismatch
+        );
+        assert_eq!(s.corrected, l.corrected, "{what}: corrected elements");
+    }
+    assert_eq!(
+        seq.report.injected, la.report.injected,
+        "{what}: applied-fault records differ"
+    );
+    assert_eq!(
+        seq.failure.is_some(),
+        la.failure.is_some(),
+        "{what}: terminal failure status differs"
+    );
+}
+
+fn run_pair(
+    a: &Matrix,
+    nb: usize,
+    backend: ft_blas::Backend,
+    mk_plan: impl Fn() -> FaultPlan,
+) -> (FtOutcome, FtOutcome) {
+    let seq = ft_gehrd_hybrid(a, &cfg(nb, false, backend), &mut full_ctx(), &mut mk_plan());
+    let la = ft_gehrd_hybrid(a, &cfg(nb, true, backend), &mut full_ctx(), &mut mk_plan());
+    (seq, la)
+}
+
+#[test]
+fn clean_runs_bit_identical_across_schedules_and_backends() {
+    for &(n, nb) in &[(48usize, 8usize), (64, 16), (50, 7)] {
+        let a = ft_matrix::random::uniform(n, n, n as u64 * 3 + 1);
+        for backend in [ft_blas::Backend::Serial, ft_blas::Backend::Threaded(4)] {
+            let (seq, la) = run_pair(&a, nb, backend, FaultPlan::none);
+            assert!(
+                la.report.recoveries.is_empty(),
+                "false positive under lookahead ({backend:?}, n={n}): {:?}",
+                la.report.recoveries
+            );
+            let fs = seq.result.unwrap();
+            let fl = la.result.unwrap();
+            assert_eq!(fs.tau, fl.tau, "taus differ ({backend:?}, n={n})");
+            assert_bitwise_equal(&fs.packed, &fl.packed, "clean packed output");
+        }
+    }
+}
+
+/// Faults injected right after the trailing updates ran
+/// (`Phase::BeforeDetection`) land while the sequential schedule has
+/// finished the far update synchronously and the lookahead schedule has
+/// just resolved its async token — the window the overlap machinery
+/// actually changes. Detection and recovery must behave identically.
+#[test]
+fn fault_in_overlapped_far_window_detected_identically() {
+    let n = 64;
+    let nb = 16;
+    let a = ft_matrix::random::uniform(n, n, 23);
+    // Iteration 1 reduces columns 16..32; its far update covers columns
+    // 48..64 (beyond the next panel). Strike the far region, the near
+    // region, and the checksum column.
+    let strikes: &[(usize, usize, usize)] = &[
+        (1, 40, 55), // deep in the far-update window
+        (1, 20, 33), // near region (next panel's columns)
+        (2, 60, 62), // far window of a later iteration
+    ];
+    for &(iter, row, col) in strikes {
+        let mk = || {
+            FaultPlan::new(vec![ScheduledFault {
+                iteration: iter,
+                phase: Phase::BeforeDetection,
+                fault: Fault::add(row, col, 0.31),
+            }])
+        };
+        for backend in [ft_blas::Backend::Serial, ft_blas::Backend::Threaded(4)] {
+            let (seq, la) = run_pair(&a, nb, backend, mk);
+            let what = format!("strike iter {iter} at ({row},{col}) under {backend:?}");
+            assert_report_parity(&seq, &la, &what);
+            let fs = seq.result.unwrap();
+            let fl = la.result.unwrap();
+            assert_eq!(fs.tau, fl.tau, "{what}: taus differ");
+            assert_bitwise_equal(&fs.packed, &fl.packed, &what);
+            let r = ResidualReport::compute(&a, &fl.q(), &fl.h());
+            assert!(r.acceptable(1e-12), "{what}: {r:?}");
+        }
+    }
+}
+
+/// Memory strikes present when an iteration starts (the paper's Figure 2
+/// scenario) flow through the overlapped far update itself — the
+/// corrupted trailing element is an *input* to the async GEMM chunks.
+/// Rollback, location and correction must match the sequential schedule.
+#[test]
+fn fault_through_async_far_update_recovers_identically() {
+    let n = 64;
+    let nb = 16;
+    let a = ft_matrix::random::uniform(n, n, 29);
+    for &(iter, row, col) in &[(1usize, 40usize, 50usize), (2, 55, 60)] {
+        let mk = || FaultPlan::one(iter, Fault::add(row, col, 0.37));
+        for backend in [ft_blas::Backend::Serial, ft_blas::Backend::Threaded(4)] {
+            let (seq, la) = run_pair(&a, nb, backend, mk);
+            let what = format!("iteration-start strike at ({row},{col}) under {backend:?}");
+            assert!(
+                !la.report.recoveries.is_empty(),
+                "{what}: fault must be detected under lookahead"
+            );
+            assert!(
+                la.report.recoveries[0]
+                    .corrected
+                    .iter()
+                    .any(|&(r, c, _)| r == row && c == col),
+                "{what}: fault must be located and corrected: {:?}",
+                la.report.recoveries[0]
+            );
+            assert_report_parity(&seq, &la, &what);
+            let fs = seq.result.unwrap();
+            let fl = la.result.unwrap();
+            assert_eq!(fs.tau, fl.tau, "{what}: taus differ");
+            assert_bitwise_equal(&fs.packed, &fl.packed, &what);
+        }
+    }
+}
+
+/// Timing-only mode never materializes the matrix; the lookahead flag
+/// must not change the mirrored detection decisions.
+#[test]
+fn timing_only_detection_mirror_unchanged_by_lookahead() {
+    let n = 64;
+    let nb = 16;
+    let a = ft_matrix::random::uniform(n, n, 31);
+    let mk = || {
+        FaultPlan::new(vec![ScheduledFault {
+            iteration: 1,
+            phase: Phase::BeforeDetection,
+            fault: Fault::add(40, 55, 0.31),
+        }])
+    };
+    let mut outs = vec![];
+    for lookahead in [false, true] {
+        let mut ctx = HybridCtx::new(CostModel::k40c_sandy_bridge(), ExecMode::TimingOnly, 2);
+        let c = FtConfig {
+            lookahead,
+            ..FtConfig::with_nb(nb)
+        };
+        let out = ft_gehrd_hybrid(&a, &c, &mut ctx, &mut mk());
+        assert!(out.result.is_none(), "timing-only must not materialize");
+        outs.push(out);
+    }
+    assert_eq!(
+        outs[0].report.redone_iterations, outs[1].report.redone_iterations,
+        "timing-only mirrored detections must not depend on the schedule"
+    );
+    assert_eq!(
+        outs[0].report.recoveries.len(),
+        outs[1].report.recoveries.len()
+    );
+}

@@ -20,10 +20,47 @@ proptest! {
         let mut au = a0.clone();
         let tau_u = gehd2(&mut au);
         let mut ab = a0.clone();
-        let tau_b = gehrd(&mut ab, &GehrdConfig { nb, nx: 1 });
+        let tau_b = gehrd(&mut ab, &GehrdConfig { nb, nx: 1, lookahead: false });
         prop_assert!(ft_matrix::max_abs_diff(&au, &ab) < 1e-9, "packed outputs differ");
         for (x, y) in tau_u.iter().zip(&tau_b) {
             prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// The lookahead-pipelined schedule is bit-identical to the
+    /// sequential one for any shape, panel width, crossover and backend
+    /// (the SIMD axis of the grid comes from CI re-running this suite
+    /// under `FT_BLAS_SIMD=portable`).
+    #[test]
+    fn lookahead_bit_identical(
+        n in 4usize..64,
+        nb in 1usize..12,
+        nx in 0usize..10,
+        threaded in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let backend = if threaded {
+            ft_blas::Backend::Threaded(4)
+        } else {
+            ft_blas::Backend::Serial
+        };
+        let a0 = ft_matrix::random::uniform(n, n, seed);
+        let base = GehrdConfig { nb, nx, lookahead: false };
+        let (seq, la) = ft_blas::with_backend(backend, || {
+            let mut a_seq = a0.clone();
+            let tau_seq = gehrd(&mut a_seq, &base);
+            let mut a_la = a0.clone();
+            let tau_la = gehrd(&mut a_la, &base.with_lookahead(true));
+            ((a_seq, tau_seq), (a_la, tau_la))
+        });
+        prop_assert_eq!(seq.1, la.1);
+        for j in 0..n {
+            for i in 0..n {
+                prop_assert!(
+                    seq.0[(i, j)].to_bits() == la.0[(i, j)].to_bits(),
+                    "packed ({i},{j}) differs under {backend:?}"
+                );
+            }
         }
     }
 

@@ -59,6 +59,7 @@ use std::time::{Duration, Instant};
 /// | `FT_SERVE_WORKERS` | executor worker count (`0` = auto) | auto |
 /// | `FT_SERVE_QUEUE_CAP` | admission queue capacity | 64 |
 /// | `FT_SERVE_DEADLINE_MS` | default job deadline, ms (`0`/unset = none) | none |
+/// | `FT_SERVE_BACKEND` | per-worker kernel backend (`serial`, `threaded:N`, `threaded:auto`) | `threaded:auto` share |
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Executor worker threads; `0` means auto (min(available
@@ -71,8 +72,8 @@ pub struct ServiceConfig {
     pub default_deadline: Option<Duration>,
     /// Retry policy for unrecoverable runs.
     pub retry: RetryPolicy,
-    /// Fixed per-worker kernel backend; `None` partitions the machine's
-    /// parallelism evenly across workers.
+    /// Fixed per-worker kernel backend; `None` partitions the
+    /// `threaded:auto` resolution (core-clamped) evenly across workers.
     pub worker_backend: Option<Backend>,
     /// Simulator cost model each job context is built from.
     pub cost: CostModel,
@@ -101,6 +102,7 @@ impl ServiceConfig {
             queue_capacity: ft_trace::env_knob::usize_or("FT_SERVE_QUEUE_CAP", base.queue_capacity)
                 .max(1),
             default_deadline: ft_trace::env_knob::ms_or_none("FT_SERVE_DEADLINE_MS"),
+            worker_backend: ft_trace::env_knob::parse_with("FT_SERVE_BACKEND", Backend::parse),
             ..base
         }
     }
@@ -115,14 +117,17 @@ impl ServiceConfig {
     }
 
     /// The per-worker backend [`Service::start`] will install: the
-    /// explicit one if set, otherwise the machine's parallelism divided
-    /// evenly across workers (`Serial` once the share drops to one
-    /// thread).
+    /// explicit one if set (via `worker_backend` or `FT_SERVE_BACKEND`),
+    /// otherwise the `threaded:auto` resolution divided evenly across the
+    /// workers — [`Backend::auto`] clamps to the detected core count, the
+    /// division prevents oversubscription, and the result degrades to
+    /// [`Backend::Serial`] once the per-worker share drops to one thread
+    /// (threaded dispatch on one core only pays queue/wake overhead).
     pub fn resolved_worker_backend(&self) -> Backend {
         if let Some(b) = self.worker_backend {
             return b;
         }
-        let share = ft_blas::backend::available_parallelism() / self.resolved_workers();
+        let share = Backend::auto().threads() / self.resolved_workers();
         if share <= 1 {
             Backend::Serial
         } else {
@@ -538,5 +543,27 @@ mod tests {
         assert!(
             share * auto.resolved_workers() <= ft_blas::backend::available_parallelism().max(1)
         );
+        // The default partitions the `threaded:auto` resolution, so on a
+        // single-core box every worker degrades to the serial backend.
+        if ft_blas::backend::available_parallelism() == 1 {
+            assert_eq!(auto.resolved_worker_backend(), Backend::Serial);
+        }
+    }
+
+    #[test]
+    fn backend_env_knob_parses_like_ft_blas() {
+        // `FT_SERVE_BACKEND` accepts the same grammar as
+        // `FT_BLAS_BACKEND`, including `threaded:auto`.
+        for (s, want) in [
+            ("serial", Backend::Serial),
+            ("threaded:3", Backend::Threaded(3)),
+            ("threaded:auto", Backend::auto()),
+        ] {
+            let cfg = ServiceConfig {
+                worker_backend: Backend::parse(s),
+                ..ServiceConfig::default()
+            };
+            assert_eq!(cfg.resolved_worker_backend(), want, "{s}");
+        }
     }
 }

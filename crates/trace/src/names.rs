@@ -19,6 +19,7 @@ pub const COUNTERS: &[&str] = &[
     "ft.corrections",
     "ft.recoveries",
     "pool.dispatch",
+    "pool.dispatch_async",
     "pool.inline_fallback",
     "pool.spawn",
     "serve.canceled",
@@ -32,7 +33,11 @@ pub const COUNTERS: &[&str] = &[
 ];
 
 /// Every gauge name the workspace records.
-pub const GAUGES: &[&str] = &["serve.in_flight", "serve.queue_depth"];
+pub const GAUGES: &[&str] = &[
+    "pool.async_inflight",
+    "serve.in_flight",
+    "serve.queue_depth",
+];
 
 /// Every span name the workspace opens. The `ft.*` entries are the
 /// disjoint leaf phases whose durations decompose a run's wall-clock.
@@ -46,7 +51,10 @@ pub const SPANS: &[&str] = &[
     "ft.qprotect",
     "ft.reverse",
     "ft.trailing",
+    "gehrd.far",
     "gehrd.left_update",
+    "gehrd.near",
+    "gehrd.overlap",
     "gehrd.panel",
     "gehrd.right_update",
     "gehrd.tail",

@@ -86,6 +86,30 @@ impl Gauge {
         let _ = v;
     }
 
+    /// Adds `n` to the gauge (relaxed; no-op with the `enabled` feature
+    /// off). Pairs with [`Gauge::sub`] for in-flight style gauges.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Subtracts `n` from the gauge, saturating at zero (relaxed; no-op
+    /// with the `enabled` feature off).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
     /// Raises the gauge to at least `v` (high-water-mark semantics).
     #[inline]
     pub fn record_max(&self, v: u64) {
