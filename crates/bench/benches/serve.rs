@@ -8,8 +8,15 @@
 //! scheduler, not the service. `FT_BENCH_SMOKE=1` shrinks the mix for CI.
 
 use ft_bench::{loadgen_records, service_records, smoke, write_bench_json, Record};
+use ft_blas::active_simd_path;
 use ft_serve::{loadgen, LoadgenConfig, Service, ServiceConfig, Shutdown};
 use std::time::Duration;
+
+fn cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
 
 fn run_mix(label: &str, workers: usize, cfg: &LoadgenConfig) -> Vec<Record> {
     let service = Service::start(ServiceConfig {
@@ -39,11 +46,17 @@ fn run_mix(label: &str, workers: usize, cfg: &LoadgenConfig) -> Vec<Record> {
         rec = rec
             .str("mix", label)
             .int("workers", workers as u64)
+            .str("isa", active_simd_path())
+            .int("cores", cores())
             .bool("smoke", smoke());
         records.push(rec);
     }
     for rec in service_records(&stats) {
-        records.push(rec.str("mix", label));
+        records.push(
+            rec.str("mix", label)
+                .str("isa", active_simd_path())
+                .int("cores", cores()),
+        );
     }
     records
 }

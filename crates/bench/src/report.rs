@@ -73,6 +73,23 @@ impl Record {
     pub fn is_smoke(&self) -> bool {
         matches!(self.get("smoke"), Some(Value::Bool(true)))
     }
+
+    /// The record's merge class: result class (smoke vs full) plus the
+    /// machine tags (`isa`, `cores`). Untagged records — hand-written
+    /// seeds, results from before the tags existed — key to `("", 0)`,
+    /// so they form their own class and old files keep merging as they
+    /// always did.
+    pub fn merge_key(&self) -> (bool, &str, u64) {
+        let isa = match self.get("isa") {
+            Some(Value::Str(s)) => s.as_str(),
+            _ => "",
+        };
+        let cores = match self.get("cores") {
+            Some(Value::Int(c)) => *c,
+            _ => 0,
+        };
+        (self.is_smoke(), isa, cores)
+    }
 }
 
 fn escape(s: &str, out: &mut String) {
@@ -327,28 +344,24 @@ pub fn parse_bench_json(s: &str) -> Option<Vec<Record>> {
     }
 }
 
-/// Merges `incoming` into `existing`, by result class: an incoming batch
-/// replaces the stored records *of its own classes only* (smoke runs
-/// replace smoke records, full runs replace full records) and leaves the
-/// other class untouched. This is what lets CI's fast `FT_BENCH_SMOKE=1`
-/// sweeps land alongside — never over — the slow full-size results
-/// committed to the repo.
+/// Merges `incoming` into `existing`, by [`Record::merge_key`]: an
+/// incoming batch replaces the stored records *of its own classes only*
+/// — same result class (smoke vs full) *and* same machine tags
+/// (`isa`, `cores`) — and leaves every other class untouched. This is
+/// what lets CI's fast `FT_BENCH_SMOKE=1` sweeps land alongside — never
+/// over — the slow full-size results committed to the repo, and lets
+/// results from different machines (an AVX-512 box and a NEON one, say)
+/// coexist in the same file.
 pub fn merge_records(existing: &[Record], incoming: &[Record]) -> Vec<Record> {
-    let incoming_has_smoke = incoming.iter().any(|r| r.is_smoke());
-    let incoming_has_full = incoming.iter().any(|r| !r.is_smoke());
+    let incoming_keys: Vec<_> = incoming.iter().map(Record::merge_key).collect();
     let mut out: Vec<Record> = existing
         .iter()
-        .filter(|r| {
-            if r.is_smoke() {
-                !incoming_has_smoke
-            } else {
-                !incoming_has_full
-            }
-        })
+        .filter(|r| !incoming_keys.contains(&r.merge_key()))
         .cloned()
         .collect();
     out.extend(incoming.iter().cloned());
     // Full results first: they are the headline numbers readers look for.
+    // (Stable sort: within a class, stored order is preserved.)
     out.sort_by_key(Record::is_smoke);
     out
 }
@@ -504,5 +517,64 @@ mod tests {
         let seed = [Record::new().str("kind", "hand_seed")];
         let merged = merge_records(&seed, &smoke_new);
         assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn merge_key_separates_machines() {
+        let avx = Record::new()
+            .int("n", 1024)
+            .bool("smoke", false)
+            .str("isa", "avx2+fma")
+            .int("cores", 16);
+        let neon = Record::new()
+            .int("n", 1024)
+            .bool("smoke", false)
+            .str("isa", "neon")
+            .int("cores", 8);
+        let untagged = Record::new().int("n", 512).bool("smoke", false);
+        let stored = vec![avx.clone(), neon.clone(), untagged.clone()];
+
+        // A fresh batch from the AVX box replaces only the AVX records;
+        // the NEON and untagged legacy results survive.
+        let avx_new = [Record::new()
+            .int("n", 2048)
+            .bool("smoke", false)
+            .str("isa", "avx2+fma")
+            .int("cores", 16)];
+        let merged = merge_records(&stored, &avx_new);
+        assert_eq!(merged.len(), 3);
+        assert!(merged
+            .iter()
+            .any(|r| matches!(r.get("n"), Some(Value::Int(2048)))));
+        assert!(!merged
+            .iter()
+            .any(|r| matches!(r.get("n"), Some(Value::Int(1024)))
+                && matches!(r.get("isa"), Some(Value::Str(s)) if s == "avx2+fma")));
+        assert!(merged
+            .iter()
+            .any(|r| matches!(r.get("isa"), Some(Value::Str(s)) if s == "neon")));
+
+        // An untagged batch replaces only the untagged legacy class.
+        let legacy_new = [Record::new().int("n", 768).bool("smoke", false)];
+        let merged = merge_records(&merged, &legacy_new);
+        assert_eq!(merged.len(), 3);
+        assert!(merged
+            .iter()
+            .any(|r| matches!(r.get("n"), Some(Value::Int(768)))));
+        assert!(!merged
+            .iter()
+            .any(|r| matches!(r.get("n"), Some(Value::Int(512)))));
+
+        // Smoke and full of the same machine are distinct classes.
+        let avx_smoke = [Record::new()
+            .int("n", 64)
+            .bool("smoke", true)
+            .str("isa", "avx2+fma")
+            .int("cores", 16)];
+        let merged = merge_records(&merged, &avx_smoke);
+        assert_eq!(merged.len(), 4);
+        assert!(merged
+            .iter()
+            .any(|r| matches!(r.get("n"), Some(Value::Int(2048)))));
     }
 }

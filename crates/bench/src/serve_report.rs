@@ -14,6 +14,7 @@ fn latency_fields(r: Record, prefix: &str, l: &PriorityLatency) -> Record {
         .int(&format!("{prefix}_p50_us"), l.p50_us)
         .int(&format!("{prefix}_p95_us"), l.p95_us)
         .int(&format!("{prefix}_p99_us"), l.p99_us)
+        .int(&format!("{prefix}_p999_us"), l.p999_us)
         .int(&format!("{prefix}_max_us"), l.max_us)
 }
 
@@ -117,6 +118,7 @@ mod tests {
         records.extend(service_records(&stats));
         let json = to_json("serve", &records);
         assert!(json.contains("\"record\": \"throughput\""));
+        assert!(json.contains("latency_p999_us"));
         assert!(json.contains("\"record\": \"service_stats\""));
         assert!(json.contains("\"lost\": 0"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -249,6 +249,9 @@ pub(crate) fn run_scoped(tasks: Vec<ScopedTask<'_>>) {
     let pool = pool();
     ensure_workers(pool, extra);
 
+    // Workers inherit the dispatcher's trace context (job/attempt) so
+    // their spans and counter deltas stay attributable to the job.
+    let trace_ctx = ft_trace::ctx::current();
     let latch = Latch::new(extra);
     {
         let mut st = pool.state.lock().unwrap();
@@ -258,6 +261,7 @@ pub(crate) fn run_scoped(tasks: Vec<ScopedTask<'_>>) {
             // alive until every task has called `complete`.
             let latch_ptr = LatchPtr(&latch);
             let job: ScopedTask<'_> = Box::new(move || {
+                let _ctx = ft_trace::ctx::push_opt(trace_ctx);
                 let result = catch_unwind(AssertUnwindSafe(task));
                 // SAFETY: the dispatching frame cannot return or unwind
                 // past `latch` before `complete` runs (WaitGuard blocks on
@@ -368,11 +372,15 @@ pub(crate) fn dispatch_async<'scope>(tasks: Vec<ScopedTask<'scope>>) -> AsyncHan
     ensure_workers(pool, count);
     let latch = Arc::new(Latch::new(count));
     async_inflight_gauge().add(count as u64);
+    // Same context inheritance as `run_scoped`: async batches belong to
+    // the dispatching job until the handle resolves.
+    let trace_ctx = ft_trace::ctx::current();
     {
         let mut st = pool.state.lock().unwrap();
         for task in tasks {
             let task_latch = Arc::clone(&latch);
             let job: ScopedTask<'_> = Box::new(move || {
+                let _ctx = ft_trace::ctx::push_opt(trace_ctx);
                 let result = catch_unwind(AssertUnwindSafe(task));
                 async_inflight_gauge().sub(1);
                 task_latch.complete(result.err());

@@ -18,7 +18,7 @@
 //! | FTC003 | every `unsafe` is annotated with `SAFETY`/`# Safety` |
 //! | FTC004 | no `unwrap`/`expect`/`panic!` in non-test library code |
 //! | FTC005 | no `Instant::now`/`SystemTime` in deterministic math crates |
-//! | FTC006 | counter/gauge/span name literals appear in `names.rs` |
+//! | FTC006 | counter/gauge/histogram/span name literals appear in `names.rs` |
 //!
 //! The scanner is deliberately not a full parser: it strips comments and
 //! literals with a small state machine, tracks `#[cfg(test)]` regions by
@@ -68,6 +68,8 @@ pub struct Registry {
     pub counters: BTreeSet<String>,
     /// Declared gauge names.
     pub gauges: BTreeSet<String>,
+    /// Declared histogram names.
+    pub histograms: BTreeSet<String>,
     /// Declared span names.
     pub spans: BTreeSet<String>,
 }
@@ -549,6 +551,7 @@ pub fn scan_source(rel: &str, source: &str, registry: &Registry) -> Vec<Finding>
             for (tok, is_macro, set, kind) in [
                 ("counter", false, &registry.counters, "counter"),
                 ("gauge", false, &registry.gauges, "gauge"),
+                ("histogram", false, &registry.histograms, "histogram"),
                 ("span", true, &registry.spans, "span"),
             ] {
                 for at in find_token(code, tok) {
@@ -635,15 +638,20 @@ fn has_safety_annotation(originals: &[&str], idx: usize) -> bool {
 // ---------------------------------------------------------------------------
 
 /// Parses `crates/trace/src/names.rs`: the string literals of the
-/// `COUNTERS`, `GAUGES`, and `SPANS` const slices.
+/// `COUNTERS`, `GAUGES`, `HISTOGRAMS`, and `SPANS` const slices.
 pub fn parse_registry(source: &str) -> Registry {
     let stripped = strip(source);
     let mut reg = Registry::default();
     let mut section: Option<u8> = None;
-    let mut bounds = [None, None, None]; // start line per section
-    let mut ends = [usize::MAX, usize::MAX, usize::MAX];
+    let mut bounds = [None, None, None, None]; // start line per section
+    let mut ends = [usize::MAX; 4];
     for (idx, code) in stripped.code.iter().enumerate() {
-        for (s, name) in [(0u8, "COUNTERS"), (1, "GAUGES"), (2, "SPANS")] {
+        for (s, name) in [
+            (0u8, "COUNTERS"),
+            (1, "GAUGES"),
+            (2, "HISTOGRAMS"),
+            (3, "SPANS"),
+        ] {
             if !find_token(code, name).is_empty() && code.contains('=') {
                 section = Some(s);
                 bounds[s as usize] = Some(idx);
@@ -657,12 +665,13 @@ pub fn parse_registry(source: &str) -> Registry {
         }
     }
     for (l, _c, lit) in &stripped.literals {
-        for s in 0..3usize {
+        for s in 0..4usize {
             if let Some(start) = bounds[s] {
                 if *l >= start && *l <= ends[s] {
                     let set = match s {
                         0 => &mut reg.counters,
                         1 => &mut reg.gauges,
+                        2 => &mut reg.histograms,
                         _ => &mut reg.spans,
                     };
                     set.insert(lit.clone());

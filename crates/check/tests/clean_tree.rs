@@ -31,6 +31,13 @@ fn registry_declares_the_names_the_tree_uses() {
         assert!(reg.counters.contains(c), "missing counter {c}");
     }
     assert!(reg.gauges.contains("serve.queue_depth"));
+    for h in [
+        "serve.latency_high",
+        "serve.queue_wait_normal",
+        "serve.backoff_low",
+    ] {
+        assert!(reg.histograms.contains(h), "missing histogram {h}");
+    }
     for s in ["ft.panel", "gehrd.tail", "serve.run"] {
         assert!(reg.spans.contains(s), "missing span {s}");
     }

@@ -1,0 +1,7 @@
+//! Fixture: exactly one FTC006 violation (typo'd histogram name) on line 6.
+
+/// Records into a histogram whose name is not in the declared registry —
+/// the typo would silently report an empty distribution forever.
+pub fn record_latency(us: u64) {
+    ft_trace::histogram("serve.latencies_high").record(us);
+}

@@ -98,6 +98,20 @@ fn ftc006_unregistered_metric_name() {
 }
 
 #[test]
+fn ftc006_unregistered_histogram_name() {
+    let f = scan(
+        "ftc006_unregistered_histogram.rs",
+        "crates/serve/src/fixture.rs",
+    );
+    assert_single(&f, "FTC006", 6);
+    assert!(
+        f[0].message.contains("serve.latencies_high"),
+        "the typo'd name is quoted: {}",
+        f[0].message
+    );
+}
+
+#[test]
 fn clean_fixture_passes_every_rule() {
     // Scanned under the strictest scope (library code in a math crate).
     let f = scan("clean.rs", "crates/blas/src/clean.rs");

@@ -111,6 +111,18 @@ impl FtConfig {
             ..Default::default()
         }
     }
+
+    /// Short tag naming the active protection level, recorded with every
+    /// fault-journal entry so post-mortems can correlate recovery
+    /// behavior with the protection that was in force.
+    pub fn protection_label(&self) -> &'static str {
+        match (self.protect_q, self.online_abft) {
+            (true, true) => "checksums+q+online",
+            (true, false) => "checksums+q",
+            (false, true) => "checksums+online",
+            (false, false) => "checksums",
+        }
+    }
 }
 
 /// Result of a fault-tolerant factorization.
@@ -347,6 +359,14 @@ fn ft_gehrd_hybrid_inner(
             let (fixes, resolved) = corrected.unwrap_or((vec![], true));
             ft_recovery_counter().incr();
             ft_correction_counter().add(fixes.len() as u64);
+            ft_trace::journal::record(
+                iter,
+                "recovery",
+                cfg.protection_label(),
+                fixes.len(),
+                mismatch,
+                resolved,
+            );
             report.recoveries.push(RecoveryEvent {
                 iteration: iter,
                 mismatch,
@@ -374,6 +394,7 @@ fn ft_gehrd_hybrid_inner(
                 },
             );
             ft_recovery_counter().incr();
+            ft_trace::journal::record(iter, "giveup", cfg.protection_label(), 0, f64::NAN, false);
             report.recoveries.push(RecoveryEvent {
                 iteration: iter,
                 mismatch: f64::NAN,
@@ -422,6 +443,14 @@ fn ft_gehrd_hybrid_inner(
             }
             ft_recovery_counter().incr();
             ft_correction_counter().add(fixes.len() as u64);
+            ft_trace::journal::record(
+                iter,
+                "final",
+                cfg.protection_label(),
+                fixes.len(),
+                f64::NAN,
+                out.resolved,
+            );
             report.recoveries.push(RecoveryEvent {
                 iteration: iter,
                 mismatch: f64::NAN,

@@ -246,6 +246,7 @@ mod tests {
             tid,
             start_us: 0.0,
             dur_us,
+            ctx: None,
         };
         let events = vec![
             ev("ft.panel", "wall", 1, 2e6),
@@ -278,6 +279,7 @@ mod tests {
             tid: 1,
             start_us: 0.0,
             dur_us,
+            ctx: None,
         };
         let events = vec![
             ev("ft.trailing", 4e6), // includes 1s of nested abft

@@ -151,6 +151,16 @@ struct ColumnArtifacts {
     row_checkpoint: Vec<f64>,
 }
 
+/// Protection tag for the fault journal (the tridiagonal path has two
+/// levels: weighted checksums alone, or with Q-storage protection).
+fn tridiag_protection(cfg: &FtTridiagConfig) -> &'static str {
+    if cfg.protect_q {
+        "tridiag+q"
+    } else {
+        "tridiag"
+    }
+}
+
 /// Runs the fault-tolerant reduction. `plan` injects faults at group
 /// boundaries (`Phase::IterationStart`, iteration = group index).
 pub fn ft_sytd2(a: &Matrix, cfg: &FtTridiagConfig, plan: &mut FaultPlan) -> FtTridiagOutcome {
@@ -230,6 +240,14 @@ pub fn ft_sytd2(a: &Matrix, cfg: &FtTridiagConfig, plan: &mut FaultPlan) -> FtTr
                 // were snapshotted pre-error, so refresh them to match.
                 wchk.reencode(&ax, gk);
             }
+            ft_trace::journal::record(
+                iter,
+                "recovery",
+                tridiag_protection(cfg),
+                fixes.len(),
+                mismatch,
+                out.resolved,
+            );
             report.recoveries.push(RecoveryEvent {
                 iteration: iter,
                 mismatch,
@@ -244,6 +262,7 @@ pub fn ft_sytd2(a: &Matrix, cfg: &FtTridiagConfig, plan: &mut FaultPlan) -> FtTr
         if detected {
             reencode(&mut ax, gk + glen);
             wchk.reencode(&ax, gk + glen);
+            ft_trace::journal::record(iter, "giveup", tridiag_protection(cfg), 0, f64::NAN, false);
             report.recoveries.push(RecoveryEvent {
                 iteration: iter,
                 mismatch: f64::NAN,
@@ -270,6 +289,14 @@ pub fn ft_sytd2(a: &Matrix, cfg: &FtTridiagConfig, plan: &mut FaultPlan) -> FtTr
         let fixes: Vec<(usize, usize, f64)> =
             out.errors.iter().map(|e| (e.row, e.col, e.delta)).collect();
         correct_errors(&mut ax, &out.errors);
+        ft_trace::journal::record(
+            iter,
+            "final",
+            tridiag_protection(cfg),
+            fixes.len(),
+            f64::NAN,
+            out.resolved,
+        );
         report.recoveries.push(RecoveryEvent {
             iteration: iter,
             mismatch: f64::NAN,

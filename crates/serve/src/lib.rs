@@ -49,6 +49,7 @@
 
 pub mod job;
 pub mod loadgen;
+pub mod metrics;
 /// The oneshot rendezvous is an implementation detail, but the loom
 /// suites model-check it directly, so it is public under `cfg(loom)`.
 #[cfg(loom)]
@@ -63,7 +64,8 @@ mod sync;
 
 pub use job::{FaultSpec, JobHandle, JobId, JobResult, JobSpec, JobStatus, Priority};
 pub use loadgen::{JobOutcome, LoadgenConfig, LoadgenSummary};
+pub use metrics::MetricsServer;
 pub use queue::{BoundedQueue, SubmitError};
 pub use retry::RetryPolicy;
 pub use scheduler::{Service, ServiceConfig, Shutdown};
-pub use stats::{PriorityLatency, ServiceStats};
+pub use stats::{LaneLatencies, PriorityLatency, ServiceStats};

@@ -116,10 +116,11 @@ pub struct LoadgenSummary {
     pub wall: Duration,
     /// Completed jobs per wall-clock second.
     pub throughput_jobs_per_s: f64,
-    /// Exact (sample-based, not histogram) latency summary over completed
-    /// jobs, indexed by [`Priority::index`].
+    /// Latency summary over completed jobs, indexed by
+    /// [`Priority::index`]. Built from per-client HDR histogram shards
+    /// merged at the end of the run (quantile error ≤ 2⁻⁵ relative).
     pub latency: [PriorityLatency; 3],
-    /// Exact latency summary over all completed jobs.
+    /// Latency summary over all completed jobs (same histogram basis).
     pub latency_all: PriorityLatency,
     /// Service statistics snapshot taken right after the run.
     pub service: ServiceStats,
@@ -253,24 +254,26 @@ fn outcome_of(i: usize, n: usize, injected: bool, weak: bool, r: &JobResult) -> 
     }
 }
 
-/// Exact latency summary from raw samples (sorted in place).
-fn exact_latency(samples: &mut [u64]) -> PriorityLatency {
-    if samples.is_empty() {
-        return PriorityLatency::default();
+/// Per-client latency shard: one HDR histogram per priority lane plus
+/// one over every completed job. Shards merge associatively, so the
+/// collection order across client threads does not matter.
+#[derive(Clone, Debug, Default)]
+struct LatencyShard {
+    per_prio: [ft_trace::HistSnapshot; 3],
+    all: ft_trace::HistSnapshot,
+}
+
+impl LatencyShard {
+    fn record(&mut self, priority: Priority, us: u64) {
+        self.per_prio[priority.index()].record(us);
+        self.all.record(us);
     }
-    samples.sort_unstable();
-    let count = samples.len() as u64;
-    let pick = |p: f64| -> u64 {
-        let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as usize;
-        samples[rank.min(samples.len()) - 1]
-    };
-    PriorityLatency {
-        count,
-        mean_us: samples.iter().sum::<u64>() / count,
-        p50_us: pick(50.0),
-        p95_us: pick(95.0),
-        p99_us: pick(99.0),
-        max_us: *samples.last().unwrap(),
+
+    fn merge(&mut self, other: &LatencyShard) {
+        for (mine, theirs) in self.per_prio.iter_mut().zip(&other.per_prio) {
+            mine.merge(theirs);
+        }
+        self.all.merge(&other.all);
     }
 }
 
@@ -282,28 +285,37 @@ pub fn run(service: &Service, cfg: &LoadgenConfig) -> LoadgenSummary {
     let accepted = AtomicUsize::new(0);
     let submit_errors = AtomicUsize::new(0);
     let outcomes: Mutex<Vec<JobOutcome>> = Mutex::new(Vec::with_capacity(cfg.jobs));
+    let latency: Mutex<LatencyShard> = Mutex::new(LatencyShard::default());
     let start = Instant::now();
 
     std::thread::scope(|scope| {
         for _ in 0..cfg.clients.max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cfg.jobs {
-                    break;
-                }
-                let (spec, injected, weak) = job_for_index(cfg, i);
-                let n = spec.matrix.rows();
-                match service.submit(spec, cfg.submit_timeout) {
-                    Ok(handle) => {
-                        accepted.fetch_add(1, Ordering::Relaxed);
-                        let r = handle.wait();
-                        let o = outcome_of(i, n, injected, weak, &r);
-                        outcomes.lock().unwrap().push(o);
+            scope.spawn(|| {
+                // Thread-local shard; merged once when the client drains.
+                let mut shard = LatencyShard::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cfg.jobs {
+                        break;
                     }
-                    Err(_) => {
-                        submit_errors.fetch_add(1, Ordering::Relaxed);
+                    let (spec, injected, weak) = job_for_index(cfg, i);
+                    let n = spec.matrix.rows();
+                    match service.submit(spec, cfg.submit_timeout) {
+                        Ok(handle) => {
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                            let r = handle.wait();
+                            let o = outcome_of(i, n, injected, weak, &r);
+                            if o.status == JobStatus::Completed {
+                                shard.record(o.priority, o.total_us);
+                            }
+                            outcomes.lock().unwrap().push(o);
+                        }
+                        Err(_) => {
+                            submit_errors.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 }
+                latency.lock().unwrap().merge(&shard);
             });
         }
     });
@@ -315,15 +327,7 @@ pub fn run(service: &Service, cfg: &LoadgenConfig) -> LoadgenSummary {
         .iter()
         .filter(|o| o.status == JobStatus::Completed)
         .count();
-
-    let mut per_prio: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    let mut all = Vec::with_capacity(completed);
-    for o in &outcomes {
-        if o.status == JobStatus::Completed {
-            per_prio[o.priority.index()].push(o.total_us);
-            all.push(o.total_us);
-        }
-    }
+    let shard = latency.into_inner().unwrap();
 
     LoadgenSummary {
         config: cfg.clone(),
@@ -332,11 +336,8 @@ pub fn run(service: &Service, cfg: &LoadgenConfig) -> LoadgenSummary {
         lost: accepted.saturating_sub(outcomes.len()),
         wall,
         throughput_jobs_per_s: completed as f64 / wall.as_secs_f64().max(1e-9),
-        latency: {
-            let mut it = per_prio.iter_mut();
-            std::array::from_fn(|_| exact_latency(it.next().unwrap()))
-        },
-        latency_all: exact_latency(&mut all),
+        latency: std::array::from_fn(|i| PriorityLatency::from_snapshot(&shard.per_prio[i])),
+        latency_all: PriorityLatency::from_snapshot(&shard.all),
         service: service.stats(),
         outcomes,
     }
@@ -370,15 +371,31 @@ mod tests {
     }
 
     #[test]
-    fn exact_latency_percentiles() {
-        let mut s: Vec<u64> = (1..=100).rev().collect();
-        let l = exact_latency(&mut s);
-        assert_eq!(l.count, 100);
-        assert_eq!(l.p50_us, 50);
-        assert_eq!(l.p95_us, 95);
-        assert_eq!(l.p99_us, 99);
-        assert_eq!(l.max_us, 100);
-        assert_eq!(l.mean_us, 50);
+    fn shard_merge_matches_combined_recording() {
+        // Two client shards merged must summarize identically to one
+        // shard that saw every sample (the associative-merge contract).
+        let mut a = LatencyShard::default();
+        let mut b = LatencyShard::default();
+        let mut combined = LatencyShard::default();
+        for (i, us) in (1..=100u64).enumerate() {
+            let p = Priority::ALL[i % 3];
+            if i % 2 == 0 {
+                a.record(p, us);
+            } else {
+                b.record(p, us);
+            }
+            combined.record(p, us);
+        }
+        a.merge(&b);
+        let merged = PriorityLatency::from_snapshot(&a.all);
+        let direct = PriorityLatency::from_snapshot(&combined.all);
+        assert_eq!(merged, direct);
+        assert_eq!(merged.count, 100);
+        assert_eq!(merged.max_us, 100);
+        // HDR bounds: estimate ≥ exact, within 2⁻⁵ relative above.
+        assert!(merged.p50_us >= 50 && merged.p50_us <= 52, "{merged:?}");
+        assert!(merged.p99_us >= 99 && merged.p99_us <= 102, "{merged:?}");
+        assert!(merged.p999_us >= 100 && merged.p999_us <= 104, "{merged:?}");
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Live metrics exposition: a minimal, read-only Prometheus text
+//! endpoint over a std `TcpListener`.
+//!
+//! The server is one named thread running a nonblocking accept loop.
+//! Every connection receives the same response — the current
+//! [`ft_trace::MetricsSnapshot`] rendered to Prometheus text exposition
+//! format — regardless of method or path, so there is no request
+//! parsing to get wrong and nothing a client can mutate. The accept loop
+//! polls a stop flag every 10 ms; [`MetricsServer::stop`] (and drop)
+//! sets the flag and joins the thread, bounding shutdown latency.
+//!
+//! The endpoint address comes from `FT_SERVE_METRICS_ADDR`
+//! (e.g. `127.0.0.1:9823`); binding port 0 picks an ephemeral port,
+//! reported by [`MetricsServer::local_addr`] — the test/CI idiom.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running exposition endpoint. Dropping it stops the serving thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and starts the serving thread.
+    pub fn start(addr: &str) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("ft-serve-metrics".to_string())
+            .spawn(move || accept_loop(&listener, &stop_flag))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the serving thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Best-effort: a client that disconnects mid-response is
+                // its own problem; the endpoint must keep serving.
+                let _ = respond(stream);
+            }
+            Err(_) => {
+                // WouldBlock (idle) and transient accept errors alike:
+                // sleep a poll tick and re-check the stop flag.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Writes one HTTP/1.0 response carrying the metrics snapshot.
+fn respond(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(250)))?;
+    // Drain whatever request bytes arrived; the response is the same for
+    // every method and path (read-only endpoint, nothing to parse).
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf);
+    let body = ft_trace::MetricsSnapshot::collect().to_prometheus();
+    let header = format!(
+        "HTTP/1.0 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("send");
+        let mut out = String::new();
+        s.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_prometheus_text_until_stopped() {
+        ft_trace::counter("serve.submitted").add(0); // ensure registered
+        let srv = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = srv.local_addr();
+        let resp = scrape(addr);
+        assert!(resp.starts_with("HTTP/1.0 200 OK"), "{resp}");
+        assert!(resp.contains("text/plain"), "{resp}");
+        assert!(resp.contains("# TYPE serve_submitted counter"), "{resp}");
+        // A second scrape works (the loop keeps serving)…
+        assert!(scrape(addr).contains("serve_submitted"));
+        srv.stop();
+        // …and after stop the listener is gone: the join inside `stop`
+        // dropped it, so fresh connections are refused.
+        assert!(TcpStream::connect(addr).is_err());
+    }
+}

@@ -93,6 +93,13 @@ impl<T> BoundedQueue<T> {
         self.len() == 0
     }
 
+    /// Currently queued items per priority lane, indexed by
+    /// [`Priority::index`] (the per-lane depth gauges' source).
+    pub fn lane_lens(&self) -> [usize; 3] {
+        let g = self.inner.lock().unwrap();
+        [g.lanes[0].len(), g.lanes[1].len(), g.lanes[2].len()]
+    }
+
     /// `true` once [`BoundedQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
         self.inner.lock().unwrap().closed

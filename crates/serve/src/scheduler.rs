@@ -37,6 +37,7 @@
 //! detector saw.
 
 use crate::job::{JobHandle, JobId, JobResult, JobSpec, JobStatus, QueuedJob};
+use crate::metrics::MetricsServer;
 use crate::oneshot::OneShot;
 use crate::queue::{BoundedQueue, SubmitError};
 use crate::retry::RetryPolicy;
@@ -60,6 +61,7 @@ use std::time::{Duration, Instant};
 /// | `FT_SERVE_QUEUE_CAP` | admission queue capacity | 64 |
 /// | `FT_SERVE_DEADLINE_MS` | default job deadline, ms (`0`/unset = none) | none |
 /// | `FT_SERVE_BACKEND` | per-worker kernel backend (`serial`, `threaded:N`, `threaded:auto`) | `threaded:auto` share |
+/// | `FT_SERVE_METRICS_ADDR` | Prometheus exposition bind address (e.g. `127.0.0.1:9823`; port 0 = ephemeral) | off |
 #[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// Executor worker threads; `0` means auto (min(available
@@ -77,6 +79,9 @@ pub struct ServiceConfig {
     pub worker_backend: Option<Backend>,
     /// Simulator cost model each job context is built from.
     pub cost: CostModel,
+    /// Bind address for the read-only Prometheus exposition endpoint
+    /// (`None` = no endpoint).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -88,6 +93,7 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::default(),
             worker_backend: None,
             cost: CostModel::k40c_sandy_bridge(),
+            metrics_addr: None,
         }
     }
 }
@@ -103,6 +109,7 @@ impl ServiceConfig {
                 .max(1),
             default_deadline: ft_trace::env_knob::ms_or_none("FT_SERVE_DEADLINE_MS"),
             worker_backend: ft_trace::env_knob::parse_with("FT_SERVE_BACKEND", Backend::parse),
+            metrics_addr: ft_trace::env_knob::raw("FT_SERVE_METRICS_ADDR"),
             ..base
         }
     }
@@ -161,11 +168,24 @@ pub struct Service {
     inner: Arc<ServiceInner>,
     workers: Vec<JoinHandle<()>>,
     worker_backend: Backend,
+    metrics: Option<MetricsServer>,
 }
 
 impl Service {
     /// Spawns the executor workers and opens the queue for submissions.
+    ///
+    /// Also arms the telemetry side: a panic anywhere in the process now
+    /// dumps the flight recorder (if a dump path is configured), and the
+    /// Prometheus endpoint starts when `metrics_addr` is set — a bind
+    /// failure is reported on stderr and the service runs without it
+    /// (observability must never take the service down).
     pub fn start(config: ServiceConfig) -> Service {
+        ft_trace::recorder::install_panic_dump_hook();
+        let metrics = config.metrics_addr.as_deref().and_then(|addr| {
+            MetricsServer::start(addr)
+                .map_err(|e| eprintln!("ft-serve: metrics endpoint bind {addr} failed: {e}"))
+                .ok()
+        });
         let nworkers = config.resolved_workers();
         let backend = config.resolved_worker_backend();
         let inner = Arc::new(ServiceInner {
@@ -193,6 +213,7 @@ impl Service {
             inner,
             workers,
             worker_backend: backend,
+            metrics,
         }
     }
 
@@ -209,6 +230,11 @@ impl Service {
     /// The admission queue capacity.
     pub fn queue_capacity(&self) -> usize {
         self.inner.queue.capacity()
+    }
+
+    /// The bound exposition endpoint address, when one is serving.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics.as_ref().map(|m| m.local_addr())
     }
 
     fn enqueue(
@@ -246,6 +272,7 @@ impl Service {
                     .fetch_add(1, Ordering::Relaxed);
                 hooks.submitted.incr();
                 hooks.queue_depth.set(self.inner.queue.len() as u64);
+                sync_lane_depths(&self.inner.queue);
                 Ok(handle)
             }
             Err(e) => {
@@ -280,6 +307,7 @@ impl Service {
         let c = &self.inner.counters;
         ServiceStats {
             queue_depth: self.inner.queue.len(),
+            lane_depths: self.inner.queue.lane_lens(),
             in_flight: c.in_flight.load(Ordering::Relaxed),
             submitted: c.submitted.load(Ordering::Relaxed),
             rejected: c.rejected.load(Ordering::Relaxed),
@@ -288,7 +316,8 @@ impl Service {
             retries: c.retries.load(Ordering::Relaxed),
             deadline_missed: c.deadline_missed.load(Ordering::Relaxed),
             canceled: c.canceled.load(Ordering::Relaxed),
-            latency: std::array::from_fn(|i| c.latency[i].snapshot()),
+            latency: std::array::from_fn(|i| c.latency[i].snapshot().total),
+            lanes: std::array::from_fn(|i| c.latency[i].snapshot()),
         }
     }
 
@@ -327,8 +356,15 @@ impl Service {
             }
         }
         hooks.queue_depth.set(0);
+        sync_lane_depths(&self.inner.queue);
         for h in self.workers.drain(..) {
             h.join().expect("ft-serve: executor worker panicked");
+        }
+        // Final telemetry flush: persist the flight recorder (no-op
+        // unless a dump path is configured) and stop the endpoint.
+        let _ = ft_trace::recorder::dump("shutdown");
+        if let Some(m) = self.metrics.take() {
+            m.stop();
         }
     }
 }
@@ -345,6 +381,16 @@ fn elapsed_us(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
+/// Mirrors the per-lane queue depths into the `serve.queue_depth_*`
+/// gauges (called whenever the queue's composition changes).
+fn sync_lane_depths(queue: &BoundedQueue<QueuedJob>) {
+    let hooks = trace_hooks();
+    let lens = queue.lane_lens();
+    for (gauge, len) in hooks.lane_depth.iter().zip(lens) {
+        gauge.set(len as u64);
+    }
+}
+
 /// Executes one job on the calling worker thread: deadline gate, run,
 /// escalated retries, handle fulfillment, accounting.
 fn run_job(inner: &ServiceInner, backend: Backend, job: QueuedJob) {
@@ -353,6 +399,7 @@ fn run_job(inner: &ServiceInner, backend: Backend, job: QueuedJob) {
     let in_flight = c.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
     hooks.in_flight.set(in_flight);
     hooks.queue_depth.set(inner.queue.len() as u64);
+    sync_lane_depths(&inner.queue);
 
     let QueuedJob {
         id,
@@ -361,7 +408,10 @@ fn run_job(inner: &ServiceInner, backend: Backend, job: QueuedJob) {
         submitted,
         deadline,
     } = job;
+    let lane = spec.priority.index();
     let queue_us = elapsed_us(submitted);
+    c.latency[lane].queue_wait.record(queue_us);
+    hooks.queue_wait[lane].record(queue_us);
     let mut cfg = spec.cfg;
     cfg.backend = backend;
     let mut exec = spec.exec;
@@ -373,13 +423,24 @@ fn run_job(inner: &ServiceInner, backend: Backend, job: QueuedJob) {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             break JobStatus::DeadlineMissed;
         }
+        // Every span, counter delta, and journal record below — on this
+        // thread and on any pool worker it dispatches to — is tagged
+        // with this job's id and the 0-based attempt number.
+        let _trace_ctx = ft_trace::ctx::push(ft_trace::TraceCtx {
+            job_id: id.0,
+            attempt: attempts,
+        });
         let _span = ft_trace::span!("serve.run", attempts as usize);
         let mut plan = spec.faults.materialize();
         let mut ctx = HybridCtx::new(inner.cost.clone(), exec, 2);
         ctx.set_host_parallelism(backend.threads() as f64);
+        let exec_started = Instant::now();
         let out = ft_blas::with_backend(backend, || {
             ft_gehrd_hybrid(&spec.matrix, &cfg, &mut ctx, &mut plan)
         });
+        let exec_us = elapsed_us(exec_started);
+        c.latency[lane].exec.record(exec_us);
+        hooks.exec[lane].record(exec_us);
         attempts += 1;
         report = Some(out.report);
         let Some(reason) = out.failure else {
@@ -396,6 +457,9 @@ fn run_job(inner: &ServiceInner, backend: Backend, job: QueuedJob) {
         }
         c.retries.fetch_add(1, Ordering::Relaxed);
         hooks.retries.incr();
+        let backoff_us = u64::try_from(backoff.as_micros()).unwrap_or(u64::MAX);
+        c.latency[lane].backoff.record(backoff_us);
+        hooks.backoff[lane].record(backoff_us);
         std::thread::sleep(backoff);
         let (next_cfg, next_exec) = RetryPolicy::escalate(&cfg, exec);
         cfg = next_cfg;
@@ -408,15 +472,20 @@ fn run_job(inner: &ServiceInner, backend: Backend, job: QueuedJob) {
         JobStatus::Completed => {
             c.completed.fetch_add(1, Ordering::Relaxed);
             hooks.completed.incr();
-            c.latency[spec.priority.index()].record(total_us);
+            c.latency[lane].total.record(total_us);
+            hooks.latency[lane].record(total_us);
         }
         JobStatus::Failed(_) => {
             c.failed.fetch_add(1, Ordering::Relaxed);
             hooks.failed.incr();
+            // Unrecoverable job: persist the flight recorder while the
+            // evidence is still in the rings (no-op without a dump path).
+            let _ = ft_trace::recorder::dump("job_failed");
         }
         JobStatus::DeadlineMissed => {
             c.deadline_missed.fetch_add(1, Ordering::Relaxed);
             hooks.deadline_missed.incr();
+            let _ = ft_trace::recorder::dump("deadline_missed");
         }
         // Cancellation happens on the shutdown path, never in a worker.
         JobStatus::Canceled => unreachable!("workers never cancel"),

@@ -1,14 +1,25 @@
-//! Service observability: internal atomics for the per-instance snapshot,
-//! mirrored into the process-wide `ft-trace` registry (`serve.*` counters
-//! and gauges) so the service shows up next to `pool.*`/`ft.*` in traces
-//! and counter dumps.
+//! Service observability: internal atomics and HDR latency histograms
+//! for the per-instance snapshot, mirrored into the process-wide
+//! `ft-trace` registry (`serve.*` counters, gauges, and histograms) so
+//! the service shows up next to `pool.*`/`ft.*` in traces, counter
+//! dumps, and the Prometheus exposition endpoint.
+//!
+//! Latency is accounted as four HDR histograms per priority lane
+//! (`ft_trace::Histogram`, ≤ 2⁻⁵ relative quantile error): end-to-end
+//! latency plus its three components — queue wait, execution, and retry
+//! backoff wait. Every observation lands twice: in the instance-owned
+//! histogram (the [`ServiceStats`] snapshot source, isolated per
+//! service) and in the registry histogram of the same name (the
+//! process-wide exposition source).
 
 use crate::job::Priority;
-use std::sync::atomic::{AtomicU64, Ordering};
+use ft_trace::{HistSnapshot, Histogram};
+use std::sync::atomic::AtomicU64;
 use std::sync::OnceLock;
 
 /// Cached `serve.*` registry handles (one mutex-guarded lookup each,
-/// then plain pointers — the registry idiom from `ft-trace`).
+/// then plain pointers — the registry idiom from `ft-trace`). Histogram
+/// and lane-gauge arrays are indexed by [`Priority::index`].
 pub(crate) struct TraceHooks {
     pub submitted: &'static ft_trace::Counter,
     pub rejected: &'static ft_trace::Counter,
@@ -18,7 +29,12 @@ pub(crate) struct TraceHooks {
     pub deadline_missed: &'static ft_trace::Counter,
     pub canceled: &'static ft_trace::Counter,
     pub queue_depth: &'static ft_trace::Gauge,
+    pub lane_depth: [&'static ft_trace::Gauge; 3],
     pub in_flight: &'static ft_trace::Gauge,
+    pub latency: [&'static Histogram; 3],
+    pub queue_wait: [&'static Histogram; 3],
+    pub exec: [&'static Histogram; 3],
+    pub backoff: [&'static Histogram; 3],
 }
 
 pub(crate) fn trace_hooks() -> &'static TraceHooks {
@@ -32,82 +48,72 @@ pub(crate) fn trace_hooks() -> &'static TraceHooks {
         deadline_missed: ft_trace::counter("serve.deadline_missed"),
         canceled: ft_trace::counter("serve.canceled"),
         queue_depth: ft_trace::gauge("serve.queue_depth"),
+        lane_depth: [
+            ft_trace::gauge("serve.queue_depth_high"),
+            ft_trace::gauge("serve.queue_depth_normal"),
+            ft_trace::gauge("serve.queue_depth_low"),
+        ],
         in_flight: ft_trace::gauge("serve.in_flight"),
+        latency: [
+            ft_trace::histogram("serve.latency_high"),
+            ft_trace::histogram("serve.latency_normal"),
+            ft_trace::histogram("serve.latency_low"),
+        ],
+        queue_wait: [
+            ft_trace::histogram("serve.queue_wait_high"),
+            ft_trace::histogram("serve.queue_wait_normal"),
+            ft_trace::histogram("serve.queue_wait_low"),
+        ],
+        exec: [
+            ft_trace::histogram("serve.exec_high"),
+            ft_trace::histogram("serve.exec_normal"),
+            ft_trace::histogram("serve.exec_low"),
+        ],
+        backoff: [
+            ft_trace::histogram("serve.backoff_high"),
+            ft_trace::histogram("serve.backoff_normal"),
+            ft_trace::histogram("serve.backoff_low"),
+        ],
     })
 }
 
-/// Log₂-bucketed latency histogram, microsecond domain. 40 buckets cover
-/// 1 µs … ~18 minutes; percentile estimates return the upper edge of the
-/// selected bucket (a ≤2× overestimate, which is plenty for a service
-/// snapshot — the load generator keeps exact samples for reporting).
+/// The four instance-owned latency histograms of one priority lane.
 #[derive(Debug)]
-pub(crate) struct LatencyHistogram {
-    buckets: [AtomicU64; Self::BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-    max_us: AtomicU64,
+pub(crate) struct LaneHistograms {
+    pub total: Histogram,
+    pub queue_wait: Histogram,
+    pub exec: Histogram,
+    pub backoff: Histogram,
 }
 
-impl LatencyHistogram {
-    const BUCKETS: usize = 40;
-
-    pub fn new() -> LatencyHistogram {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-            max_us: AtomicU64::new(0),
+impl LaneHistograms {
+    const fn new(
+        total: &'static str,
+        queue_wait: &'static str,
+        exec: &'static str,
+        backoff: &'static str,
+    ) -> LaneHistograms {
+        LaneHistograms {
+            total: Histogram::new(total),
+            queue_wait: Histogram::new(queue_wait),
+            exec: Histogram::new(exec),
+            backoff: Histogram::new(backoff),
         }
     }
 
-    fn bucket(us: u64) -> usize {
-        // Bucket b holds latencies in (2^(b−1), 2^b] µs; bucket 0 holds 0–1.
-        (64 - us.leading_zeros() as usize).min(Self::BUCKETS - 1)
-    }
-
-    pub fn record(&self, us: u64) {
-        self.buckets[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Upper-edge estimate of the `p`-th percentile (0 < p ≤ 100).
-    fn percentile_us(&self, p: f64) -> u64 {
-        let total = self.count.load(Ordering::Relaxed);
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (b, slot) in self.buckets.iter().enumerate() {
-            seen += slot.load(Ordering::Relaxed);
-            if seen >= rank {
-                return if b == 0 { 1 } else { 1u64 << b };
-            }
-        }
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    pub fn snapshot(&self) -> PriorityLatency {
-        let count = self.count.load(Ordering::Relaxed);
-        PriorityLatency {
-            count,
-            mean_us: self
-                .sum_us
-                .load(Ordering::Relaxed)
-                .checked_div(count)
-                .unwrap_or(0),
-            p50_us: self.percentile_us(50.0),
-            p95_us: self.percentile_us(95.0),
-            p99_us: self.percentile_us(99.0),
-            max_us: self.max_us.load(Ordering::Relaxed),
+    pub(crate) fn snapshot(&self) -> LaneLatencies {
+        LaneLatencies {
+            total: PriorityLatency::from_snapshot(&self.total.snapshot()),
+            queue_wait: PriorityLatency::from_snapshot(&self.queue_wait.snapshot()),
+            exec: PriorityLatency::from_snapshot(&self.exec.snapshot()),
+            backoff: PriorityLatency::from_snapshot(&self.backoff.snapshot()),
         }
     }
 }
 
-/// Latency snapshot for one priority class (histogram-derived; percentile
-/// fields are upper-edge estimates of the underlying log₂ buckets).
+/// Latency snapshot for one priority class. Percentile fields are HDR
+/// estimates: never below the exact sorted-sample quantile and at most
+/// ≈ 3.1 % (2⁻⁵ relative) above it.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PriorityLatency {
     /// Completed observations.
@@ -120,8 +126,39 @@ pub struct PriorityLatency {
     pub p95_us: u64,
     /// 99th-percentile estimate, µs.
     pub p99_us: u64,
+    /// 99.9th-percentile estimate, µs.
+    pub p999_us: u64,
     /// Exact maximum, µs.
     pub max_us: u64,
+}
+
+impl PriorityLatency {
+    /// Summarizes one histogram snapshot.
+    pub fn from_snapshot(s: &HistSnapshot) -> PriorityLatency {
+        PriorityLatency {
+            count: s.count,
+            mean_us: s.mean() as u64,
+            p50_us: s.quantile(0.50),
+            p95_us: s.quantile(0.95),
+            p99_us: s.quantile(0.99),
+            p999_us: s.quantile(0.999),
+            max_us: s.max,
+        }
+    }
+}
+
+/// The per-lane latency breakdown: end-to-end plus its three components.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneLatencies {
+    /// Submit-to-terminal latency of completed jobs.
+    pub total: PriorityLatency,
+    /// Admission-to-pickup wait (one observation per executed job).
+    pub queue_wait: PriorityLatency,
+    /// Kernel execution time (one observation per executed run — retries
+    /// observe once per attempt).
+    pub exec: PriorityLatency,
+    /// Retry backoff sleeps (one observation per backoff wait).
+    pub backoff: PriorityLatency,
 }
 
 /// Internal counter block (the snapshot source).
@@ -135,7 +172,7 @@ pub(crate) struct ServiceCounters {
     pub deadline_missed: AtomicU64,
     pub canceled: AtomicU64,
     pub in_flight: AtomicU64,
-    pub latency: [LatencyHistogram; 3],
+    pub latency: [LaneHistograms; 3],
 }
 
 impl ServiceCounters {
@@ -150,9 +187,24 @@ impl ServiceCounters {
             canceled: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             latency: [
-                LatencyHistogram::new(),
-                LatencyHistogram::new(),
-                LatencyHistogram::new(),
+                LaneHistograms::new(
+                    "serve.latency_high",
+                    "serve.queue_wait_high",
+                    "serve.exec_high",
+                    "serve.backoff_high",
+                ),
+                LaneHistograms::new(
+                    "serve.latency_normal",
+                    "serve.queue_wait_normal",
+                    "serve.exec_normal",
+                    "serve.backoff_normal",
+                ),
+                LaneHistograms::new(
+                    "serve.latency_low",
+                    "serve.queue_wait_low",
+                    "serve.exec_low",
+                    "serve.backoff_low",
+                ),
             ],
         }
     }
@@ -163,6 +215,8 @@ impl ServiceCounters {
 pub struct ServiceStats {
     /// Jobs currently queued (admitted, not yet picked up).
     pub queue_depth: usize,
+    /// Per-lane queued jobs, indexed by [`Priority::index`].
+    pub lane_depths: [usize; 3],
     /// Jobs currently executing (including retry backoff waits).
     pub in_flight: u64,
     /// Jobs admitted since start.
@@ -179,8 +233,13 @@ pub struct ServiceStats {
     pub deadline_missed: u64,
     /// Jobs canceled by an abort shutdown.
     pub canceled: u64,
-    /// Per-priority completion latency, indexed by [`Priority::index`].
+    /// Per-priority completion latency, indexed by [`Priority::index`]
+    /// (the `total` component of [`ServiceStats::lanes`], kept flat for
+    /// the common consumer).
     pub latency: [PriorityLatency; 3],
+    /// Per-priority latency breakdown (total / queue wait / execution /
+    /// backoff), indexed by [`Priority::index`].
+    pub lanes: [LaneLatencies; 3],
 }
 
 impl ServiceStats {
@@ -194,6 +253,11 @@ impl ServiceStats {
     pub fn latency_of(&self, p: Priority) -> &PriorityLatency {
         &self.latency[p.index()]
     }
+
+    /// Latency breakdown of one priority class.
+    pub fn lanes_of(&self, p: Priority) -> &LaneLatencies {
+        &self.lanes[p.index()]
+    }
 }
 
 #[cfg(test)]
@@ -201,35 +265,42 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_percentiles_bracket_samples() {
-        let h = LatencyHistogram::new();
+    fn lane_snapshot_brackets_samples() {
+        let lanes = LaneHistograms::new("t.total", "t.queue", "t.exec", "t.backoff");
         for us in 1..=1000u64 {
-            h.record(us);
+            lanes.total.record(us);
         }
-        let s = h.snapshot();
-        assert_eq!(s.count, 1000);
-        assert_eq!(s.max_us, 1000);
-        // Upper-edge estimates: within 2× above the exact percentile and
-        // never below it.
-        assert!(s.p50_us >= 500 && s.p50_us <= 1024, "{s:?}");
-        assert!(s.p95_us >= 950 && s.p95_us <= 2048, "{s:?}");
-        assert!(s.p99_us >= 990 && s.p99_us <= 2048, "{s:?}");
-        assert!(s.mean_us >= 400 && s.mean_us <= 600, "{s:?}");
+        lanes.queue_wait.record(7);
+        let s = lanes.snapshot();
+        assert_eq!(s.total.count, 1000);
+        assert_eq!(s.total.max_us, 1000);
+        // HDR estimates: never below the exact percentile, ≤ 2⁻⁵ above.
+        assert!(s.total.p50_us >= 500 && s.total.p50_us <= 516, "{s:?}");
+        assert!(s.total.p95_us >= 950 && s.total.p95_us <= 980, "{s:?}");
+        assert!(s.total.p99_us >= 990 && s.total.p99_us <= 1000, "{s:?}");
+        assert!(s.total.p999_us >= 999 && s.total.p999_us <= 1000, "{s:?}");
+        assert!(s.total.mean_us >= 400 && s.total.mean_us <= 600, "{s:?}");
+        assert_eq!(s.queue_wait.count, 1);
+        assert_eq!(s.queue_wait.max_us, 7);
+        assert_eq!(s.exec, PriorityLatency::default());
+        assert_eq!(s.backoff, PriorityLatency::default());
     }
 
     #[test]
-    fn empty_histogram_is_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.snapshot(), PriorityLatency::default());
+    fn empty_lane_is_default() {
+        let lanes = LaneHistograms::new("e.total", "e.queue", "e.exec", "e.backoff");
+        assert_eq!(lanes.snapshot(), LaneLatencies::default());
     }
 
     #[test]
-    fn bucket_edges() {
-        assert_eq!(LatencyHistogram::bucket(0), 0);
-        assert_eq!(LatencyHistogram::bucket(1), 1);
-        assert_eq!(LatencyHistogram::bucket(2), 2);
-        assert_eq!(LatencyHistogram::bucket(3), 2);
-        assert_eq!(LatencyHistogram::bucket(4), 3);
-        assert_eq!(LatencyHistogram::bucket(u64::MAX), 39);
+    fn hooks_register_every_lane_histogram() {
+        let hooks = trace_hooks();
+        for i in 0..3 {
+            assert!(hooks.latency[i].name().starts_with("serve.latency_"));
+            assert!(hooks.queue_wait[i].name().starts_with("serve.queue_wait_"));
+            assert!(hooks.exec[i].name().starts_with("serve.exec_"));
+            assert!(hooks.backoff[i].name().starts_with("serve.backoff_"));
+            assert!(hooks.lane_depth[i].name().starts_with("serve.queue_depth_"));
+        }
     }
 }

@@ -1,0 +1,180 @@
+//! The structured fault audit journal.
+//!
+//! Every recovery episode the FT driver resolves (or fails to resolve)
+//! lands here as one [`JournalRecord`] tagged with the ambient trace
+//! context — job id, attempt, iteration, FT phase, and the protection
+//! level that was active. The journal is the input stream the planned
+//! adaptive-protection policy consumes (ROADMAP item 4), it is appended
+//! to every flight-recorder dump, and [`crate::to_jsonl`]'s callers can
+//! render it alongside span events.
+//!
+//! Memory is bounded: the journal keeps the most recent
+//! [`CAPACITY`] records and drops the oldest beyond that (the same
+//! drop-oldest policy as the flight recorder). Records are tiny and
+//! recovery is rare — hitting the bound at all means a fault storm, and
+//! the retained tail is exactly the part a post-mortem wants.
+
+#[cfg(feature = "enabled")]
+use crate::ctx;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Maximum records retained (drop-oldest beyond this).
+pub const CAPACITY: usize = 4096;
+
+/// One recovery / correction episode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalRecord {
+    /// Record time, µs since the trace epoch.
+    pub ts_us: f64,
+    /// Owning job, if a trace context was installed.
+    pub job_id: Option<u64>,
+    /// Attempt number from the trace context (0 when absent).
+    pub attempt: u32,
+    /// Panel iteration the episode occurred in.
+    pub iteration: usize,
+    /// Which driver phase recorded it: `"recovery"` (in-iteration
+    /// correction), `"giveup"` (budget exhausted, re-encode), or
+    /// `"final"` (whole-matrix post-check).
+    pub phase: &'static str,
+    /// Active protection level, e.g. `"full+q"` (see the FT driver).
+    pub protection: &'static str,
+    /// Number of corrected elements.
+    pub corrected: usize,
+    /// Checksum mismatch magnitude that triggered the episode (NaN when
+    /// the driver gave up without a localized mismatch).
+    pub mismatch: f64,
+    /// Whether the episode left the factorization consistent.
+    pub resolved: bool,
+}
+
+static JOURNAL: Mutex<VecDeque<JournalRecord>> = Mutex::new(VecDeque::new());
+
+/// Appends one record, stamping it with the calling thread's trace
+/// context, and mirrors it into the flight recorder. No-op without the
+/// `enabled` feature.
+pub fn record(
+    iteration: usize,
+    phase: &'static str,
+    protection: &'static str,
+    corrected: usize,
+    mismatch: f64,
+    resolved: bool,
+) {
+    #[cfg(feature = "enabled")]
+    {
+        let c = ctx::current();
+        let rec = JournalRecord {
+            ts_us: crate::clock::now_us(),
+            job_id: c.map(|c| c.job_id),
+            attempt: c.map(|c| c.attempt).unwrap_or(0),
+            iteration,
+            phase,
+            protection,
+            corrected,
+            mismatch,
+            resolved,
+        };
+        crate::recorder::note_recovery("ft.recoveries", corrected as u64);
+        let mut j = JOURNAL.lock().unwrap();
+        if j.len() >= CAPACITY {
+            j.pop_front();
+        }
+        j.push_back(rec);
+    }
+    #[cfg(not(feature = "enabled"))]
+    let _ = (iteration, phase, protection, corrected, mismatch, resolved);
+}
+
+/// A copy of the retained records, oldest first.
+pub fn snapshot() -> Vec<JournalRecord> {
+    JOURNAL.lock().unwrap().iter().cloned().collect()
+}
+
+/// Drops every retained record (test isolation).
+pub fn clear() {
+    JOURNAL.lock().unwrap().clear();
+}
+
+/// Renders one record as a single JSONL object (no trailing newline).
+/// Non-finite mismatches render as `null` — JSON has no NaN.
+pub fn to_jsonl_line(rec: &JournalRecord) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"journal\":{");
+    let _ = write!(out, "\"ts_us\":{:.3}", rec.ts_us);
+    if let Some(j) = rec.job_id {
+        let _ = write!(out, ",\"job\":{j}");
+    }
+    let _ = write!(
+        out,
+        ",\"attempt\":{},\"iteration\":{},\"phase\":\"{}\",\"protection\":\"{}\",\"corrected\":{}",
+        rec.attempt,
+        rec.iteration,
+        crate::writer::json_escape(rec.phase),
+        crate::writer::json_escape(rec.protection),
+        rec.corrected,
+    );
+    if rec.mismatch.is_finite() {
+        let _ = write!(out, ",\"mismatch\":{:e}", rec.mismatch);
+    } else {
+        out.push_str(",\"mismatch\":null");
+    }
+    let _ = write!(out, ",\"resolved\":{}}}}}", rec.resolved);
+    out
+}
+
+/// Renders records as JSON Lines.
+pub fn to_jsonl(records: &[JournalRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        out.push_str(&to_jsonl_line(rec));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    // One combined test: the journal is process-global state, so the
+    // context and bounding assertions must not run concurrently.
+    #[test]
+    fn records_carry_ambient_context_and_journal_is_bounded() {
+        clear();
+        let g = ctx::push(ctx::TraceCtx {
+            job_id: 41,
+            attempt: 2,
+        });
+        record(3, "recovery", "full", 2, 1.5e-9, true);
+        drop(g);
+        record(9, "final", "full", 0, f64::NAN, false);
+        let recs = snapshot();
+        let with_ctx = recs
+            .iter()
+            .find(|r| r.job_id == Some(41))
+            .expect("context-tagged record present");
+        assert_eq!(with_ctx.attempt, 2);
+        assert_eq!(with_ctx.phase, "recovery");
+        let line = to_jsonl_line(with_ctx);
+        assert!(line.starts_with("{\"journal\":{"));
+        assert!(line.contains("\"job\":41"));
+        assert!(line.contains("\"attempt\":2"));
+        assert!(line.contains("\"resolved\":true"));
+        let bare = recs
+            .iter()
+            .find(|r| r.phase == "final")
+            .expect("bare record");
+        assert_eq!(bare.job_id, None);
+        assert!(to_jsonl_line(bare).contains("\"mismatch\":null"));
+
+        clear();
+        for i in 0..(CAPACITY + 10) {
+            record(i, "recovery", "full", 1, 0.0, true);
+        }
+        let recs = snapshot();
+        assert_eq!(recs.len(), CAPACITY);
+        assert_eq!(recs[0].iteration, 10, "oldest records dropped first");
+        clear();
+    }
+}

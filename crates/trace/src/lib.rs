@@ -28,13 +28,24 @@
 //!
 //! | value            | behavior                                           |
 //! |------------------|----------------------------------------------------|
-//! | unset / `off`/`0`| collection off — span construction is one atomic load |
+//! | unset / `off`/`0`| sink off — span construction is one atomic load |
 //! | `summary` / `1`  | collect; [`finish`] prints an aggregate table to stderr |
 //! | `jsonl:<path>`   | collect; [`finish`] writes one JSON object per event |
 //! | `chrome:<path>`  | collect; [`finish`] writes a `chrome://tracing` / Perfetto file |
+//! | `prom:<path>`    | sink off; [`finish`] writes a Prometheus metrics snapshot |
 //!
 //! The mode is parsed once, on first use; tests and benches can override it
 //! programmatically with [`set_mode`].
+//!
+//! Independent of the sink, the [`recorder`] flight recorder retains the
+//! last N span/counter/recovery events in bounded per-thread rings
+//! (`FT_TRACE_RECORDER=<events>[,dump:<path>]`, on by default) for
+//! post-mortem dumps; the [`ctx`] module carries job/attempt trace
+//! context across pool dispatch, the [`journal`] records fault recovery
+//! episodes, and [`metrics::MetricsSnapshot`] exposes the whole registry
+//! (counters, gauges, [`hist`] HDR histograms) for live exposition. With
+//! both the sink and the recorder off, span construction is still a
+//! single relaxed atomic load ([`recording`]).
 //!
 //! # Compile-time gate: the `enabled` cargo feature
 //!
@@ -63,13 +74,21 @@
 //!   [`counter`] / [`gauge`] by `ft-serve`).
 
 pub mod clock;
+pub mod ctx;
 pub mod env_knob;
+pub mod hist;
+pub mod journal;
+pub mod metrics;
 pub mod names;
+pub mod recorder;
 mod registry;
 mod span;
 mod writer;
 
-pub use registry::{counter, counters, gauge, gauges, Counter, Gauge};
+pub use ctx::TraceCtx;
+pub use hist::{HistSnapshot, Histogram, SUB_BITS};
+pub use metrics::MetricsSnapshot;
+pub use registry::{counter, counters, gauge, gauges, histogram, histograms, Counter, Gauge};
 pub use span::{
     current_tid, events_since, mark, record_sim, span_event_count, take_events, totals, Event,
     SpanGuard, SpanTotal,
@@ -91,6 +110,10 @@ pub enum TraceMode {
     Jsonl(PathBuf),
     /// Collect events; [`finish`] writes a `chrome://tracing` JSON file.
     Chrome(PathBuf),
+    /// No span collection; [`finish`] writes a Prometheus text-format
+    /// snapshot of every counter/gauge/histogram (the file-dump twin of
+    /// `ft-serve`'s live `FT_SERVE_METRICS_ADDR` endpoint).
+    Prom(PathBuf),
 }
 
 impl TraceMode {
@@ -106,14 +129,17 @@ impl TraceMode {
             TraceMode::Jsonl(PathBuf::from(p))
         } else if let Some(p) = t.strip_prefix("chrome:") {
             TraceMode::Chrome(PathBuf::from(p))
+        } else if let Some(p) = t.strip_prefix("prom:") {
+            TraceMode::Prom(PathBuf::from(p))
         } else {
             TraceMode::Off
         }
     }
 
-    /// `true` if this mode collects span events.
+    /// `true` if this mode collects span events ([`TraceMode::Prom`]
+    /// does not: metrics snapshots read the always-on registry).
     pub fn collects(&self) -> bool {
-        !matches!(self, TraceMode::Off)
+        !matches!(self, TraceMode::Off | TraceMode::Prom(_))
     }
 }
 
@@ -124,6 +150,10 @@ mod gate {
     use std::sync::Mutex;
 
     pub(super) static COLLECT: AtomicBool = AtomicBool::new(false);
+    /// Sink collection OR flight recorder: the single hot-path gate.
+    /// When both are off, span construction is one relaxed load of this
+    /// atomic — the same one-load contract the sink alone used to have.
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
     static INITTED: AtomicBool = AtomicBool::new(false);
     static MODE: Mutex<Option<TraceMode>> = Mutex::new(None);
 
@@ -136,7 +166,16 @@ mod gate {
             COLLECT.store(parsed.collects(), Ordering::Relaxed);
             *m = Some(parsed);
         }
+        super::recorder::ensure_init();
+        recompute_active();
         INITTED.store(true, Ordering::Release);
+    }
+
+    pub(super) fn recompute_active() {
+        ACTIVE.store(
+            COLLECT.load(Ordering::Relaxed) || super::recorder::is_on_raw(),
+            Ordering::Relaxed,
+        );
     }
 
     #[inline]
@@ -147,6 +186,14 @@ mod gate {
         COLLECT.load(Ordering::Relaxed)
     }
 
+    #[inline]
+    pub(super) fn recording() -> bool {
+        if !INITTED.load(Ordering::Acquire) {
+            init_from_env();
+        }
+        ACTIVE.load(Ordering::Relaxed)
+    }
+
     pub(super) fn mode() -> TraceMode {
         enabled();
         MODE.lock().unwrap().clone().unwrap_or_default()
@@ -155,6 +202,8 @@ mod gate {
     pub(super) fn set_mode(mode: TraceMode) {
         COLLECT.store(mode.collects(), Ordering::Relaxed);
         *MODE.lock().unwrap() = Some(mode);
+        super::recorder::ensure_init();
+        recompute_active();
         INITTED.store(true, Ordering::Release);
     }
 }
@@ -171,6 +220,28 @@ pub fn enabled() -> bool {
     {
         false
     }
+}
+
+/// `true` when *anything* retains span events — the `FT_TRACE` sink or
+/// the flight recorder. This is the guard constructors' hot-path check:
+/// one relaxed atomic load once initialized, whichever consumers are on.
+#[inline]
+pub fn recording() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        gate::recording()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+/// Recomputes the combined recording gate after a recorder reconfigure
+/// (crate-internal; [`set_mode`] and the gate's init do it themselves).
+pub(crate) fn refresh_recording_gate() {
+    #[cfg(feature = "enabled")]
+    gate::recompute_active();
 }
 
 /// The active trace mode (initialized from `FT_TRACE` on first use).
@@ -221,6 +292,10 @@ pub fn finish() -> std::io::Result<Option<PathBuf>> {
             std::fs::write(&path, to_chrome_json(&take_events()))?;
             Ok(Some(path))
         }
+        TraceMode::Prom(path) => {
+            std::fs::write(&path, MetricsSnapshot::collect().to_prometheus())?;
+            Ok(Some(path))
+        }
     }
 }
 
@@ -263,6 +338,10 @@ mod tests {
             TraceMode::parse("chrome:trace.json"),
             TraceMode::Chrome(PathBuf::from("trace.json"))
         );
+        assert_eq!(
+            TraceMode::parse("prom:metrics.prom"),
+            TraceMode::Prom(PathBuf::from("metrics.prom"))
+        );
         assert_eq!(TraceMode::parse("bogus"), TraceMode::Off);
     }
 
@@ -272,5 +351,9 @@ mod tests {
         assert!(TraceMode::Summary.collects());
         assert!(TraceMode::Jsonl(PathBuf::from("x")).collects());
         assert!(TraceMode::Chrome(PathBuf::from("x")).collects());
+        assert!(
+            !TraceMode::Prom(PathBuf::from("x")).collects(),
+            "prom snapshots read the always-on registry, not the span sink"
+        );
     }
 }

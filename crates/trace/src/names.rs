@@ -29,14 +29,38 @@ pub const COUNTERS: &[&str] = &[
     "serve.rejected",
     "serve.retries",
     "serve.submitted",
+    "trace.recorder.dropped",
     "workspace.growth",
 ];
 
-/// Every gauge name the workspace records.
+/// Every gauge name the workspace records. The `serve.queue_depth_*`
+/// family is per priority lane; bare `serve.queue_depth` is the total.
 pub const GAUGES: &[&str] = &[
     "pool.async_inflight",
     "serve.in_flight",
     "serve.queue_depth",
+    "serve.queue_depth_high",
+    "serve.queue_depth_low",
+    "serve.queue_depth_normal",
+    "trace.recorder.occupancy",
+];
+
+/// Every histogram name the workspace records: four per priority lane —
+/// end-to-end latency plus its queue-wait / execution / backoff-wait
+/// decomposition (all in µs, recorded by `ft-serve` on job completion).
+pub const HISTOGRAMS: &[&str] = &[
+    "serve.backoff_high",
+    "serve.backoff_low",
+    "serve.backoff_normal",
+    "serve.exec_high",
+    "serve.exec_low",
+    "serve.exec_normal",
+    "serve.latency_high",
+    "serve.latency_low",
+    "serve.latency_normal",
+    "serve.queue_wait_high",
+    "serve.queue_wait_low",
+    "serve.queue_wait_normal",
 ];
 
 /// Every span name the workspace opens. The `ft.*` entries are the
@@ -84,11 +108,12 @@ mod tests {
         assert_sorted_unique(COUNTERS, "counter");
         assert_sorted_unique(GAUGES, "gauge");
         assert_sorted_unique(SPANS, "span");
+        assert_sorted_unique(HISTOGRAMS, "histogram");
     }
 
     #[test]
     fn names_are_dot_separated_lowercase() {
-        for name in COUNTERS.iter().chain(GAUGES).chain(SPANS) {
+        for name in COUNTERS.iter().chain(GAUGES).chain(SPANS).chain(HISTOGRAMS) {
             assert!(
                 name.chars()
                     .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),

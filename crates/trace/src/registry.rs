@@ -36,10 +36,17 @@ impl Counter {
     }
 
     /// Adds `n` (relaxed; compiled out with the `enabled` feature off).
+    /// When the flight recorder is on, the delta is also retained as a
+    /// counter event attributable to the ambient trace context.
     #[inline]
     pub fn add(&self, n: u64) {
         #[cfg(feature = "enabled")]
-        self.value.fetch_add(n, Ordering::Relaxed);
+        {
+            self.value.fetch_add(n, Ordering::Relaxed);
+            if crate::recorder::is_on() {
+                crate::recorder::note_counter(self.name, n);
+            }
+        }
         #[cfg(not(feature = "enabled"))]
         let _ = n;
     }
@@ -129,11 +136,15 @@ impl Gauge {
 static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
 #[cfg(feature = "enabled")]
 static GAUGES: Mutex<Vec<&'static Gauge>> = Mutex::new(Vec::new());
+#[cfg(feature = "enabled")]
+static HISTOGRAMS: Mutex<Vec<&'static crate::hist::Histogram>> = Mutex::new(Vec::new());
 
 #[cfg(not(feature = "enabled"))]
 static DUMMY_COUNTER: Counter = Counter::new("disabled");
 #[cfg(not(feature = "enabled"))]
 static DUMMY_GAUGE: Gauge = Gauge::new("disabled");
+#[cfg(not(feature = "enabled"))]
+static DUMMY_HISTOGRAM: crate::hist::Histogram = crate::hist::Histogram::new("disabled");
 
 /// Returns the process-wide counter named `name`, registering it on first
 /// use. The reference is `'static` — cache it at hot call sites.
@@ -175,6 +186,27 @@ pub fn gauge(name: &'static str) -> &'static Gauge {
     }
 }
 
+/// Returns the process-wide histogram named `name`, registering it on
+/// first use. The reference is `'static` — cache it at hot call sites.
+pub fn histogram(name: &'static str) -> &'static crate::hist::Histogram {
+    #[cfg(feature = "enabled")]
+    {
+        let mut reg = HISTOGRAMS.lock().unwrap();
+        if let Some(h) = reg.iter().find(|h| h.name() == name) {
+            return h;
+        }
+        let h: &'static crate::hist::Histogram =
+            Box::leak(Box::new(crate::hist::Histogram::new(name)));
+        reg.push(h);
+        h
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = name;
+        &DUMMY_HISTOGRAM
+    }
+}
+
 /// Snapshot of every registered counter as `(name, value)`, registration
 /// order.
 pub fn counters() -> Vec<(&'static str, u64)> {
@@ -202,6 +234,23 @@ pub fn gauges() -> Vec<(&'static str, u64)> {
             .unwrap()
             .iter()
             .map(|g| (g.name, g.get()))
+            .collect()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Snapshot of every registered histogram as `(name, snapshot)`.
+pub fn histograms() -> Vec<(&'static str, crate::hist::HistSnapshot)> {
+    #[cfg(feature = "enabled")]
+    {
+        HISTOGRAMS
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|h| (h.name(), h.snapshot()))
             .collect()
     }
     #[cfg(not(feature = "enabled"))]

@@ -30,6 +30,9 @@ pub struct Event {
     pub start_us: f64,
     /// Duration in microseconds.
     pub dur_us: f64,
+    /// Ambient trace context (job + attempt) at record time, when the
+    /// recording thread was working for a service job.
+    pub ctx: Option<crate::ctx::TraceCtx>,
 }
 
 static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
@@ -62,10 +65,13 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
-    /// Opens a span named `name` with an optional integer payload.
+    /// Opens a span named `name` with an optional integer payload. The
+    /// guard is live when *anything* is recording — the `FT_TRACE` sink
+    /// or the flight recorder; [`crate::recording`] is the single
+    /// atomic load both share.
     #[inline]
     pub fn new(name: &'static str, arg: Option<i64>) -> SpanGuard {
-        if crate::enabled() {
+        if crate::recording() {
             SpanGuard {
                 name,
                 arg,
@@ -87,14 +93,22 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if self.active {
             let end = now_us();
-            push(Event {
-                name: self.name,
-                cat: "wall",
-                arg: self.arg,
-                tid: current_tid(),
-                start_us: self.start_us,
-                dur_us: (end - self.start_us).max(0.0),
-            });
+            let dur_us = (end - self.start_us).max(0.0);
+            let tid = current_tid();
+            if crate::recorder::is_on_raw() {
+                crate::recorder::note_span(self.name, self.arg, tid, self.start_us, dur_us);
+            }
+            if crate::enabled() {
+                push(Event {
+                    name: self.name,
+                    cat: "wall",
+                    arg: self.arg,
+                    tid,
+                    start_us: self.start_us,
+                    dur_us,
+                    ctx: crate::ctx::current(),
+                });
+            }
         }
     }
 }
@@ -115,6 +129,7 @@ pub fn record_sim(name: &'static str, lane: u64, start_us: f64, dur_us: f64) {
             tid: lane,
             start_us,
             dur_us,
+            ctx: None,
         });
     }
 }
@@ -198,6 +213,7 @@ mod tests {
                 tid: 1,
                 start_us: 0.0,
                 dur_us: 2.0,
+                ctx: None,
             },
             Event {
                 name: "b",
@@ -206,6 +222,7 @@ mod tests {
                 tid: 1,
                 start_us: 2.0,
                 dur_us: 1.0,
+                ctx: None,
             },
             Event {
                 name: "a",
@@ -214,6 +231,7 @@ mod tests {
                 tid: 2,
                 start_us: 3.0,
                 dur_us: 4.0,
+                ctx: None,
             },
         ];
         let t = totals(&evs);

@@ -9,7 +9,7 @@ use crate::span::{totals, Event};
 use std::fmt::Write as _;
 
 /// Escapes `s` for inclusion inside a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -73,8 +73,15 @@ pub fn to_chrome_json(events: &[Event]) -> String {
             ts = us(ev.start_us),
             dur = us(ev.dur_us),
         );
+        let mut args: Vec<String> = Vec::new();
         if let Some(a) = ev.arg {
-            let _ = write!(out, ",\"args\":{{\"arg\":{a}}}");
+            args.push(format!("\"arg\":{a}"));
+        }
+        if let Some(c) = ev.ctx {
+            args.push(format!("\"job\":{},\"attempt\":{}", c.job_id, c.attempt));
+        }
+        if !args.is_empty() {
+            let _ = write!(out, ",\"args\":{{{}}}", args.join(","));
         }
         out.push('}');
         max_end = max_end.max(ev.start_us + ev.dur_us);
@@ -119,6 +126,9 @@ pub fn to_jsonl(events: &[Event]) -> String {
         );
         if let Some(a) = ev.arg {
             let _ = write!(out, ",\"arg\":{a}");
+        }
+        if let Some(c) = ev.ctx {
+            let _ = write!(out, ",\"job\":{},\"attempt\":{}", c.job_id, c.attempt);
         }
         out.push_str("}\n");
     }
@@ -201,6 +211,7 @@ mod tests {
                 tid: 1,
                 start_us: 0.0,
                 dur_us: 12.5,
+                ctx: None,
             },
             Event {
                 name: "device",
@@ -209,6 +220,7 @@ mod tests {
                 tid: 2,
                 start_us: 5.0,
                 dur_us: 7.0,
+                ctx: None,
             },
         ]
     }

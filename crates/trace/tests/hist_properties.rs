@@ -1,0 +1,140 @@
+//! Property tests pinning the two contracts the HDR histogram is used
+//! for:
+//!
+//! 1. **bounded quantile error**: against the exact sorted-sample
+//!    quantile of any input, the reported value never under-reports and
+//!    over-reports by at most `2^-SUB_BITS` relative (one sub-bucket
+//!    width), including on adversarial distributions — heavy ties,
+//!    power-law tails, values straddling bucket-group edges;
+//! 2. **merge algebra**: per-bucket addition is associative and
+//!    commutative, and merging shard-local snapshots is
+//!    indistinguishable from recording everything into one histogram —
+//!    the contract loadgen's per-client shards and the serve stats
+//!    double-recording rest on.
+
+use ft_trace::{HistSnapshot, SUB_BITS};
+use proptest::prelude::*;
+
+/// Exact quantile of a sorted sample at the same rank convention the
+/// histogram uses (`⌈q·n⌉`, 1-based, clamped).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// The documented bound: reported ≥ exact, and reported ≤ exact plus one
+/// sub-bucket width (`exact / 2^SUB_BITS + 1` absorbs integer-edge
+/// rounding for small values).
+fn assert_within_bound(reported: u64, exact: u64, q: f64) {
+    assert!(
+        reported >= exact,
+        "quantile({q}) = {reported} under-reports exact {exact}"
+    );
+    let slack = exact / (1u64 << SUB_BITS) + 1;
+    assert!(
+        reported - exact <= slack,
+        "quantile({q}) = {reported} exceeds exact {exact} by more than {slack}"
+    );
+}
+
+/// Adversarial value generator: uniform small values, exact
+/// bucket-group edges (powers of two ± 1), and a heavy log-uniform tail
+/// up to `u64::MAX / 2`.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..128,
+        (5u32..62).prop_flat_map(|e| {
+            let base = 1u64 << e;
+            prop_oneof![Just(base - 1), Just(base), Just(base + 1)]
+        }),
+        (0u32..63).prop_flat_map(|e| (1u64 << e)..(1u64 << e).saturating_mul(2)),
+    ]
+}
+
+proptest! {
+    /// Every reported quantile of every input distribution stays inside
+    /// the documented relative-error envelope.
+    #[test]
+    fn quantile_error_is_bounded(
+        values in proptest::collection::vec(value_strategy(), 1..512),
+    ) {
+        let mut h = HistSnapshot::new();
+        let mut sorted = values.clone();
+        for &v in &values {
+            h.record(v);
+        }
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count, values.len() as u64);
+        prop_assert_eq!(h.max, *sorted.last().unwrap());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            assert_within_bound(h.quantile(q), exact_quantile(&sorted, q), q);
+        }
+    }
+
+    /// Merging shards in any association is exactly recording everything
+    /// into one histogram: ((a ∪ b) ∪ c) = (a ∪ (b ∪ c)) = direct.
+    #[test]
+    fn merge_is_associative_and_matches_direct_recording(
+        a in proptest::collection::vec(value_strategy(), 0..64),
+        b in proptest::collection::vec(value_strategy(), 0..64),
+        c in proptest::collection::vec(value_strategy(), 0..64),
+    ) {
+        let shard = |vals: &[u64]| {
+            let mut h = HistSnapshot::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (shard(&a), shard(&b), shard(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        let mut direct = HistSnapshot::new();
+        for &v in a.iter().chain(&b).chain(&c) {
+            direct.record(v);
+        }
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &direct);
+
+        // Commutativity on the two-shard case.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+    }
+
+    /// The quantile of a merged snapshot obeys the same error bound as a
+    /// directly recorded one (merging loses no precision).
+    #[test]
+    fn merged_quantiles_stay_bounded(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(value_strategy(), 1..64), 1..8),
+    ) {
+        let mut merged = HistSnapshot::new();
+        let mut all: Vec<u64> = Vec::new();
+        for shard in &shards {
+            let mut h = HistSnapshot::new();
+            for &v in shard {
+                h.record(v);
+                all.push(v);
+            }
+            merged.merge(&h);
+        }
+        all.sort_unstable();
+        prop_assert_eq!(merged.count, all.len() as u64);
+        for q in [0.5, 0.95, 0.99, 0.999] {
+            assert_within_bound(merged.quantile(q), exact_quantile(&all, q), q);
+        }
+    }
+}

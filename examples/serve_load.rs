@@ -9,13 +9,64 @@
 //! Knobs (all via the shared `env_knob` parsing — unset/empty = default):
 //! `FT_SERVE_WORKERS`, `FT_SERVE_QUEUE_CAP`, `FT_SERVE_DEADLINE_MS`
 //! configure the service; `SERVE_LOAD_JOBS` / `SERVE_LOAD_CLIENTS`
-//! scale the mix.
+//! scale the mix. With `FT_SERVE_METRICS_ADDR` set the run also scrapes
+//! the live Prometheus endpoint and fails if any exposed family does
+//! not resolve against the declared `names.rs` registry; with
+//! `FT_TRACE_RECORDER=<events>,dump:<path>` it forces a flight-recorder
+//! dump at the end of the load (the CI artifact).
 //!
 //! Run with: `cargo run --release --example serve_load`
 
 use ft_hess_repro::serve::{loadgen, JobStatus, LoadgenConfig, Service, ServiceConfig, Shutdown};
-use ft_hess_repro::trace::env_knob;
+use ft_hess_repro::trace::{env_knob, names, recorder};
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+/// One GET against the exposition endpoint, returning the response body.
+fn scrape(addr: SocketAddr) -> std::io::Result<String> {
+    let mut s = TcpStream::connect(addr)?;
+    s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    let mut out = String::new();
+    s.read_to_string(&mut out)?;
+    match out.split_once("\r\n\r\n") {
+        Some((_headers, body)) => Ok(body.to_string()),
+        None => Err(std::io::Error::other("malformed HTTP response")),
+    }
+}
+
+/// Scrapes the endpoint and checks every `# TYPE` family against the
+/// declared registry, returning violation strings.
+fn validate_scrape(addr: SocketAddr) -> Vec<String> {
+    let declared: BTreeSet<String> = names::COUNTERS
+        .iter()
+        .chain(names::GAUGES)
+        .chain(names::HISTOGRAMS)
+        .map(|n| n.replace('.', "_"))
+        .collect();
+    let body = match scrape(addr) {
+        Ok(b) => b,
+        Err(e) => return vec![format!("metrics scrape at {addr} failed: {e}")],
+    };
+    let mut violations = Vec::new();
+    let mut families = 0;
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            families += 1;
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if !declared.contains(name) {
+                violations.push(format!("scraped family {name} is not declared in names.rs"));
+            }
+        }
+    }
+    if families == 0 {
+        violations.push("metrics scrape exposed no families".to_string());
+    } else {
+        println!("metrics scrape: {families} families at {addr}, all declared");
+    }
+    violations
+}
 
 fn main() {
     let service_cfg = ServiceConfig::from_env();
@@ -48,6 +99,20 @@ fn main() {
     );
 
     let summary = loadgen::run(&service, &cfg);
+
+    // Scrape the live endpoint (if configured) while the service is
+    // still up, then force a flight-recorder dump of the run's tail
+    // (written only when FT_TRACE_RECORDER configured a dump path).
+    let mut scrape_violations = Vec::new();
+    if let Some(addr) = service.metrics_addr() {
+        scrape_violations = validate_scrape(addr);
+    }
+    match recorder::dump("load-complete") {
+        Ok(Some(path)) => println!("flight recorder dumped to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("flight recorder dump failed: {e}"),
+    }
+
     let stats = service.shutdown(Shutdown::Drain);
 
     let completed = summary.count(|o| o.status == JobStatus::Completed);
@@ -69,23 +134,24 @@ fn main() {
     println!("  weak (retry path)  {weak}, rescued by escalation {rescued}");
     println!("service retries      {}", stats.retries);
     println!();
-    println!("== latency (completed jobs, exact) ==");
+    println!("== latency (completed jobs, HDR, ≤ 2⁻⁵ relative error) ==");
     let l = &summary.latency_all;
     println!(
-        "all: n={} mean={}us p50={}us p95={}us p99={}us max={}us",
-        l.count, l.mean_us, l.p50_us, l.p95_us, l.p99_us, l.max_us
+        "all: n={} mean={}us p50={}us p95={}us p99={}us p99.9={}us max={}us",
+        l.count, l.mean_us, l.p50_us, l.p95_us, l.p99_us, l.p999_us, l.max_us
     );
     for p in ft_hess_repro::serve::Priority::ALL {
         let l = &summary.latency[p.index()];
         if l.count > 0 {
             println!(
-                "{:>6}: n={} mean={}us p50={}us p95={}us p99={}us",
+                "{:>6}: n={} mean={}us p50={}us p95={}us p99={}us p99.9={}us",
                 p.name(),
                 l.count,
                 l.mean_us,
                 l.p50_us,
                 l.p95_us,
-                l.p99_us
+                l.p99_us,
+                l.p999_us
             );
         }
     }
@@ -98,6 +164,7 @@ fn main() {
     // The hard checks CI keys off: the generic service contract, plus the
     // mix-specific guarantees of this load shape.
     let mut violations = summary.violations();
+    violations.extend(scrape_violations);
     if summary.accepted != cfg.jobs {
         violations.push(format!(
             "accepted {} of {} jobs (closed loop with generous timeout must admit all)",

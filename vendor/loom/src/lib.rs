@@ -46,9 +46,12 @@
 //!
 //! # Divergences from real loom
 //!
-//! * **Sequential consistency only.** No atomics API and no weak-memory
-//!   modeling; this checker explores interleavings of mutex/condvar
-//!   programs, which is exactly what the shimmed crates use.
+//! * **Sequential consistency only.** [`sync::atomic`] provides the
+//!   atomic types the shimmed crates model (the `ft-trace` recorder's
+//!   seqlock ring), but every operation is explored under sequential
+//!   consistency — there is no weak-memory modeling, and `Ordering`
+//!   arguments are ignored. Protocols verified here are SC-correct;
+//!   their Acquire/Release annotations must be argued separately.
 //! * **FIFO condvar wakeup, no spurious wakeups.** `notify_one` wakes the
 //!   longest-waiting thread. Code relying on *which* waiter wakes would be
 //!   under-tested; the shimmed code never does (all waits sit in

@@ -196,3 +196,109 @@ impl fmt::Debug for Condvar {
         f.debug_struct("Condvar").finish_non_exhaustive()
     }
 }
+
+/// Model-checked drop-ins for `std::sync::atomic` under sequential
+/// consistency.
+///
+/// Every operation is a scheduling point: the scheduler may preempt the
+/// calling thread immediately before the access, which is exactly the
+/// interleaving freedom a sequentially consistent atomic grants. Memory
+/// `Ordering` arguments are accepted for API compatibility and ignored —
+/// this checker does not model weak memory, so code that is correct here
+/// is correct under SC only (the `ft-trace` recorder's seqlock protocol
+/// is designed to be SC-correct and strengthened by its Acquire/Release
+/// pairs on real hardware).
+pub mod atomic {
+    use crate::rt::current;
+    pub use std::sync::atomic::Ordering;
+
+    /// Memory fence. A no-op under the sequentially consistent model —
+    /// every modeled atomic op is already SeqCst — but kept as a
+    /// scheduling-neutral marker so fenced code compiles unchanged.
+    pub fn fence(_order: Ordering) {}
+    use std::sync::atomic::{
+        AtomicBool as StdAtomicBool, AtomicU64 as StdAtomicU64, AtomicUsize as StdAtomicUsize,
+    };
+
+    macro_rules! atomic {
+        ($name:ident, $std:ident, $ty:ty) => {
+            /// Model-checked atomic; see the module docs for semantics.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                v: $std,
+            }
+
+            impl $name {
+                /// A new atomic holding `v`. Construction is not a
+                /// scheduling point (matches `std`'s `const fn new`).
+                pub fn new(v: $ty) -> $name {
+                    $name { v: $std::new(v) }
+                }
+
+                fn sched(&self) {
+                    let (rt, me) = current();
+                    rt.yield_point(me);
+                }
+
+                /// Atomic load (scheduling point; ordering ignored).
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    self.sched();
+                    self.v.load(Ordering::SeqCst)
+                }
+
+                /// Atomic store (scheduling point; ordering ignored).
+                pub fn store(&self, val: $ty, _order: Ordering) {
+                    self.sched();
+                    self.v.store(val, Ordering::SeqCst)
+                }
+
+                /// Atomic swap (scheduling point; ordering ignored).
+                pub fn swap(&self, val: $ty, _order: Ordering) -> $ty {
+                    self.sched();
+                    self.v.swap(val, Ordering::SeqCst)
+                }
+
+                /// Atomic compare-exchange (scheduling point; orderings
+                /// ignored).
+                pub fn compare_exchange(
+                    &self,
+                    cur: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.sched();
+                    self.v
+                        .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    atomic!(AtomicU64, StdAtomicU64, u64);
+    atomic!(AtomicUsize, StdAtomicUsize, usize);
+    atomic!(AtomicBool, StdAtomicBool, bool);
+
+    macro_rules! atomic_arith {
+        ($name:ident, $ty:ty) => {
+            impl $name {
+                /// Atomic add, returning the previous value (scheduling
+                /// point; ordering ignored).
+                pub fn fetch_add(&self, val: $ty, _order: Ordering) -> $ty {
+                    self.sched();
+                    self.v.fetch_add(val, Ordering::SeqCst)
+                }
+
+                /// Atomic max, returning the previous value (scheduling
+                /// point; ordering ignored).
+                pub fn fetch_max(&self, val: $ty, _order: Ordering) -> $ty {
+                    self.sched();
+                    self.v.fetch_max(val, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    atomic_arith!(AtomicU64, u64);
+    atomic_arith!(AtomicUsize, usize);
+}
