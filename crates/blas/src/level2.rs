@@ -145,6 +145,7 @@ fn axpy_col_avx2(s: f64, src: &[f64], dst: &mut [f64]) {
     axpy_col_scalar(s, &src[i..len], &mut dst[i..len]);
 }
 
+// ft-check: hot
 /// ISA dispatch for the column update; `isa` is resolved once per entry
 /// point so pool workers inherit the caller's SIMD override.
 #[inline]
@@ -202,6 +203,7 @@ fn dot_cols_avx2(a: &MatView<'_>, j0: usize, x: &[f64], alpha: f64, ychunk: &mut
     dot_cols_scalar(a, j0 + jj, x, alpha, &mut ychunk[jj..]);
 }
 
+// ft-check: hot
 /// ISA dispatch for the `gemv^T` dot block.
 #[inline]
 fn dot_cols(isa: Isa, a: &MatView<'_>, j0: usize, x: &[f64], alpha: f64, ychunk: &mut [f64]) {

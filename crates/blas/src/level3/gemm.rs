@@ -204,6 +204,7 @@ pub(super) fn scale_c(beta: f64, c: &mut MatViewMut<'_>) {
     }
 }
 
+// ft-check: hot
 /// Packs a `mc × kc` block of `op(A)` into row-panels of height `MR`,
 /// zero-padding the ragged edge. The online-ABFT column sums are *not*
 /// fused here — `AbftSink::accum_asum` re-reads the packed (cache-hot)
@@ -234,6 +235,7 @@ pub(super) fn pack_a(
     }
 }
 
+// ft-check: hot
 /// Packs a `kc × nc` block of `op(B)` into column-panels of width `NR`,
 /// zero-padding the ragged edge. The online-ABFT row sums are *not*
 /// fused here — `AbftSink::accum_bsum` re-reads the packed (cache-hot)

@@ -299,6 +299,7 @@ fn avx2_tile(
     }
 }
 
+// ft-check: hot
 /// Dispatches one `h × w` tile update (`h ≤ MR`, `w ≤ NR`) at
 /// `C(i0.., j0..)` from packed panels for one `kc` block.
 #[allow(clippy::too_many_arguments)]

@@ -1,0 +1,501 @@
+//! Intra-workspace call graph by path-resolved name approximation.
+//!
+//! From each function body we extract *call sites* (free calls, method
+//! calls, macro invocations, turbofish forms), then resolve them to
+//! workspace functions by name with a conservative policy: same file
+//! first, then unique-in-crate, then unique-in-workspace, and method
+//! calls only when the name is workspace-unique and not a common std
+//! method. Anything ambiguous resolves to nothing — the semantic rules
+//! built on this graph (FTC008 hot-path allocation, FTC011 panic
+//! reachability) prefer missing an edge to inventing one, and say so in
+//! their documentation.
+
+use crate::items::{FileItems, FnItem};
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Callee name (last path segment; macro name without `!`).
+    pub name: String,
+    /// The path segment before the name (`Vec` in `Vec::new`,
+    /// `env_knob` in `env_knob::flag`).
+    pub qualifier: Option<String>,
+    /// `true` for `receiver.name(...)` method syntax.
+    pub method: bool,
+    /// `true` for `name!(...)` macro syntax.
+    pub is_macro: bool,
+    /// 0-based line of the callee name token.
+    pub line: u32,
+    /// 0-based column of the callee name token.
+    pub col: u32,
+}
+
+/// Keywords that look like `ident (` but are not calls.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "in"
+            | "as"
+            | "move"
+            | "else"
+            | "unsafe"
+            | "fn"
+            | "let"
+            | "mut"
+            | "ref"
+            | "impl"
+            | "where"
+            | "pub"
+            | "use"
+            | "break"
+            | "continue"
+            | "await"
+            | "yield"
+            | "dyn"
+            | "box"
+    )
+}
+
+/// Extracts the call sites in the token range `(open, close)`
+/// (exclusive of the braces themselves).
+pub fn calls_in(toks: &[Tok], open: usize, close: usize) -> Vec<Call> {
+    let mut out = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident || is_keyword(&t.text) {
+            k += 1;
+            continue;
+        }
+        let prev = k.checked_sub(1).map(|p| &toks[p]);
+        let method = prev.is_some_and(|p| p.is_punct("."));
+        let qualifier = if prev.is_some_and(|p| p.is_punct("::")) {
+            k.checked_sub(2)
+                .map(|q| &toks[q])
+                .filter(|q| q.kind == TokKind::Ident)
+                .map(|q| q.text.clone())
+        } else {
+            None
+        };
+        let Some(next) = toks.get(k + 1) else { break };
+        // Macro call: `name!(…)`, `name![…]`, `name!{…}`.
+        if next.is_punct("!") {
+            if toks
+                .get(k + 2)
+                .is_some_and(|t| t.is_punct("(") || t.is_punct("[") || t.is_punct("{"))
+            {
+                out.push(Call {
+                    name: t.text.clone(),
+                    qualifier,
+                    method: false,
+                    is_macro: true,
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+            k += 2;
+            continue;
+        }
+        // Plain call: `name(…)`.
+        if next.is_punct("(") {
+            // `Name(` directly after `::` *could* be a tuple-variant
+            // constructor; treating it as a call is harmless (variants
+            // never resolve to fns).
+            out.push(Call {
+                name: t.text.clone(),
+                qualifier,
+                method,
+                is_macro: false,
+                line: t.line,
+                col: t.col,
+            });
+            k += 1;
+            continue;
+        }
+        // Turbofish: `name::<T>(…)`.
+        if next.is_punct("::") && toks.get(k + 2).is_some_and(|t| t.is_punct("<")) {
+            let mut depth = 0i32;
+            let mut j = k + 2;
+            while j < close {
+                let tj = &toks[j];
+                if tj.is_punct("<") {
+                    depth += 1;
+                } else if tj.is_punct(">") && !toks[j - 1].is_punct("-") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if toks.get(j + 1).is_some_and(|t| t.is_punct("(")) {
+                out.push(Call {
+                    name: t.text.clone(),
+                    qualifier,
+                    method,
+                    is_macro: false,
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+            k = j + 1;
+            continue;
+        }
+        k += 1;
+    }
+    out
+}
+
+/// A function reference: indices into the workspace model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FnRef {
+    /// Index of the file in the model.
+    pub file: usize,
+    /// Index of the fn within that file's items.
+    pub fn_idx: usize,
+}
+
+/// One analyzed file: path, tokens, items, and per-fn call sites.
+pub struct FileModel {
+    /// Repo-relative path.
+    pub rel: String,
+    /// Lexed source.
+    pub lexed: Lexed,
+    /// Parsed items.
+    pub items: FileItems,
+    /// Call sites per fn (same indexing as `items.fns`).
+    pub calls: Vec<Vec<Call>>,
+    /// Raw source lines (for annotation rules that read layout, like
+    /// FTC003's SAFETY-comment walk).
+    pub lines: Vec<String>,
+}
+
+impl FileModel {
+    /// Builds the model for one file.
+    pub fn new(rel: String, source: &str) -> FileModel {
+        let lexed = crate::lexer::lex(source);
+        let items = crate::items::parse(&lexed);
+        let calls = items
+            .fns
+            .iter()
+            .map(|f| match f.body {
+                Some((open, close)) => calls_in(&lexed.toks, open, close),
+                None => Vec::new(),
+            })
+            .collect();
+        FileModel {
+            rel,
+            lexed,
+            items,
+            calls,
+            lines: source.lines().map(str::to_string).collect(),
+        }
+    }
+
+    /// The crate prefix of this file (`crates/blas` for
+    /// `crates/blas/src/pool.rs`; the leading directory otherwise).
+    pub fn crate_prefix(&self) -> &str {
+        if let Some(pos) = self.rel.find("/src/") {
+            &self.rel[..pos]
+        } else {
+            self.rel.split('/').next().unwrap_or(&self.rel)
+        }
+    }
+
+    /// File stem (`pool` for `crates/blas/src/pool.rs`), used to match
+    /// module-qualified calls like `pool::run`.
+    pub fn stem(&self) -> &str {
+        self.rel
+            .rsplit('/')
+            .next()
+            .and_then(|f| f.strip_suffix(".rs"))
+            .unwrap_or("")
+    }
+}
+
+/// Method names too common to resolve by global uniqueness: these are
+/// std/container vocabulary where a workspace fn sharing the name is
+/// almost never the callee.
+fn is_common_method(name: &str) -> bool {
+    matches!(
+        name,
+        "new"
+            | "clone"
+            | "default"
+            | "len"
+            | "is_empty"
+            | "get"
+            | "set"
+            | "push"
+            | "pop"
+            | "insert"
+            | "remove"
+            | "iter"
+            | "next"
+            | "lock"
+            | "unwrap"
+            | "expect"
+            | "drop"
+            | "into"
+            | "from"
+            | "as_ref"
+            | "as_mut"
+            | "to_string"
+            | "to_vec"
+            | "collect"
+            | "wait"
+            | "notify_one"
+            | "notify_all"
+            | "join"
+            | "send"
+            | "recv"
+            | "take"
+            | "min"
+            | "max"
+            | "abs"
+            | "clear"
+            | "contains"
+            | "record"
+            | "incr"
+            | "fmt"
+            | "write"
+            | "read"
+            | "run"
+            | "start"
+            | "stop"
+            | "close"
+            | "index"
+    )
+}
+
+/// The workspace call graph: a name index plus a resolver.
+pub struct Graph<'a> {
+    files: &'a [FileModel],
+    /// name → every fn with that name.
+    by_name: std::collections::HashMap<&'a str, Vec<FnRef>>,
+}
+
+impl<'a> Graph<'a> {
+    /// Indexes every fn in the model by name.
+    pub fn build(files: &'a [FileModel]) -> Graph<'a> {
+        let mut by_name: std::collections::HashMap<&str, Vec<FnRef>> =
+            std::collections::HashMap::new();
+        for (fi, fm) in files.iter().enumerate() {
+            for (ki, f) in fm.items.fns.iter().enumerate() {
+                by_name.entry(f.name.as_str()).or_default().push(FnRef {
+                    file: fi,
+                    fn_idx: ki,
+                });
+            }
+        }
+        Graph { files, by_name }
+    }
+
+    /// The fn item behind a reference.
+    pub fn item(&self, r: FnRef) -> &FnItem {
+        &self.files[r.file].items.fns[r.fn_idx]
+    }
+
+    /// Resolves one call site from `from_file` to a workspace fn, or
+    /// `None` when ambiguous (the conservative default).
+    pub fn resolve(&self, call: &Call, from_file: usize) -> Option<FnRef> {
+        if call.is_macro {
+            return None;
+        }
+        let cands = self.by_name.get(call.name.as_str())?;
+        if call.method {
+            // Method calls resolve only by global uniqueness, and never
+            // for common std vocabulary.
+            if cands.len() == 1 && !is_common_method(&call.name) {
+                return Some(cands[0]);
+            }
+            return None;
+        }
+        if let Some(q) = &call.qualifier {
+            // `Type::name` — inherent methods of a workspace type.
+            let typed: Vec<&FnRef> = cands
+                .iter()
+                .filter(|r| self.item(**r).self_ty.as_deref() == Some(q.as_str()))
+                .collect();
+            if typed.len() == 1 && !is_common_method(&call.name) {
+                return Some(*typed[0]);
+            }
+            // `module::name` — the module file's stem.
+            let in_mod: Vec<&FnRef> = cands
+                .iter()
+                .filter(|r| self.files[r.file].stem() == q)
+                .collect();
+            if in_mod.len() == 1 {
+                return Some(*in_mod[0]);
+            }
+            // `ft_crate::name` — crate-qualified free fn.
+            let crate_dir = q.replace('_', "-");
+            let crate_dir = crate_dir.strip_prefix("ft-").unwrap_or(&crate_dir);
+            let in_crate: Vec<&FnRef> = cands
+                .iter()
+                .filter(|r| {
+                    self.files[r.file]
+                        .crate_prefix()
+                        .rsplit('/')
+                        .next()
+                        .is_some_and(|c| c == crate_dir)
+                })
+                .collect();
+            if in_crate.len() == 1 {
+                return Some(*in_crate[0]);
+            }
+            // `self::name` / `crate::name` fall through to the
+            // unqualified policy below.
+            if q != "self" && q != "crate" && q != "super" {
+                return None;
+            }
+        }
+        // Same file, then unique in crate, then unique in workspace.
+        let same_file: Vec<&FnRef> = cands.iter().filter(|r| r.file == from_file).collect();
+        if let [one] = same_file.as_slice() {
+            return Some(**one);
+        }
+        if same_file.len() > 1 {
+            return None;
+        }
+        let prefix = self.files[from_file].crate_prefix();
+        let same_crate: Vec<&FnRef> = cands
+            .iter()
+            .filter(|r| self.files[r.file].crate_prefix() == prefix)
+            .collect();
+        if let [one] = same_crate.as_slice() {
+            return Some(**one);
+        }
+        if same_crate.len() > 1 {
+            return None;
+        }
+        if cands.len() == 1 {
+            return Some(cands[0]);
+        }
+        None
+    }
+
+    /// Breadth-first reachability from `root` over resolved call edges,
+    /// up to `max_depth` hops (`usize::MAX` for the full closure, which
+    /// the visited set keeps finite). Returns `(fn, depth)` pairs, root
+    /// included at depth 0.
+    pub fn reachable(&self, root: FnRef, max_depth: usize) -> Vec<(FnRef, usize)> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut frontier = vec![root];
+        seen.insert(root);
+        let mut depth = 0usize;
+        while !frontier.is_empty() && depth <= max_depth {
+            let mut next = Vec::new();
+            for r in frontier {
+                out.push((r, depth));
+                if depth == max_depth {
+                    continue;
+                }
+                for call in &self.files[r.file].calls[r.fn_idx] {
+                    if let Some(callee) = self.resolve(call, r.file) {
+                        if seen.insert(callee) {
+                            next.push(callee);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+            depth += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(rel: &str, src: &str) -> FileModel {
+        FileModel::new(rel.to_string(), src)
+    }
+
+    #[test]
+    fn extracts_free_method_macro_and_turbofish_calls() {
+        let fm = model(
+            "crates/x/src/lib.rs",
+            "fn f() { helper(); obj.method(); panic!(\"x\"); parse::<u32>(\"1\"); v.collect::<Vec<_>>(); }\nfn helper() {}\n",
+        );
+        let names: Vec<(String, bool, bool)> = fm.calls[0]
+            .iter()
+            .map(|c| (c.name.clone(), c.method, c.is_macro))
+            .collect();
+        assert!(names.contains(&("helper".into(), false, false)));
+        assert!(names.contains(&("method".into(), true, false)));
+        assert!(names.contains(&("panic".into(), false, true)));
+        assert!(names.contains(&("parse".into(), false, false)));
+        assert!(names.contains(&("collect".into(), true, false)));
+    }
+
+    #[test]
+    fn resolution_prefers_same_file_then_unique() {
+        let files = vec![
+            model(
+                "crates/a/src/lib.rs",
+                "fn top() { shared(); only_b(); }\nfn shared() {}\n",
+            ),
+            model("crates/b/src/lib.rs", "fn shared() {}\nfn only_b() {}\n"),
+        ];
+        let g = Graph::build(&files);
+        let calls = &files[0].calls[0];
+        let shared = calls.iter().find(|c| c.name == "shared").unwrap();
+        let only_b = calls.iter().find(|c| c.name == "only_b").unwrap();
+        assert_eq!(g.resolve(shared, 0), Some(FnRef { file: 0, fn_idx: 1 }));
+        assert_eq!(g.resolve(only_b, 0), Some(FnRef { file: 1, fn_idx: 1 }));
+    }
+
+    #[test]
+    fn ambiguous_methods_do_not_resolve() {
+        let files = vec![model(
+            "crates/a/src/lib.rs",
+            "fn f() { x.record(0); }\nstruct R;\nimpl R { fn record(&self, v: u64) {} }\n",
+        )];
+        let g = Graph::build(&files);
+        let call = files[0].calls[0]
+            .iter()
+            .find(|c| c.name == "record")
+            .unwrap();
+        assert_eq!(
+            g.resolve(call, 0),
+            None,
+            "common method names stay unresolved"
+        );
+    }
+
+    #[test]
+    fn module_qualified_calls_resolve_by_stem() {
+        let files = vec![
+            model("crates/a/src/lib.rs", "fn f() { pool::run_it(); }\n"),
+            model("crates/a/src/pool.rs", "pub fn run_it() {}\n"),
+        ];
+        let g = Graph::build(&files);
+        let call = &files[0].calls[0][0];
+        assert_eq!(call.qualifier.as_deref(), Some("pool"));
+        assert_eq!(g.resolve(call, 0), Some(FnRef { file: 1, fn_idx: 0 }));
+    }
+
+    #[test]
+    fn reachability_is_depth_bounded() {
+        let files = vec![model(
+            "crates/a/src/lib.rs",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() { d(); }\nfn d() {}\n",
+        )];
+        let g = Graph::build(&files);
+        let root = FnRef { file: 0, fn_idx: 0 };
+        let two = g.reachable(root, 2);
+        assert_eq!(two.len(), 3, "a, b, c at depths 0..=2: {two:?}");
+        let all = g.reachable(root, usize::MAX);
+        assert_eq!(all.len(), 4);
+    }
+}

@@ -1,0 +1,575 @@
+//! A hand-rolled Rust lexer producing a real token stream with spans.
+//!
+//! This replaces the PR-5 line-oriented stripping scanner: instead of
+//! blanking comments and literal contents in place, the lexer emits
+//! typed tokens (identifiers, string/char/numeric literals, lifetimes,
+//! punctuation) with `line:col` positions, and keeps comments in a side
+//! list so rules that read annotations (`SAFETY`, `// ft-check: hot`)
+//! still see them. Because a rule that looks for the identifier
+//! `unwrap` only ever sees *identifier tokens*, the old false-positive
+//! class — rule-shaped text inside doc comments and string literals —
+//! is structurally impossible.
+//!
+//! Deliberately not a full parser and still dependency-free (no `syn`):
+//! the token grammar below covers everything the workspace's rules need,
+//! including nested block comments, raw strings (`r#"…"#`, `br"…"`),
+//! byte strings, raw identifiers (`r#fn`), lifetimes vs char literals,
+//! and numeric literals with underscores/exponents/suffixes. `::` is
+//! merged into a single path-separator token; all other punctuation is
+//! one token per character.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `unwrap`, …). Raw
+    /// identifiers (`r#type`) lex as the bare name.
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`), without the quote.
+    Lifetime,
+    /// String literal; `text` is the inner content with escape
+    /// sequences left as written (`\n` stays two chars).
+    Str,
+    /// Raw string literal (`r"…"`, `r#"…"#`, `br"…"`); inner content.
+    RawStr,
+    /// Byte-string literal (`b"…"`); inner content.
+    ByteStr,
+    /// Char or byte-char literal (`'x'`, `b'\n'`); inner content.
+    Char,
+    /// Numeric literal, suffix included (`1_000u64`, `0x1f`, `1e-3`).
+    Num,
+    /// Punctuation. One char per token, except `::` which is merged.
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what each kind stores).
+    pub text: String,
+    /// 0-based source line of the token's first character.
+    pub line: u32,
+    /// 0-based column (in chars) of the token's first character. For
+    /// string literals this is the opening quote (or the `r`/`b`
+    /// prefix).
+    pub col: u32,
+}
+
+impl Tok {
+    /// `true` when this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// `true` when this is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+}
+
+/// A comment, kept out of the token stream but retained for
+/// annotation-reading rules.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text without the delimiters (`//`, `///`, `/* */`).
+    pub text: String,
+    /// 0-based line of the comment opener.
+    pub line: u32,
+    /// 0-based column of the comment opener.
+    pub col: u32,
+    /// Last 0-based line the comment spans (equals `line` for `//`).
+    pub end_line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-trivia tokens, in source order.
+    pub toks: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 0;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens and comments. Never fails: unexpected
+/// bytes become single-char punctuation, unterminated literals run to
+/// end of file — a linter must degrade, not crash, on odd input.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: source.chars().collect(),
+        i: 0,
+        line: 0,
+        col: 0,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                col,
+                end_line: line,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            let mut text = String::new();
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push_str("/*");
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        if depth > 0 {
+                            text.push_str("*/");
+                        }
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some(ch), _) => {
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                col,
+                end_line: cur.line,
+            });
+            continue;
+        }
+        // Raw strings and byte strings: r"…", r#"…"#, b"…", br#"…"#.
+        if c == 'r' || c == 'b' {
+            if let Some(tok) = try_prefixed_literal(&mut cur, line, col) {
+                out.toks.push(tok);
+                continue;
+            }
+        }
+        // Identifiers and keywords (incl. raw idents).
+        if is_ident_start(c) {
+            // `r#ident` raw identifier: skip the prefix.
+            if c == 'r' && cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+                cur.bump();
+                cur.bump();
+            }
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    text.push(ch);
+                    cur.bump();
+                    // Exponent sign: 1e-3, 2E+5.
+                    if (ch == 'e' || ch == 'E')
+                        && !text.starts_with("0x")
+                        && matches!(cur.peek(0), Some('+') | Some('-'))
+                        && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        text.push(cur.bump().unwrap_or('+'));
+                    }
+                } else if ch == '.'
+                    && cur.peek(1).is_some_and(|d| d.is_ascii_digit())
+                    && !text.contains('.')
+                {
+                    // Fractional part — but not `1..2` or `1.method()`.
+                    text.push(ch);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            cur.bump();
+            let text = cooked_string_body(&mut cur);
+            out.toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by a quote right after.
+            let next = cur.peek(1);
+            let is_lifetime =
+                next.is_some_and(is_ident_start) && next != Some('\\') && cur.peek(2) != Some('\'');
+            if is_lifetime {
+                cur.bump(); // '
+                let mut text = String::new();
+                while let Some(ch) = cur.peek(0) {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    text.push(ch);
+                    cur.bump();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                cur.bump(); // '
+                let mut text = String::new();
+                while let Some(ch) = cur.peek(0) {
+                    if ch == '\\' {
+                        text.push(ch);
+                        cur.bump();
+                        if let Some(esc) = cur.bump() {
+                            text.push(esc);
+                        }
+                        continue;
+                    }
+                    if ch == '\'' {
+                        cur.bump();
+                        break;
+                    }
+                    text.push(ch);
+                    cur.bump();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+        // `::` path separator, merged.
+        if c == ':' && cur.peek(1) == Some(':') {
+            cur.bump();
+            cur.bump();
+            out.toks.push(Tok {
+                kind: TokKind::Punct,
+                text: "::".to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        cur.bump();
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consumes the body of a cooked (escapable) string after its opening
+/// quote, returning the inner text with escapes as written.
+fn cooked_string_body(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            text.push(ch);
+            cur.bump();
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+            continue;
+        }
+        if ch == '"' {
+            cur.bump();
+            break;
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    text
+}
+
+/// Tries to lex `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br"…"`, `br#"…"#`
+/// at the cursor. Returns `None` (cursor untouched) when the prefix is
+/// not actually a literal (e.g. the identifier `row`).
+fn try_prefixed_literal(cur: &mut Cursor, line: u32, col: u32) -> Option<Tok> {
+    let c0 = cur.peek(0)?;
+    // Determine the candidate shape without consuming.
+    let (raw, byte, mut ahead) = match (c0, cur.peek(1)) {
+        ('r', Some('"')) | ('r', Some('#')) => (true, false, 1),
+        ('b', Some('"')) => (false, true, 1),
+        ('b', Some('\'')) => {
+            // Byte char literal b'x'.
+            cur.bump(); // b
+            cur.bump(); // '
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\\' {
+                    text.push(ch);
+                    cur.bump();
+                    if let Some(esc) = cur.bump() {
+                        text.push(esc);
+                    }
+                    continue;
+                }
+                if ch == '\'' {
+                    cur.bump();
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            return Some(Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            });
+        }
+        ('b', Some('r')) => (true, true, 2),
+        _ => return None,
+    };
+    // Count hashes, expect a quote.
+    let mut hashes = 0usize;
+    while cur.peek(ahead) == Some('#') {
+        hashes += 1;
+        ahead += 1;
+    }
+    if cur.peek(ahead) != Some('"') {
+        // `r#ident` (raw identifier) or plain ident starting with r/b.
+        return None;
+    }
+    // Commit: consume prefix, hashes, quote.
+    for _ in 0..=ahead {
+        cur.bump();
+    }
+    let mut text = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if ch == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if cur.peek(1 + k) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for _ in 0..=hashes {
+                    cur.bump();
+                }
+                break;
+            }
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    Some(Tok {
+        kind: if raw {
+            TokKind::RawStr
+        } else if byte {
+            TokKind::ByteStr
+        } else {
+            TokKind::Str
+        },
+        text,
+        line,
+        col,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_paths() {
+        let t = kinds("std::env::var(name)");
+        assert_eq!(
+            t,
+            vec![
+                (TokKind::Ident, "std".into()),
+                (TokKind::Punct, "::".into()),
+                (TokKind::Ident, "env".into()),
+                (TokKind::Punct, "::".into()),
+                (TokKind::Ident, "var".into()),
+                (TokKind::Punct, "(".into()),
+                (TokKind::Ident, "name".into()),
+                (TokKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_trivia_not_tokens() {
+        let lexed = lex("// counter(\"fake.name\").unwrap()\nlet x = 1; /* env::var */");
+        assert!(lexed.toks.iter().all(|t| t.text != "unwrap"));
+        assert!(lexed.toks.iter().all(|t| t.text != "env"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("fake.name"));
+    }
+
+    #[test]
+    fn string_contents_are_not_idents() {
+        let lexed = lex(r#"let s = "call .unwrap() and thread::spawn";"#);
+        assert!(lexed.toks.iter().all(|t| t.text != "unwrap"));
+        let strs: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("thread::spawn"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let lexed = lex(r##"let s = r#"a "quoted" x"#; let b = br"bytes";"##);
+        let raws: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::RawStr)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(
+            raws,
+            vec!["a \"quoted\" x".to_string(), "bytes".to_string()]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(t.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(t.contains(&(TokKind::Char, "x".into())));
+        assert!(t.contains(&(TokKind::Char, "\\n".into())));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_exponents() {
+        let t = kinds("1_000u64 + 0x1f + 1e-3 + 2.5f64 + x.0");
+        let nums: Vec<_> = t
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, s)| s.clone())
+            .collect();
+        assert_eq!(nums, vec!["1_000u64", "0x1f", "1e-3", "2.5f64", "0"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert!(lexed.toks[0].is_ident("fn"));
+        assert_eq!(lexed.comments.len(), 1);
+    }
+
+    #[test]
+    fn raw_ident_lexes_bare() {
+        let t = kinds("let r#type = 1;");
+        assert!(t.contains(&(TokKind::Ident, "type".into())));
+    }
+
+    #[test]
+    fn spans_are_line_col() {
+        let lexed = lex("fn a() {}\n  fn b() {}");
+        let b = lexed.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!((b.line, b.col), (1, 5));
+    }
+
+    #[test]
+    fn multiline_string_positions_keep_tracking() {
+        let lexed = lex("let s = \"line one\nline two\";\nfn after() {}");
+        let after = lexed.toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 2);
+    }
+}

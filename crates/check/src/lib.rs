@@ -6,31 +6,52 @@
 //! whose invariants are conventions — env knobs live in
 //! `ft_trace::env_knob`, threads come only from the `ft-blas` pool,
 //! `unsafe` is justified in writing, deterministic math crates never read
-//! wall clocks, and metric names come from one declared registry. This
-//! crate turns those conventions into machine-checked, deny-by-default
-//! rules (run `cargo run -p ft-check`):
+//! wall clocks, metric names come from one declared registry, SIMD
+//! kernels keep a scalar twin behind a runtime dispatcher, hot paths do
+//! not allocate, and locks follow one declared order. This crate turns
+//! those conventions into machine-checked, deny-by-default rules (run
+//! `cargo run -p ft-check`):
 //!
 //! | rule | invariant |
 //! |------|-----------|
-//! | FTC000 | every `check_allow.toml` entry still matches something |
+//! | FTC000 | every `check_allow.toml` entry still matches something and has not expired |
 //! | FTC001 | no `std::env::var` outside `ft_trace::env_knob` |
 //! | FTC002 | no `thread::spawn`/`scope`/`Builder` outside the pool |
 //! | FTC003 | every `unsafe` is annotated with `SAFETY`/`# Safety` |
 //! | FTC004 | no `unwrap`/`expect`/`panic!` in non-test library code |
 //! | FTC005 | no `Instant::now`/`SystemTime` in deterministic math crates |
 //! | FTC006 | counter/gauge/histogram/span name literals appear in `names.rs` |
+//! | FTC007 | every `#[target_feature]` fn has a scalar twin and a dispatch site |
+//! | FTC008 | no heap allocation reachable from `// ft-check: hot` fns |
+//! | FTC009 | locks in serve/blas follow the declared acquisition order |
+//! | FTC010 | `FT_*` knobs agree between code, the `KNOBS` registry, and the README |
+//! | FTC011 | no panicking call within 2 hops of the `// ft-check: worker-loop` fn |
+//! | FTC012 | every declared metric name is actually emitted somewhere |
 //!
-//! The scanner is deliberately not a full parser: it strips comments and
-//! literals with a small state machine, tracks `#[cfg(test)]` regions by
-//! brace depth, and matches tokens at identifier boundaries. That is
-//! exact enough for these rules (the workspace is the test: see
-//! `tests/clean_tree.rs`) and keeps the tool dependency-free.
+//! The analyzer is a hand-rolled, dependency-free pipeline: a real
+//! lexer ([`lexer`]) producing typed tokens with spans, an item pass
+//! ([`items`]) attributing tokens to `fn` items, attributes, and
+//! `#[cfg(test)]` regions, and a conservatively name-resolved call
+//! graph ([`callgraph`]) for the reachability rules. Matching on tokens
+//! (not stripped text) makes the classic scanner false positives —
+//! rule-shaped text in string literals, doc comments, or oddly
+//! formatted `#[test]` items — structurally impossible, and every
+//! finding carries an exact `file:line:col`.
 //!
 //! Known escapes are recorded in `check_allow.toml` at the repo root:
-//! every entry names a rule, a file, and an audit reason, and may cap the
-//! number of matches it excuses (`max`). Stale entries fail the run
-//! (FTC000) so the allowlist can only shrink by itself.
+//! every entry names a rule, a file, and an audit reason, may cap the
+//! number of matches it excuses (`max`), and may carry an `expires`
+//! date after which the audit must be renewed. Stale and expired
+//! entries fail the run (FTC000) so the allowlist can only shrink by
+//! itself.
 
+pub mod callgraph;
+pub mod items;
+pub mod lexer;
+pub mod rules;
+
+use lexer::TokKind;
+pub use rules::{Ctx, LockRank};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -42,7 +63,9 @@ pub struct Finding {
     pub path: String,
     /// 1-based line number.
     pub line: usize,
-    /// Rule ID (`FTC000`–`FTC006`).
+    /// 1-based column number.
+    pub col: usize,
+    /// Rule ID (`FTC000`–`FTC012`).
     pub rule: &'static str,
     /// What was found.
     pub message: String,
@@ -54,15 +77,15 @@ impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{} [{}] {}\n    hint: {}",
-            self.path, self.line, self.rule, self.message, self.hint
+            "{}:{}:{} [{}] {}\n    hint: {}",
+            self.path, self.line, self.col, self.rule, self.message, self.hint
         )
     }
 }
 
 /// The declared metric-name registry, parsed from
 /// `crates/trace/src/names.rs`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Registry {
     /// Declared counter names.
     pub counters: BTreeSet<String>,
@@ -72,6 +95,10 @@ pub struct Registry {
     pub histograms: BTreeSet<String>,
     /// Declared span names.
     pub spans: BTreeSet<String>,
+    /// Every declaration with its span: `(kind, name, 1-based line)`.
+    /// FTC012 walks this to find declared-but-never-emitted names;
+    /// empty disables that rule (single-file fixture mode).
+    pub declared: Vec<(String, String, usize)>,
 }
 
 /// One audited `[[allow]]` entry from `check_allow.toml`.
@@ -87,599 +114,149 @@ pub struct Allow {
     pub max: usize,
     /// Line of the `[[allow]]` header, for FTC000 reports.
     pub line: usize,
+    /// Optional `YYYY-MM-DD` date after which the audit must be renewed
+    /// (the entry stops suppressing and fails as FTC000).
+    pub expires: Option<String>,
 }
 
 // ---------------------------------------------------------------------------
-// Source stripping
+// Scanning entry points
 // ---------------------------------------------------------------------------
 
-/// Source text with comments and literal *contents* blanked (structure —
-/// newlines, quote positions — preserved), plus the extracted string
-/// literals keyed by position.
-struct Stripped {
-    /// Code-only lines: comments and literal contents become spaces.
-    code: Vec<String>,
-    /// String literals: (0-based line, column of the opening quote,
-    /// contents). Raw strings are blanked but not recorded.
-    literals: Vec<(usize, usize, String)>,
+/// Analyzes a set of in-memory sources `(repo-relative path, text)`
+/// under an explicit rule context. This is the core the fixture tests
+/// drive; [`scan_workspace`] wraps it with registry/allowlist loading.
+pub fn analyze(sources: &[(String, String)], ctx: &Ctx) -> Vec<Finding> {
+    let files: Vec<callgraph::FileModel> = sources
+        .iter()
+        .map(|(rel, src)| callgraph::FileModel::new(rel.clone(), src))
+        .collect();
+    rules::run_all(&files, ctx)
 }
-
-fn strip(source: &str) -> Stripped {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str { byte_esc: bool },
-        RawStr(u32),
-        CharLit,
-    }
-    let chars: Vec<char> = source.chars().collect();
-    let mut st = St::Code;
-    let mut out = String::with_capacity(source.len());
-    let mut literals = Vec::new();
-    let mut lit_buf = String::new();
-    let mut lit_start = (0usize, 0usize);
-    let mut line = 0usize;
-    let mut col = 0usize;
-    let mut i = 0usize;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        match st {
-            St::Code => {
-                if c == '/' && next == Some('/') {
-                    st = St::LineComment;
-                    out.push_str("  ");
-                    i += 2;
-                    col += 2;
-                    continue;
-                }
-                if c == '/' && next == Some('*') {
-                    st = St::BlockComment(1);
-                    out.push_str("  ");
-                    i += 2;
-                    col += 2;
-                    continue;
-                }
-                // Raw strings: r"…", r#"…"#, br"…", br#"…"# — blanked,
-                // not recorded (no metric name lives in a raw string).
-                let raw_from = if c == 'r' && !prev_is_ident(&chars, i) {
-                    Some(i + 1)
-                } else if c == 'b' && next == Some('r') && !prev_is_ident(&chars, i) {
-                    Some(i + 2)
-                } else {
-                    None
-                };
-                if let Some(mut j) = raw_from {
-                    let mut hashes = 0u32;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        for _ in i..=j {
-                            out.push(' ');
-                            col += 1;
-                        }
-                        i = j + 1;
-                        st = St::RawStr(hashes);
-                        continue;
-                    }
-                }
-                if c == '"' || (c == 'b' && next == Some('"')) {
-                    if c == 'b' {
-                        out.push(' ');
-                        i += 1;
-                        col += 1;
-                    }
-                    lit_start = (line, col);
-                    lit_buf.clear();
-                    out.push('"');
-                    st = St::Str { byte_esc: false };
-                    i += 1;
-                    col += 1;
-                    continue;
-                }
-                if c == '\'' && !prev_is_ident(&chars, i) {
-                    // Char literal vs lifetime: a char literal closes with
-                    // a quote after one (possibly escaped) character.
-                    let is_char = match next {
-                        Some('\\') => true,
-                        Some(_) => chars.get(i + 2) == Some(&'\''),
-                        None => false,
-                    };
-                    if is_char {
-                        out.push(' ');
-                        st = St::CharLit;
-                        i += 1;
-                        col += 1;
-                        continue;
-                    }
-                }
-                out.push(c);
-                i += 1;
-                if c == '\n' {
-                    line += 1;
-                    col = 0;
-                } else {
-                    col += 1;
-                }
-            }
-            St::LineComment => {
-                if c == '\n' {
-                    out.push('\n');
-                    line += 1;
-                    col = 0;
-                    st = St::Code;
-                } else {
-                    out.push(' ');
-                    col += 1;
-                }
-                i += 1;
-            }
-            St::BlockComment(depth) => {
-                if c == '/' && next == Some('*') {
-                    st = St::BlockComment(depth + 1);
-                    out.push_str("  ");
-                    i += 2;
-                    col += 2;
-                } else if c == '*' && next == Some('/') {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::BlockComment(depth - 1)
-                    };
-                    out.push_str("  ");
-                    i += 2;
-                    col += 2;
-                } else {
-                    if c == '\n' {
-                        out.push('\n');
-                        line += 1;
-                        col = 0;
-                    } else {
-                        out.push(' ');
-                        col += 1;
-                    }
-                    i += 1;
-                }
-            }
-            St::Str { byte_esc } => {
-                if byte_esc {
-                    lit_buf.push(c);
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    if c == '\n' {
-                        line += 1;
-                        col = 0;
-                    } else {
-                        col += 1;
-                    }
-                    st = St::Str { byte_esc: false };
-                    i += 1;
-                } else if c == '\\' {
-                    lit_buf.push(c);
-                    out.push(' ');
-                    col += 1;
-                    st = St::Str { byte_esc: true };
-                    i += 1;
-                } else if c == '"' {
-                    literals.push((lit_start.0, lit_start.1, lit_buf.clone()));
-                    out.push('"');
-                    col += 1;
-                    st = St::Code;
-                    i += 1;
-                } else {
-                    lit_buf.push(c);
-                    if c == '\n' {
-                        out.push('\n');
-                        line += 1;
-                        col = 0;
-                    } else {
-                        out.push(' ');
-                        col += 1;
-                    }
-                    i += 1;
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == '"' {
-                    let mut ok = true;
-                    for k in 0..hashes as usize {
-                        if chars.get(i + 1 + k) != Some(&'#') {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok {
-                        for _ in 0..=hashes as usize {
-                            out.push(' ');
-                            col += 1;
-                        }
-                        i += 1 + hashes as usize;
-                        st = St::Code;
-                        continue;
-                    }
-                }
-                if c == '\n' {
-                    out.push('\n');
-                    line += 1;
-                    col = 0;
-                } else {
-                    out.push(' ');
-                    col += 1;
-                }
-                i += 1;
-            }
-            St::CharLit => {
-                if c == '\\' {
-                    out.push_str("  ");
-                    i += 2;
-                    col += 2;
-                } else if c == '\'' {
-                    out.push(' ');
-                    col += 1;
-                    st = St::Code;
-                    i += 1;
-                } else {
-                    out.push(' ');
-                    col += 1;
-                    i += 1;
-                }
-            }
-        }
-    }
-    Stripped {
-        code: out.lines().map(str::to_string).collect(),
-        literals,
-    }
-}
-
-fn prev_is_ident(chars: &[char], i: usize) -> bool {
-    i > 0 && is_ident(chars[i - 1])
-}
-
-fn is_ident(c: char) -> bool {
-    c.is_ascii_alphanumeric() || c == '_'
-}
-
-/// Positions (0-based columns) where `tok` occurs in `line` bounded by
-/// non-identifier characters. Multi-segment tokens (`env::var`) work
-/// because `:` is not an identifier character.
-fn find_token(line: &str, tok: &str) -> Vec<usize> {
-    let mut found = Vec::new();
-    let bytes = line.as_bytes();
-    let tlen = tok.len();
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(tok) {
-        let at = from + pos;
-        let before_ok = at == 0 || !is_ident(bytes[at - 1] as char);
-        let first = tok.as_bytes()[0] as char;
-        let before_ok = before_ok && !(is_ident(first) && at > 0 && bytes[at - 1] == b':');
-        let after_ok = at + tlen >= bytes.len() || !is_ident(bytes[at + tlen] as char);
-        // `::token` is still a match (paths); only identifier adjacency
-        // disqualifies. Re-allow the `:` prefix.
-        let before_ok = before_ok || (at >= 2 && &line[at - 2..at] == "::");
-        if before_ok && after_ok {
-            found.push(at);
-        }
-        from = at + tlen;
-    }
-    found
-}
-
-// ---------------------------------------------------------------------------
-// Test-region tracking
-// ---------------------------------------------------------------------------
-
-/// Marks lines inside `#[cfg(test)]`-gated items (by brace depth).
-fn test_line_mask(code: &[String]) -> Vec<bool> {
-    let mut mask = vec![false; code.len()];
-    let mut i = 0;
-    while i < code.len() {
-        // `#[cfg(test)]` or any `cfg(all(test, …))` combination — but not
-        // `cfg(not(test))`. `feature = "test"` cannot confuse this: literal
-        // contents are already blanked in `code`.
-        let gated = code[i].contains("#[cfg(")
-            && !find_token(&code[i], "test").is_empty()
-            && !code[i].contains("not(test)");
-        if !gated {
-            i += 1;
-            continue;
-        }
-        let mut depth: i64 = 0;
-        let mut started = false;
-        let mut j = i;
-        while j < code.len() {
-            for ch in code[j].chars() {
-                match ch {
-                    '{' => {
-                        depth += 1;
-                        started = true;
-                    }
-                    '}' => depth -= 1,
-                    _ => {}
-                }
-            }
-            mask[j] = true;
-            if started && depth <= 0 {
-                break;
-            }
-            j += 1;
-        }
-        i = j + 1;
-    }
-    mask
-}
-
-// ---------------------------------------------------------------------------
-// Scope classification
-// ---------------------------------------------------------------------------
-
-/// Crates whose `src/` must stay wall-clock-free (bit-identical math).
-const DETERMINISTIC_CRATES: [&str; 4] = [
-    "crates/matrix/src/",
-    "crates/blas/src/",
-    "crates/lapack/src/",
-    "crates/hessenberg/src/",
-];
-
-/// The one sanctioned `std::env::var` site.
-const ENV_KNOB: &str = "crates/trace/src/env_knob.rs";
-
-/// The one sanctioned thread-creation site.
-const POOL: &str = "crates/blas/src/pool.rs";
-
-fn is_test_path(rel: &str) -> bool {
-    rel.starts_with("tests/") || rel.contains("/tests/")
-}
-
-fn is_library_path(rel: &str) -> bool {
-    let in_src = rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/"));
-    in_src && !rel.contains("/bin/") && !rel.ends_with("/main.rs") && !rel.ends_with("build.rs")
-}
-
-fn is_deterministic_math_path(rel: &str) -> bool {
-    DETERMINISTIC_CRATES.iter().any(|p| rel.starts_with(p))
-}
-
-// ---------------------------------------------------------------------------
-// The rules
-// ---------------------------------------------------------------------------
 
 /// Scans one file's source, returning its findings (allowlist not yet
 /// applied). `rel` is the repo-relative path and decides rule scope.
+/// Workspace-global registries (knob table, lock order, README) are
+/// empty here, so only the per-file directions of the semantic rules
+/// apply — exactly what single-fixture tests need.
 pub fn scan_source(rel: &str, source: &str, registry: &Registry) -> Vec<Finding> {
-    let stripped = strip(source);
-    let originals: Vec<&str> = source.lines().collect();
-    let test_mask = test_line_mask(&stripped.code);
-    let file_is_test = is_test_path(rel);
-    let in_test = |idx: usize| file_is_test || test_mask.get(idx).copied().unwrap_or(false);
-    let mut findings = Vec::new();
-    let mut push = |line: usize, rule: &'static str, message: String, hint: &'static str| {
-        findings.push(Finding {
-            path: rel.to_string(),
-            line: line + 1,
-            rule,
-            message,
-            hint,
-        });
+    let mut registry = registry.clone();
+    registry.declared.clear(); // FTC012 is workspace-global
+    let ctx = Ctx {
+        registry,
+        ..Ctx::default()
     };
-
-    for (idx, code) in stripped.code.iter().enumerate() {
-        // FTC001 — env access outside the knob module (non-test code).
-        if rel != ENV_KNOB && !in_test(idx) {
-            for tok in ["env::var", "env::var_os", "env::vars"] {
-                if !find_token(code, tok).is_empty() {
-                    push(
-                        idx,
-                        "FTC001",
-                        format!("`{tok}` outside `ft_trace::env_knob`"),
-                        "read configuration through ft_trace::env_knob so every knob \
-                         is centralized, documented, and trace-consistent",
-                    );
-                }
-            }
-        }
-
-        // FTC002 — thread creation outside the pool (non-test code).
-        if rel != POOL && !in_test(idx) {
-            for tok in ["thread::spawn", "thread::scope", "thread::Builder"] {
-                if !find_token(code, tok).is_empty() {
-                    push(
-                        idx,
-                        "FTC002",
-                        format!("`{tok}` outside `ft-blas/src/pool.rs`"),
-                        "run work on the persistent ft-blas pool, or audit the new \
-                         thread with a check_allow.toml entry",
-                    );
-                }
-            }
-        }
-
-        // FTC003 — unannotated unsafe (all code, tests included).
-        if !find_token(code, "unsafe").is_empty() && !has_safety_annotation(&originals, idx) {
-            push(
-                idx,
-                "FTC003",
-                "`unsafe` without a `// SAFETY:` comment".to_string(),
-                "state the proof obligation discharged by this unsafe in a \
-                 SAFETY comment directly above it (or a `# Safety` doc section)",
-            );
-        }
-
-        // FTC004 — panicking calls in non-test library code.
-        if is_library_path(rel) && !in_test(idx) {
-            for (tok, needs_bang) in [("unwrap", false), ("expect", false), ("panic", true)] {
-                for at in find_token(code, tok) {
-                    let after = &code[at + tok.len()..];
-                    if needs_bang != after.starts_with('!') {
-                        continue;
-                    }
-                    push(
-                        idx,
-                        "FTC004",
-                        format!(
-                            "`{tok}{}` in non-test library code",
-                            if needs_bang { "!" } else { "()" }
-                        ),
-                        "return a Result, degrade gracefully, or audit the abort \
-                         with a check_allow.toml entry",
-                    );
-                    break; // one finding per token kind per line
-                }
-            }
-        }
-
-        // FTC005 — wall clocks in deterministic math crates (non-test).
-        if is_deterministic_math_path(rel) && !in_test(idx) {
-            for tok in ["Instant::now", "SystemTime"] {
-                if !find_token(code, tok).is_empty() {
-                    push(
-                        idx,
-                        "FTC005",
-                        format!("`{tok}` in a deterministic math crate"),
-                        "math crates must stay replayable: take timings through \
-                         ft_trace (spans or ft_trace::clock) at the call boundary",
-                    );
-                }
-            }
-        }
-
-        // FTC006 — metric/span names must be declared (non-test code).
-        if !in_test(idx) {
-            for (tok, is_macro, set, kind) in [
-                ("counter", false, &registry.counters, "counter"),
-                ("gauge", false, &registry.gauges, "gauge"),
-                ("histogram", false, &registry.histograms, "histogram"),
-                ("span", true, &registry.spans, "span"),
-            ] {
-                for at in find_token(code, tok) {
-                    let Some(name) =
-                        call_name_literal(code, &stripped.literals, idx, at + tok.len(), is_macro)
-                    else {
-                        continue;
-                    };
-                    if !set.contains(&name) {
-                        push(
-                            idx,
-                            "FTC006",
-                            format!("{kind} name \"{name}\" is not declared in the registry"),
-                            "declare the name in crates/trace/src/names.rs (typo'd \
-                             names silently report zero)",
-                        );
-                    }
-                }
-            }
-        }
-    }
-    findings
-}
-
-/// For a `counter(`/`gauge(`/`span!(` token ending at `after`, returns
-/// the string literal opening the argument list on the same line.
-fn call_name_literal(
-    code: &str,
-    literals: &[(usize, usize, String)],
-    line: usize,
-    mut after: usize,
-    is_macro: bool,
-) -> Option<String> {
-    let bytes = code.as_bytes();
-    if is_macro {
-        if bytes.get(after) != Some(&b'!') {
-            return None;
-        }
-        after += 1;
-    }
-    while bytes.get(after) == Some(&b' ') {
-        after += 1;
-    }
-    if bytes.get(after) != Some(&b'(') {
-        return None;
-    }
-    after += 1;
-    while bytes.get(after) == Some(&b' ') {
-        after += 1;
-    }
-    if bytes.get(after) != Some(&b'"') {
-        return None;
-    }
-    literals
-        .iter()
-        .find(|(l, c, _)| *l == line && *c == after)
-        .map(|(_, _, s)| s.clone())
-}
-
-/// `true` when the contiguous comment/attribute block above `idx` (or the
-/// original line itself) carries a SAFETY annotation.
-fn has_safety_annotation(originals: &[&str], idx: usize) -> bool {
-    let carries = |s: &str| s.contains("SAFETY") || s.contains("# Safety");
-    if originals.get(idx).is_some_and(|l| carries(l)) {
-        return true;
-    }
-    let mut j = idx;
-    while j > 0 {
-        j -= 1;
-        let t = originals[j].trim_start();
-        if t.is_empty() || t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") {
-            if carries(t) {
-                return true;
-            }
-        } else {
-            break;
-        }
-    }
-    false
+    analyze(&[(rel.to_string(), source.to_string())], &ctx)
 }
 
 // ---------------------------------------------------------------------------
-// Registry parsing
+// Registry parsing (names.rs, env_knob.rs, lock_order.rs)
 // ---------------------------------------------------------------------------
 
 /// Parses `crates/trace/src/names.rs`: the string literals of the
-/// `COUNTERS`, `GAUGES`, `HISTOGRAMS`, and `SPANS` const slices.
+/// `COUNTERS`, `GAUGES`, `HISTOGRAMS`, and `SPANS` const slices, with
+/// the line of each declaration.
 pub fn parse_registry(source: &str) -> Registry {
-    let stripped = strip(source);
+    let lexed = lexer::lex(source);
+    let toks = &lexed.toks;
     let mut reg = Registry::default();
-    let mut section: Option<u8> = None;
-    let mut bounds = [None, None, None, None]; // start line per section
-    let mut ends = [usize::MAX; 4];
-    for (idx, code) in stripped.code.iter().enumerate() {
-        for (s, name) in [
-            (0u8, "COUNTERS"),
-            (1, "GAUGES"),
-            (2, "HISTOGRAMS"),
-            (3, "SPANS"),
-        ] {
-            if !find_token(code, name).is_empty() && code.contains('=') {
-                section = Some(s);
-                bounds[s as usize] = Some(idx);
+    let mut k = 0usize;
+    while k < toks.len() {
+        let t = &toks[k];
+        let kind = match t.text.as_str() {
+            "COUNTERS" => "counter",
+            "GAUGES" => "gauge",
+            "HISTOGRAMS" => "histogram",
+            "SPANS" => "span",
+            _ => {
+                k += 1;
+                continue;
             }
+        };
+        if t.kind != TokKind::Ident || !toks.get(k + 1).is_some_and(|n| n.is_punct(":")) {
+            k += 1;
+            continue;
         }
-        if let Some(s) = section {
-            if code.contains("];") {
-                ends[s as usize] = idx;
-                section = None;
+        // Collect every string literal until the terminating `;`.
+        k += 2;
+        while k < toks.len() && !toks[k].is_punct(";") {
+            if toks[k].kind == TokKind::Str {
+                let name = toks[k].text.clone();
+                let set = match kind {
+                    "counter" => &mut reg.counters,
+                    "gauge" => &mut reg.gauges,
+                    "histogram" => &mut reg.histograms,
+                    _ => &mut reg.spans,
+                };
+                set.insert(name.clone());
+                reg.declared
+                    .push((kind.to_string(), name, toks[k].line as usize + 1));
             }
-        }
-    }
-    for (l, _c, lit) in &stripped.literals {
-        for s in 0..4usize {
-            if let Some(start) = bounds[s] {
-                if *l >= start && *l <= ends[s] {
-                    let set = match s {
-                        0 => &mut reg.counters,
-                        1 => &mut reg.gauges,
-                        2 => &mut reg.histograms,
-                        _ => &mut reg.spans,
-                    };
-                    set.insert(lit.clone());
-                }
-            }
+            k += 1;
         }
     }
     reg
+}
+
+/// Parses the `KNOBS` table in `crates/trace/src/env_knob.rs`: each
+/// `("FT_…", "description")` row becomes `(name, 1-based line)`.
+pub fn parse_knobs(source: &str) -> Vec<(String, usize)> {
+    let lexed = lexer::lex(source);
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    let Some(start) = toks
+        .iter()
+        .position(|t| t.is_ident("KNOBS") && t.kind == TokKind::Ident)
+    else {
+        return out;
+    };
+    for k in start..toks.len() {
+        if toks[k].is_punct(";") {
+            break;
+        }
+        if toks[k].kind == TokKind::Str
+            && toks[k].text.starts_with("FT_")
+            && k > 0
+            && toks[k - 1].is_punct("(")
+        {
+            out.push((toks[k].text.clone(), toks[k].line as usize + 1));
+        }
+    }
+    out
+}
+
+/// Parses the `LOCK_ORDER` table in `crates/serve/src/lock_order.rs`:
+/// each `("path", "field", rank)` row becomes a [`LockRank`].
+pub fn parse_lock_order(source: &str) -> Vec<LockRank> {
+    let lexed = lexer::lex(source);
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    let Some(start) = toks.iter().position(|t| t.is_ident("LOCK_ORDER")) else {
+        return out;
+    };
+    let mut k = start;
+    while k < toks.len() && !toks[k].is_punct(";") {
+        let row = toks[k].is_punct("(")
+            && toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Str)
+            && toks.get(k + 2).is_some_and(|t| t.is_punct(","))
+            && toks.get(k + 3).is_some_and(|t| t.kind == TokKind::Str)
+            && toks.get(k + 4).is_some_and(|t| t.is_punct(","))
+            && toks.get(k + 5).is_some_and(|t| t.kind == TokKind::Num);
+        if row {
+            if let Ok(rank) = toks[k + 5].text.replace('_', "").parse::<u32>() {
+                out.push(LockRank {
+                    path: toks[k + 1].text.clone(),
+                    name: toks[k + 3].text.clone(),
+                    rank,
+                    line: toks[k + 1].line as usize + 1,
+                });
+            }
+            k += 6;
+            continue;
+        }
+        k += 1;
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -687,8 +264,8 @@ pub fn parse_registry(source: &str) -> Registry {
 // ---------------------------------------------------------------------------
 
 /// Parses the minimal TOML dialect of `check_allow.toml`: `[[allow]]`
-/// tables with `rule`/`path`/`reason` strings and an optional integer
-/// `max`.
+/// tables with `rule`/`path`/`reason` strings, an optional integer
+/// `max`, and an optional `expires = "YYYY-MM-DD"` date.
 pub fn parse_allowlist(text: &str) -> Result<Vec<Allow>, String> {
     let mut entries: Vec<Allow> = Vec::new();
     let mut current: Option<Allow> = None;
@@ -707,6 +284,7 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<Allow>, String> {
                 reason: String::new(),
                 max: usize::MAX,
                 line: idx + 1,
+                expires: None,
             });
             continue;
         }
@@ -738,6 +316,16 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<Allow>, String> {
                     format!("check_allow.toml:{}: `max` must be an integer", idx + 1)
                 })?;
             }
+            "expires" => {
+                let d = as_string(value)?;
+                if !is_iso_date(&d) {
+                    return Err(format!(
+                        "check_allow.toml:{}: `expires` must be YYYY-MM-DD",
+                        idx + 1
+                    ));
+                }
+                entry.expires = Some(d);
+            }
             other => {
                 return Err(format!(
                     "check_allow.toml:{}: unknown key `{other}`",
@@ -768,9 +356,31 @@ fn validate_entry(e: Allow) -> Result<Allow, String> {
     Ok(e)
 }
 
+fn is_iso_date(s: &str) -> bool {
+    let b = s.as_bytes();
+    b.len() == 10
+        && b[4] == b'-'
+        && b[7] == b'-'
+        && b.iter()
+            .enumerate()
+            .all(|(i, c)| matches!(i, 4 | 7) || c.is_ascii_digit())
+}
+
 /// Suppresses findings covered by the allowlist. Entries that matched
-/// nothing, or whose `max` was exceeded, produce findings of their own.
+/// nothing, whose `max` was exceeded, or whose `expires` date has
+/// passed produce findings of their own. Uses today's UTC date; see
+/// [`apply_allowlist_at`] for an injectable clock.
 pub fn apply_allowlist(findings: Vec<Finding>, allow: &[Allow]) -> Vec<Finding> {
+    apply_allowlist_at(findings, allow, &today_utc())
+}
+
+/// [`apply_allowlist`] with an explicit `today` (ISO `YYYY-MM-DD`).
+/// ISO dates compare correctly as strings, so expiry is `expires < today`.
+pub fn apply_allowlist_at(findings: Vec<Finding>, allow: &[Allow], today: &str) -> Vec<Finding> {
+    let expired: Vec<bool> = allow
+        .iter()
+        .map(|a| a.expires.as_deref().is_some_and(|d| d < today))
+        .collect();
     let mut used = vec![0usize; allow.len()];
     let mut out = Vec::new();
     for f in findings {
@@ -778,15 +388,31 @@ pub fn apply_allowlist(findings: Vec<Finding>, allow: &[Allow]) -> Vec<Finding> 
             .iter()
             .position(|a| a.rule == f.rule && a.path == f.path);
         match slot {
-            Some(i) if used[i] < allow[i].max => used[i] += 1,
+            Some(i) if !expired[i] && used[i] < allow[i].max => used[i] += 1,
             _ => out.push(f),
         }
     }
     for (i, a) in allow.iter().enumerate() {
-        if used[i] == 0 {
+        if expired[i] {
             out.push(Finding {
                 path: "check_allow.toml".to_string(),
                 line: a.line,
+                col: 1,
+                rule: "FTC000",
+                message: format!(
+                    "expired allowlist entry: {} on {} (expired {})",
+                    a.rule,
+                    a.path,
+                    a.expires.as_deref().unwrap_or("?")
+                ),
+                hint: "re-audit the escape and bump `expires`, or fix the code and \
+                       delete the entry",
+            });
+        } else if used[i] == 0 {
+            out.push(Finding {
+                path: "check_allow.toml".to_string(),
+                line: a.line,
+                col: 1,
                 rule: "FTC000",
                 message: format!(
                     "stale allowlist entry: {} on {} matched nothing",
@@ -796,6 +422,82 @@ pub fn apply_allowlist(findings: Vec<Finding>, allow: &[Allow]) -> Vec<Finding> 
             });
         }
     }
+    out
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, no deps).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+// ---------------------------------------------------------------------------
+// JSON output
+// ---------------------------------------------------------------------------
+
+/// Renders findings as the documented machine-readable report:
+///
+/// ```json
+/// {"version": 1, "tool": "ft-check", "files_scanned": N,
+///  "finding_count": M,
+///  "findings": [{"path": …, "line": …, "col": …, "rule": …,
+///                "message": …, "hint": …}]}
+/// ```
+pub fn to_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut s = String::with_capacity(256 + findings.len() * 160);
+    s.push_str(&format!(
+        "{{\"version\":1,\"tool\":\"ft-check\",\"files_scanned\":{files_scanned},\
+         \"finding_count\":{},\"findings\":[",
+        findings.len()
+    ));
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"path\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{},\"hint\":{}}}",
+            json_str(&f.path),
+            f.line,
+            f.col,
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(f.hint)
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
     out
 }
 
@@ -837,29 +539,64 @@ fn relative(root: &Path, path: &Path) -> String {
         .replace('\\', "/")
 }
 
-/// Scans the whole workspace under `root`, applying the allowlist and the
-/// name registry. Returns findings sorted by path and line.
-pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
-    let names_path = root.join("crates/trace/src/names.rs");
+/// Builds the workspace rule context: metric registry, knob table, lock
+/// order, README knob tokens.
+pub fn workspace_ctx(root: &Path, include_tests: bool) -> Result<Ctx, String> {
+    let names_rel = "crates/trace/src/names.rs";
+    let names_path = root.join(names_rel);
     let registry = match std::fs::read_to_string(&names_path) {
         Ok(src) => parse_registry(&src),
         Err(e) => return Err(format!("cannot read {}: {e}", names_path.display())),
     };
+    let knobs_rel = "crates/trace/src/env_knob.rs";
+    let knobs = std::fs::read_to_string(root.join(knobs_rel))
+        .map(|src| parse_knobs(&src))
+        .unwrap_or_default();
+    let lock_order = std::fs::read_to_string(root.join("crates/serve/src/lock_order.rs"))
+        .map(|src| parse_lock_order(&src))
+        .unwrap_or_default();
+    let readme_rel = "README.md";
+    let readme_knobs = std::fs::read_to_string(root.join(readme_rel))
+        .ok()
+        .map(|text| rules::knobs::readme_knob_tokens(&text));
+    Ok(Ctx {
+        registry,
+        names_rel: names_rel.to_string(),
+        knobs,
+        knobs_rel: knobs_rel.to_string(),
+        readme_knobs,
+        readme_rel: readme_rel.to_string(),
+        lock_order,
+        include_tests,
+    })
+}
+
+/// Scans the whole workspace under `root`, applying the allowlist and
+/// the registries. Returns findings sorted by path, line, column.
+pub fn scan_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    scan_workspace_opts(root, false)
+}
+
+/// [`scan_workspace`] with test exemptions optionally disabled
+/// (`include_tests`, the `--tests` flag; the allowlist still applies).
+pub fn scan_workspace_opts(root: &Path, include_tests: bool) -> Result<Vec<Finding>, String> {
+    let ctx = workspace_ctx(root, include_tests)?;
     let allow = match std::fs::read_to_string(root.join("check_allow.toml")) {
         Ok(text) => parse_allowlist(&text)?,
         Err(_) => Vec::new(),
     };
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
-    files.sort();
-    let mut findings = Vec::new();
-    for path in &files {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths)?;
+    paths.sort();
+    let mut sources = Vec::with_capacity(paths.len());
+    for path in &paths {
         let source = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        findings.extend(scan_source(&relative(root, path), &source, &registry));
+        sources.push((relative(root, path), source));
     }
+    let findings = analyze(&sources, &ctx);
     let mut findings = apply_allowlist(findings, &allow);
-    findings.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    findings.sort_by(|a, b| (&a.path, a.line, a.col).cmp(&(&b.path, b.line, b.col)));
     Ok(findings)
 }
 

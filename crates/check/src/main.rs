@@ -1,28 +1,62 @@
 //! `ft-check` binary: scans the workspace and exits non-zero on any
-//! finding. Usage: `cargo run -p ft-check [workspace-root]`.
+//! finding.
+//!
+//! Usage: `cargo run -p ft-check [--json] [--warn] [--tests] [root]`
+//!
+//! * `--json`  — emit the machine-readable report (schema in
+//!   `ft_check::to_json`) on stdout instead of human diagnostics.
+//! * `--warn`  — always exit 0 (CI's advisory lanes).
+//! * `--tests` — drop the test-code exemptions and lint tests too.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = std::env::args()
-        .nth(1)
-        .map(PathBuf::from)
-        .unwrap_or_else(default_root);
-    match ft_check::scan_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!(
-                "ft-check: clean ({} files scanned, rules FTC001-FTC006)",
-                ft_check::count_scanned_files(&root)
-            );
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            for f in &findings {
-                eprintln!("{f}");
+    let mut json = false;
+    let mut warn = false;
+    let mut tests = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--warn" => warn = true,
+            "--tests" => tests = true,
+            "--help" | "-h" => {
+                println!("usage: ft-check [--json] [--warn] [--tests] [workspace-root]");
+                return ExitCode::SUCCESS;
             }
-            eprintln!("ft-check: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            other if other.starts_with('-') => {
+                eprintln!("ft-check: unknown flag `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+            path => root = Some(PathBuf::from(path)),
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let ok_code = ExitCode::SUCCESS;
+    let fail_code = if warn {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    };
+    match ft_check::scan_workspace_opts(&root, tests) {
+        Ok(findings) => {
+            let files = ft_check::count_scanned_files(&root);
+            if json {
+                println!("{}", ft_check::to_json(&findings, files));
+            } else if findings.is_empty() {
+                println!("ft-check: clean ({files} files scanned, rules FTC000-FTC012)");
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                }
+                eprintln!("ft-check: {} finding(s)", findings.len());
+            }
+            if findings.is_empty() {
+                ok_code
+            } else {
+                fail_code
+            }
         }
         Err(e) => {
             eprintln!("ft-check: error: {e}");

@@ -1,0 +1,106 @@
+//! FTC008 — no heap allocation reachable from `// ft-check: hot` fns.
+//!
+//! The microkernel tile loop, the GEMM packing routines, the level-2
+//! inner loops, and the flight-recorder append run per-element or
+//! per-event inside the latency-critical paths; an allocation there is
+//! a performance regression the benchmarks only catch statistically.
+//! Functions tagged `// ft-check: hot` (and everything reachable from
+//! them through resolved call edges) must not contain `Vec::new`,
+//! `Vec::with_capacity`, `vec!`, `Box::new`, `.to_vec()`, `.collect()`,
+//! or `format!`.
+//!
+//! Reachability uses the conservative name-resolved call graph: an
+//! ambiguous call contributes no edge, so the rule can under-report
+//! through trait objects or common method names — it is a tripwire for
+//! the obvious regression, not an escape analysis.
+
+use super::Analysis;
+use crate::callgraph::FnRef;
+use crate::lexer::{Tok, TokKind};
+use crate::Finding;
+
+/// Runs FTC008.
+pub fn run(a: &Analysis<'_>, findings: &mut Vec<Finding>) {
+    let mut seen: std::collections::HashSet<(usize, u32, u32)> = std::collections::HashSet::new();
+    for (fi, fm) in a.files.iter().enumerate() {
+        for (ki, f) in fm.items.fns.iter().enumerate() {
+            if !f.has_marker("hot") || a.fn_in_test(fi, ki) {
+                continue;
+            }
+            let root = FnRef {
+                file: fi,
+                fn_idx: ki,
+            };
+            for (r, depth) in a.graph.reachable(root, usize::MAX) {
+                let gm = &a.files[r.file];
+                let g = &gm.items.fns[r.fn_idx];
+                let Some((open, close)) = g.body else {
+                    continue;
+                };
+                for (what, line, col) in alloc_sites(&gm.lexed.toks, open, close) {
+                    if !seen.insert((r.file, line, col)) {
+                        continue;
+                    }
+                    let via = if depth == 0 {
+                        String::new()
+                    } else {
+                        format!(
+                            " (reachable from hot fn `{}`, {depth} call{} away)",
+                            f.qual_name(),
+                            if depth == 1 { "" } else { "s" }
+                        )
+                    };
+                    findings.push(Finding {
+                        path: gm.rel.clone(),
+                        line: line as usize + 1,
+                        col: col as usize + 1,
+                        rule: "FTC008",
+                        message: format!("heap allocation `{what}` in a hot path{via}"),
+                        hint: "hot paths must reuse caller-provided or pooled buffers; \
+                               hoist the allocation out of the tagged fn's call tree \
+                               (or drop the `// ft-check: hot` marker with a review)",
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Allocation-shaped token patterns in a body range.
+fn alloc_sites(toks: &[Tok], open: usize, close: usize) -> Vec<(String, u32, u32)> {
+    let mut out = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            k += 1;
+            continue;
+        }
+        let next = toks.get(k + 1);
+        let prev_dot = toks[k - 1].is_punct(".");
+        match t.text.as_str() {
+            "Vec" | "Box" | "String"
+                if next.is_some_and(|n| n.is_punct("::"))
+                    && toks.get(k + 2).is_some_and(|n| {
+                        n.is_ident("new") || n.is_ident("with_capacity") || n.is_ident("from")
+                    }) =>
+            {
+                out.push((format!("{}::{}", t.text, toks[k + 2].text), t.line, t.col));
+                k += 3;
+                continue;
+            }
+            "vec" | "format" if next.is_some_and(|n| n.is_punct("!")) => {
+                out.push((format!("{}!", t.text), t.line, t.col));
+            }
+            // `.collect()` or `.collect::<…>()`.
+            "to_vec" | "collect" | "to_owned"
+                if prev_dot && next.is_some_and(|n| n.is_punct("(") || n.is_punct("::")) =>
+            {
+                out.push((format!(".{}()", t.text), t.line, t.col));
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out
+}

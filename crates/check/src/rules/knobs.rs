@@ -1,0 +1,167 @@
+//! FTC010 — `FT_*` environment knobs stay in sync with the `KNOBS`
+//! registry in `crates/trace/src/env_knob.rs` and with the README
+//! tables. Four drift directions, each its own finding:
+//!
+//! 1. a knob read in code (`env_knob::helper("FT_…")`) missing from the
+//!    `KNOBS` registry;
+//! 2. a registry entry no knob read uses (dead documentation);
+//! 3. a registry entry absent from the README;
+//! 4. an `FT_*` token in the README that the registry doesn't declare.
+//!
+//! README extraction skips tokens ending in `_` (prose wildcards like
+//! `FT_SERVE_*` are rendered `FT_SERVE_…`/`FT_SERVE_` in text) and
+//! anything that isn't SCREAMING_SNAKE after the prefix, so type names
+//! like `FtBand` or display labels never count.
+
+use super::Analysis;
+use crate::lexer::TokKind;
+use crate::Finding;
+use std::collections::BTreeSet;
+
+/// Helper names in `env_knob` whose first argument is a knob name.
+const HELPERS: [&str; 5] = ["raw", "parse_with", "flag", "usize_or", "ms_or_none"];
+
+/// Runs FTC010.
+pub fn run(a: &Analysis<'_>, findings: &mut Vec<Finding>) {
+    // 1. Collect every knob-read site: `env_knob :: helper ( "FT_…"`.
+    //    (name, file idx, line, col)
+    let mut reads: Vec<(String, usize, u32, u32)> = Vec::new();
+    for (fi, fm) in a.files.iter().enumerate() {
+        let toks = &fm.lexed.toks;
+        for k in 0..toks.len() {
+            if !toks[k].is_ident("env_knob") {
+                continue;
+            }
+            let Some(p) = toks.get(k + 1) else { continue };
+            if !p.is_punct("::") {
+                continue;
+            }
+            let Some(h) = toks.get(k + 2) else { continue };
+            if h.kind != TokKind::Ident || !HELPERS.contains(&h.text.as_str()) {
+                continue;
+            }
+            if !toks.get(k + 3).is_some_and(|t| t.is_punct("(")) {
+                continue;
+            }
+            let Some(arg) = toks.get(k + 4) else { continue };
+            if arg.kind != TokKind::Str || !arg.text.starts_with("FT_") {
+                continue;
+            }
+            reads.push((arg.text.clone(), fi, arg.line, arg.col));
+        }
+        // Inside env_knob.rs itself the helpers are called unqualified
+        // by the `KNOBS` unit test only; the registry is the source of
+        // truth there, so no extra pattern is needed.
+    }
+
+    let declared: BTreeSet<&str> = a.ctx.knobs.iter().map(|(n, _)| n.as_str()).collect();
+    let read_names: BTreeSet<&str> = reads.iter().map(|(n, _, _, _)| n.as_str()).collect();
+
+    // Direction 1: read but undeclared.
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for (name, fi, line, col) in &reads {
+        if declared.contains(name.as_str()) || !seen.insert(name) {
+            continue;
+        }
+        findings.push(a.finding(
+            *fi,
+            *line,
+            *col,
+            "FTC010",
+            format!("env knob \"{name}\" is not declared in the KNOBS registry"),
+            "add the knob (sorted) to KNOBS in crates/trace/src/env_knob.rs with \
+             a one-line description, then mirror it into the README knob tables",
+        ));
+    }
+
+    // Direction 2: declared but never read.
+    for (name, line) in &a.ctx.knobs {
+        if !read_names.contains(name.as_str()) {
+            findings.push(Finding {
+                path: a.ctx.knobs_rel.clone(),
+                line: *line,
+                col: 1,
+                rule: "FTC010",
+                message: format!("KNOBS entry \"{name}\" is never read through env_knob"),
+                hint: "delete the stale registry row (and its README row), or wire \
+                       the knob up — documented-but-dead knobs mislead operators",
+            });
+        }
+    }
+
+    // README directions only when a README was parsed (workspace mode).
+    let Some(readme) = &a.ctx.readme_knobs else {
+        return;
+    };
+    let in_readme: BTreeSet<&str> = readme.iter().map(|(n, _)| n.as_str()).collect();
+
+    // Direction 3: declared but missing from the README.
+    for (name, line) in &a.ctx.knobs {
+        if !in_readme.contains(name.as_str()) {
+            findings.push(Finding {
+                path: a.ctx.knobs_rel.clone(),
+                line: *line,
+                col: 1,
+                rule: "FTC010",
+                message: format!("KNOBS entry \"{name}\" is missing from the README"),
+                hint: "add the knob to the matching README table (Trace/serve/BLAS) \
+                       so the registry and the operator docs agree",
+            });
+        }
+    }
+
+    // Direction 4: in the README but undeclared.
+    let mut seen_rm: BTreeSet<&str> = BTreeSet::new();
+    for (name, line) in readme {
+        if declared.contains(name.as_str()) || !seen_rm.insert(name) {
+            continue;
+        }
+        findings.push(Finding {
+            path: a.ctx.readme_rel.clone(),
+            line: *line,
+            col: 1,
+            rule: "FTC010",
+            message: format!(
+                "README documents env knob \"{name}\" which the KNOBS registry does not declare"
+            ),
+            hint: "either the README row is stale (delete it) or the knob exists \
+                   and belongs in KNOBS in crates/trace/src/env_knob.rs",
+        });
+    }
+}
+
+/// Extracts `FT_*` knob tokens from README text: `(name, 1-based line)`.
+/// Skips wildcard-ish tokens ending in `_` and anything with lowercase
+/// after the prefix.
+pub fn readme_knob_tokens(text: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let bytes = line.as_bytes();
+        let mut j = 0;
+        while let Some(pos) = line[j..].find("FT_") {
+            let start = j + pos;
+            // Must not be preceded by an identifier character.
+            if start > 0 {
+                let c = bytes[start - 1];
+                if c.is_ascii_alphanumeric() || c == b'_' {
+                    j = start + 3;
+                    continue;
+                }
+            }
+            let mut end = start + 3;
+            while end < line.len()
+                && (bytes[end].is_ascii_uppercase()
+                    || bytes[end].is_ascii_digit()
+                    || bytes[end] == b'_')
+            {
+                end += 1;
+            }
+            let tok = &line[start..end];
+            if tok.len() > 3 && !tok.ends_with('_') {
+                out.push((tok.to_string(), i + 1));
+            }
+            j = end;
+        }
+    }
+    out
+}

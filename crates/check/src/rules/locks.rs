@@ -1,0 +1,219 @@
+//! FTC009 — consistent lock-acquisition order in `crates/serve` and
+//! `crates/blas`.
+//!
+//! The loom models (DESIGN.md §11.2) prove the queue, oneshot, and
+//! latch deadlock-free *dynamically*, per component. This rule is the
+//! static complement across components: every `Mutex` in the two
+//! concurrency crates must be declared in the partial-order registry
+//! (`crates/serve/src/lock_order.rs`), and within any function body, a
+//! lock may only be acquired while holding locks of strictly lower
+//! rank.
+//!
+//! Guard liveness is approximated lexically: a let-bound guard
+//! (`let g = x.lock()…`) lives to the end of its enclosing brace block
+//! (minus an explicit `drop(g)`); a transient guard (`x.lock()` used in
+//! place) lives to the end of its statement. `if let`/`match` heads
+//! count as transient — an under-approximation, traded for zero false
+//! positives; the loom models cover the dynamic side.
+
+use super::{Analysis, LockRank};
+use crate::lexer::{Tok, TokKind};
+use crate::Finding;
+
+/// Runs FTC009.
+pub fn run(a: &Analysis<'_>, findings: &mut Vec<Finding>) {
+    for (fi, fm) in a.files.iter().enumerate() {
+        if !super::LOCK_SCOPE.iter().any(|p| fm.rel.starts_with(p)) {
+            continue;
+        }
+        coverage(a, fi, findings);
+        for (ki, f) in fm.items.fns.iter().enumerate() {
+            if a.fn_in_test(fi, ki) {
+                continue;
+            }
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            order_in_body(a, fi, open, close, findings);
+        }
+    }
+}
+
+fn rank_of<'c>(a: &'c Analysis<'_>, rel: &str, name: &str) -> Option<&'c LockRank> {
+    a.ctx
+        .lock_order
+        .iter()
+        .find(|r| r.name == name && (rel.ends_with(&r.path) || r.path == rel))
+}
+
+/// Every Mutex *declaration* in scope must be registered.
+fn coverage(a: &Analysis<'_>, fi: usize, findings: &mut Vec<Finding>) {
+    let fm = &a.files[fi];
+    let toks = &fm.lexed.toks;
+    let mut reported: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for k in 0..toks.len() {
+        if !toks[k].is_ident("Mutex") {
+            continue;
+        }
+        // `name: Mutex<…>` (field/static/let-typed) or `name: Mutex::new`
+        // (struct-literal init). Walk back over the type path to the `:`.
+        let shape_ok = toks.get(k + 1).is_some_and(|t| t.is_punct("<"))
+            || (toks.get(k + 1).is_some_and(|t| t.is_punct("::"))
+                && toks.get(k + 2).is_some_and(|t| t.is_ident("new")));
+        if !shape_ok {
+            continue;
+        }
+        let mut j = k;
+        while j >= 1 && (toks[j - 1].is_punct("::") || toks[j - 1].kind == TokKind::Ident) {
+            j -= 1;
+        }
+        if j < 2 || !toks[j - 1].is_punct(":") || toks[j - 2].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[j - 2].text.clone();
+        if a.tok_in_test(fi, k) || !reported.insert(name.clone()) {
+            continue;
+        }
+        if rank_of(a, &fm.rel, &name).is_none() {
+            findings.push(a.finding(
+                fi,
+                toks[j - 2].line,
+                toks[j - 2].col,
+                "FTC009",
+                format!(
+                    "Mutex `{name}` has no entry in the lock-order registry \
+                     (crates/serve/src/lock_order.rs)"
+                ),
+                "declare (path, name, rank) in LOCK_ORDER — a lock outside the \
+                 declared partial order cannot be checked for deadlock-freedom",
+            ));
+        }
+    }
+}
+
+/// Tracks guard liveness through one body and checks acquisition edges.
+fn order_in_body(
+    a: &Analysis<'_>,
+    fi: usize,
+    open: usize,
+    close: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let fm = &a.files[fi];
+    let toks = &fm.lexed.toks;
+    // Per-brace-scope held guards: (lock name, binding name if let-bound).
+    let mut scopes: Vec<Vec<(String, Option<String>)>> = vec![Vec::new()];
+    let mut transients: Vec<String> = Vec::new();
+    let mut stmt_start = open + 1;
+    let mut k = open + 1;
+    while k < close {
+        let t = &toks[k];
+        if t.is_punct("{") {
+            scopes.push(Vec::new());
+            transients.clear();
+            stmt_start = k + 1;
+        } else if t.is_punct("}") {
+            scopes.pop();
+            if scopes.is_empty() {
+                scopes.push(Vec::new());
+            }
+            transients.clear();
+            stmt_start = k + 1;
+        } else if t.is_punct(";") {
+            transients.clear();
+            stmt_start = k + 1;
+        } else if t.is_ident("drop")
+            && toks.get(k + 1).is_some_and(|n| n.is_punct("("))
+            && toks.get(k + 2).is_some_and(|n| n.kind == TokKind::Ident)
+            && toks.get(k + 3).is_some_and(|n| n.is_punct(")"))
+        {
+            let binding = &toks[k + 2].text;
+            for scope in scopes.iter_mut() {
+                scope.retain(|(_, b)| b.as_deref() != Some(binding.as_str()));
+            }
+        } else if t.is_ident("lock")
+            && k >= 2
+            && toks[k - 1].is_punct(".")
+            && toks.get(k + 1).is_some_and(|n| n.is_punct("("))
+            && toks[k - 2].kind == TokKind::Ident
+            && toks[k - 2].text != "self"
+        {
+            let lock = toks[k - 2].text.clone();
+            // Only check locks the registry knows about on the edge's
+            // *held* side too — an unregistered lock already produced a
+            // coverage finding at its declaration.
+            let held: Vec<String> = scopes
+                .iter()
+                .flat_map(|s| s.iter().map(|(l, _)| l.clone()))
+                .chain(transients.iter().cloned())
+                .filter(|h| h != &lock)
+                .collect();
+            for h in held {
+                check_edge(a, fi, &h, &lock, t, findings);
+            }
+            // Let-bound or transient?
+            if toks.get(stmt_start).is_some_and(|s| s.is_ident("let")) {
+                let mut b = stmt_start + 1;
+                while toks
+                    .get(b)
+                    .is_some_and(|t| t.is_ident("mut") || t.is_punct("(") || t.is_ident("ref"))
+                {
+                    b += 1;
+                }
+                let binding = toks
+                    .get(b)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone());
+                if let Some(scope) = scopes.last_mut() {
+                    scope.push((lock, binding));
+                }
+            } else {
+                transients.push(lock);
+            }
+        }
+        k += 1;
+    }
+}
+
+fn check_edge(
+    a: &Analysis<'_>,
+    fi: usize,
+    held: &str,
+    acquired: &str,
+    at: &Tok,
+    findings: &mut Vec<Finding>,
+) {
+    let rel = &a.files[fi].rel;
+    let (Some(rh), Some(ra)) = (rank_of(a, rel, held), rank_of(a, rel, acquired)) else {
+        // Unregistered locks are reported by the coverage pass; an edge
+        // over them cannot be ordered, so say so once per site.
+        findings.push(a.finding(
+            fi,
+            at.line,
+            at.col,
+            "FTC009",
+            format!(
+                "lock `{acquired}` acquired while holding `{held}`, but the pair \
+                 is not fully declared in the lock-order registry"
+            ),
+            "add both locks to LOCK_ORDER in crates/serve/src/lock_order.rs so \
+             the acquisition edge can be checked against the partial order",
+        ));
+        return;
+    };
+    if rh.rank >= ra.rank {
+        findings.push(a.finding(
+            fi,
+            at.line,
+            at.col,
+            "FTC009",
+            format!(
+                "lock-order violation: `{acquired}` (rank {}) acquired while \
+                 holding `{held}` (rank {})",
+                ra.rank, rh.rank
+            ),
+            "acquire locks in ascending declared rank (release the held lock \
+             first, or swap the ranks in lock_order.rs with a deadlock review)",
+        ));
+    }
+}

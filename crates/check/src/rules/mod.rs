@@ -1,0 +1,146 @@
+//! The rule suite: shared context, scope classification, and the
+//! dispatcher that runs every rule over an analyzed file set.
+
+pub mod hotpath;
+pub mod knobs;
+pub mod locks;
+pub mod names_rule;
+pub mod panics;
+pub mod scan;
+pub mod simd;
+
+use crate::callgraph::{FileModel, Graph};
+use crate::{Finding, Registry};
+
+/// A declared lock rank from the lock-order registry
+/// (`crates/serve/src/lock_order.rs`).
+#[derive(Debug, Clone)]
+pub struct LockRank {
+    /// Repo-relative path of the file owning the lock (suffix match).
+    pub path: String,
+    /// Field/binding name of the `Mutex`.
+    pub name: String,
+    /// Position in the partial order: a lock may only be acquired while
+    /// holding locks of strictly lower rank.
+    pub rank: u32,
+    /// 1-based line of the registry entry (for coverage findings).
+    pub line: usize,
+}
+
+/// Everything the rules need beyond the file set itself: the parsed
+/// registries and the scan mode.
+#[derive(Default)]
+pub struct Ctx {
+    /// Metric-name registry from `crates/trace/src/names.rs`.
+    pub registry: Registry,
+    /// Repo-relative path of names.rs (FTC012 findings anchor here).
+    pub names_rel: String,
+    /// Declared env knobs `(name, 1-based line)` from the `KNOBS` table
+    /// in `crates/trace/src/env_knob.rs`.
+    pub knobs: Vec<(String, usize)>,
+    /// Repo-relative path of env_knob.rs.
+    pub knobs_rel: String,
+    /// `FT_*` tokens found in README `(name, 1-based line)`; `None`
+    /// skips the README directions of FTC010 (fixture mode).
+    pub readme_knobs: Option<Vec<(String, usize)>>,
+    /// Repo-relative path of the README.
+    pub readme_rel: String,
+    /// Declared lock ranks from `crates/serve/src/lock_order.rs`.
+    pub lock_order: Vec<LockRank>,
+    /// When `true` (`--tests`), test code loses its exemptions and the
+    /// scoped rules apply everywhere — CI runs this warn-only.
+    pub include_tests: bool,
+}
+
+/// Crates whose `src/` must stay wall-clock-free (bit-identical math).
+pub const DETERMINISTIC_CRATES: [&str; 4] = [
+    "crates/matrix/src/",
+    "crates/blas/src/",
+    "crates/lapack/src/",
+    "crates/hessenberg/src/",
+];
+
+/// The one sanctioned `std::env::var` site.
+pub const ENV_KNOB: &str = "crates/trace/src/env_knob.rs";
+
+/// The one sanctioned thread-creation site.
+pub const POOL: &str = "crates/blas/src/pool.rs";
+
+/// Crate prefixes whose lock sites FTC009 covers.
+pub const LOCK_SCOPE: [&str; 2] = ["crates/serve/src/", "crates/blas/src/"];
+
+pub(crate) fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/") || rel.contains("/tests/")
+}
+
+pub(crate) fn is_library_path(rel: &str) -> bool {
+    let in_src = rel.starts_with("src/") || (rel.starts_with("crates/") && rel.contains("/src/"));
+    in_src && !rel.contains("/bin/") && !rel.ends_with("/main.rs") && !rel.ends_with("build.rs")
+}
+
+pub(crate) fn is_deterministic_math_path(rel: &str) -> bool {
+    DETERMINISTIC_CRATES.iter().any(|p| rel.starts_with(p))
+}
+
+/// The analyzed workspace handed to each rule.
+pub struct Analysis<'a> {
+    /// All analyzed files.
+    pub files: &'a [FileModel],
+    /// The resolved call graph over them.
+    pub graph: Graph<'a>,
+    /// Registries and mode.
+    pub ctx: &'a Ctx,
+}
+
+impl Analysis<'_> {
+    /// `true` when token `tok_idx` of file `fi` is test-exempt.
+    pub fn tok_in_test(&self, fi: usize, tok_idx: usize) -> bool {
+        if self.ctx.include_tests {
+            return false;
+        }
+        is_test_path(&self.files[fi].rel) || self.files[fi].items.tok_in_test(tok_idx)
+    }
+
+    /// `true` when fn `fn_idx` of file `fi` is test-exempt.
+    pub fn fn_in_test(&self, fi: usize, fn_idx: usize) -> bool {
+        if self.ctx.include_tests {
+            return false;
+        }
+        is_test_path(&self.files[fi].rel) || self.files[fi].items.fns[fn_idx].in_test
+    }
+
+    /// Builds a finding from a 0-based token position.
+    pub fn finding(
+        &self,
+        fi: usize,
+        line: u32,
+        col: u32,
+        rule: &'static str,
+        message: String,
+        hint: &'static str,
+    ) -> Finding {
+        Finding {
+            path: self.files[fi].rel.clone(),
+            line: line as usize + 1,
+            col: col as usize + 1,
+            rule,
+            message,
+            hint,
+        }
+    }
+}
+
+/// Runs every rule over the analyzed file set.
+pub fn run_all(files: &[FileModel], ctx: &Ctx) -> Vec<Finding> {
+    let graph = Graph::build(files);
+    let a = Analysis { files, graph, ctx };
+    let mut findings = Vec::new();
+    scan::run(&a, &mut findings);
+    simd::run(&a, &mut findings);
+    hotpath::run(&a, &mut findings);
+    locks::run(&a, &mut findings);
+    knobs::run(&a, &mut findings);
+    panics::run(&a, &mut findings);
+    names_rule::run(&a, &mut findings);
+    findings
+}

@@ -1,0 +1,48 @@
+//! FTC012 — the metric-name registry is bidirectional.
+//!
+//! FTC006 (scan.rs) checks the forward direction: every name a call
+//! site uses must be declared in `crates/trace/src/names.rs`. This rule
+//! closes the loop: every *declared* name must have at least one
+//! non-test usage site of the matching kind. A declared-but-never-
+//! emitted metric is worse than dead code — dashboards and alert rules
+//! built on it read as "flatlined at zero", which in a fault-injection
+//! pipeline looks exactly like "no faults detected".
+
+use super::Analysis;
+use crate::Finding;
+use std::collections::BTreeSet;
+
+/// Runs FTC012.
+pub fn run(a: &Analysis<'_>, findings: &mut Vec<Finding>) {
+    if a.ctx.registry.declared.is_empty() {
+        return;
+    }
+    // Every non-test usage site, as (kind, name).
+    let mut used: BTreeSet<(String, String)> = BTreeSet::new();
+    for (fi, fm) in a.files.iter().enumerate() {
+        let toks = &fm.lexed.toks;
+        for k in 0..toks.len() {
+            let Some((kind, name_tok)) = super::scan::metric_name_at(toks, k) else {
+                continue;
+            };
+            if a.tok_in_test(fi, k) {
+                continue;
+            }
+            used.insert((kind.to_string(), name_tok.text.clone()));
+        }
+    }
+    for (kind, name, line) in &a.ctx.registry.declared {
+        if used.contains(&(kind.clone(), name.clone())) {
+            continue;
+        }
+        findings.push(Finding {
+            path: a.ctx.names_rel.clone(),
+            line: *line,
+            col: 1,
+            rule: "FTC012",
+            message: format!("{kind} \"{name}\" is declared but never emitted from non-test code"),
+            hint: "a declared-but-silent metric reads as a flatlined series; delete \
+                   the registry row or emit it from the subsystem that owns it",
+        });
+    }
+}

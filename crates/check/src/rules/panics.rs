@@ -1,0 +1,98 @@
+//! FTC011 — no panicking calls within two call-graph hops of the serve
+//! worker run loop.
+//!
+//! A panic on a worker thread converts one failed job into a dead
+//! worker: the queue keeps accepting, throughput quietly drops, and
+//! only the `executor worker panicked` join-expect at shutdown reveals
+//! it. FTC004 already flags panics file-by-file, but its allowlist is
+//! audited per *file*; this rule adds a stricter, radius-based gate
+//! around the fn tagged `// ft-check: worker-loop` (scheduler::run_job):
+//! every `.unwrap()` / `.expect()` / `panic!` / `unreachable!` /
+//! `todo!` / `unimplemented!` within ≤2 resolved call hops must carry
+//! its own FTC011 allowlist entry — the poisoning family and deliberate
+//! invariant aborts get re-justified at this tighter radius, everything
+//! else must become a recorded job failure.
+
+use super::Analysis;
+use crate::callgraph::FnRef;
+use crate::lexer::{Tok, TokKind};
+use crate::Finding;
+
+const RADIUS: usize = 2;
+
+/// Runs FTC011.
+pub fn run(a: &Analysis<'_>, findings: &mut Vec<Finding>) {
+    let mut seen: std::collections::HashSet<(usize, u32, u32)> = std::collections::HashSet::new();
+    for (fi, fm) in a.files.iter().enumerate() {
+        for (ki, f) in fm.items.fns.iter().enumerate() {
+            if !f.has_marker("worker-loop") || a.fn_in_test(fi, ki) {
+                continue;
+            }
+            let root = FnRef {
+                file: fi,
+                fn_idx: ki,
+            };
+            for (r, depth) in a.graph.reachable(root, RADIUS) {
+                let gm = &a.files[r.file];
+                let g = &gm.items.fns[r.fn_idx];
+                let Some((open, close)) = g.body else {
+                    continue;
+                };
+                for (what, line, col) in panic_sites(&gm.lexed.toks, open, close) {
+                    if !seen.insert((r.file, line, col)) {
+                        continue;
+                    }
+                    let via = if depth == 0 {
+                        format!("in worker-loop fn `{}`", f.qual_name())
+                    } else {
+                        format!(
+                            "{depth} call hop{} from worker-loop fn `{}` (via `{}`)",
+                            if depth == 1 { "" } else { "s" },
+                            f.qual_name(),
+                            g.qual_name()
+                        )
+                    };
+                    findings.push(Finding {
+                        path: gm.rel.clone(),
+                        line: line as usize + 1,
+                        col: col as usize + 1,
+                        rule: "FTC011",
+                        message: format!("panicking call `{what}` {via}"),
+                        hint: "a worker panic silently kills throughput until shutdown; \
+                               convert to a recorded job failure (JobError), or audit the \
+                               abort with an FTC011 check_allow.toml entry",
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Panic-shaped token patterns in a body range.
+fn panic_sites(toks: &[Tok], open: usize, close: usize) -> Vec<(String, u32, u32)> {
+    let mut out = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            k += 1;
+            continue;
+        }
+        let next = toks.get(k + 1);
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if toks[k - 1].is_punct(".") && next.is_some_and(|n| n.is_punct("(")) =>
+            {
+                out.push((format!(".{}()", t.text), t.line, t.col));
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if next.is_some_and(|n| n.is_punct("!")) =>
+            {
+                out.push((format!("{}!", t.text), t.line, t.col));
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out
+}

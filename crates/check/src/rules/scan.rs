@@ -1,0 +1,229 @@
+//! FTC001–FTC006, ported from the PR-5 line scanner onto the token
+//! stream. Matching on typed tokens (instead of stripped text) makes
+//! the old false-positive class — rule-shaped text inside string
+//! literals, doc comments, or `#[test]` fns that the line mask missed —
+//! structurally impossible: an `unwrap` in a doc comment is trivia, a
+//! `counter("…")` in a test string is a `Str` token, and `#[test]`
+//! gates its fn through the item pass regardless of line layout.
+
+use super::Analysis;
+use crate::lexer::{Tok, TokKind};
+use crate::Finding;
+
+/// Runs FTC001–FTC006 over every file.
+pub fn run(a: &Analysis<'_>, findings: &mut Vec<Finding>) {
+    for fi in 0..a.files.len() {
+        run_file(a, fi, findings);
+    }
+}
+
+fn path_seg(toks: &[Tok], k: usize) -> Option<&str> {
+    // For `a :: b` at ident index k of `b`, the segment before it.
+    if k >= 2 && toks[k - 1].is_punct("::") && toks[k - 2].kind == TokKind::Ident {
+        Some(&toks[k - 2].text)
+    } else {
+        None
+    }
+}
+
+fn run_file(a: &Analysis<'_>, fi: usize, findings: &mut Vec<Finding>) {
+    let fm = &a.files[fi];
+    let rel = fm.rel.as_str();
+    let toks = &fm.lexed.toks;
+    let lib = super::is_library_path(rel);
+    let math = super::is_deterministic_math_path(rel);
+    // FTC004 reports once per (line, token kind), like the old scanner.
+    let mut ftc004_seen: std::collections::HashSet<(u32, &'static str)> =
+        std::collections::HashSet::new();
+
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let in_test = a.tok_in_test(fi, k);
+
+        // FTC001 — env access outside the knob module (non-test code).
+        if !in_test
+            && rel != super::ENV_KNOB
+            && path_seg(toks, k) == Some("env")
+            && matches!(t.text.as_str(), "var" | "var_os" | "vars")
+        {
+            findings.push(a.finding(
+                fi,
+                t.line,
+                t.col,
+                "FTC001",
+                format!("`env::{}` outside `ft_trace::env_knob`", t.text),
+                "read configuration through ft_trace::env_knob so every knob \
+                 is centralized, documented, and trace-consistent",
+            ));
+        }
+
+        // FTC002 — thread creation outside the pool (non-test code).
+        if !in_test
+            && rel != super::POOL
+            && path_seg(toks, k) == Some("thread")
+            && matches!(t.text.as_str(), "spawn" | "scope" | "Builder")
+        {
+            findings.push(a.finding(
+                fi,
+                t.line,
+                t.col,
+                "FTC002",
+                format!("`thread::{}` outside `ft-blas/src/pool.rs`", t.text),
+                "run work on the persistent ft-blas pool, or audit the new \
+                 thread with a check_allow.toml entry",
+            ));
+        }
+
+        // FTC003 — unannotated unsafe (all code, tests included).
+        if t.text == "unsafe" && !has_safety_annotation(a, fi, t.line) {
+            findings.push(a.finding(
+                fi,
+                t.line,
+                t.col,
+                "FTC003",
+                "`unsafe` without a `// SAFETY:` comment".to_string(),
+                "state the proof obligation discharged by this unsafe in a \
+                 SAFETY comment directly above it (or a `# Safety` doc section)",
+            ));
+        }
+
+        // FTC004 — panicking calls in non-test library code.
+        if lib && !in_test {
+            let prev_dot = k > 0 && toks[k - 1].is_punct(".");
+            let next = toks.get(k + 1);
+            let hit: Option<(&'static str, &'static str)> = match t.text.as_str() {
+                "unwrap" if prev_dot && next.is_some_and(|n| n.is_punct("(")) => {
+                    Some(("unwrap", "unwrap()"))
+                }
+                "expect" if prev_dot && next.is_some_and(|n| n.is_punct("(")) => {
+                    Some(("expect", "expect()"))
+                }
+                "panic" if next.is_some_and(|n| n.is_punct("!")) => Some(("panic", "panic!")),
+                _ => None,
+            };
+            if let Some((kind, shown)) = hit {
+                if ftc004_seen.insert((t.line, kind)) {
+                    findings.push(a.finding(
+                        fi,
+                        t.line,
+                        t.col,
+                        "FTC004",
+                        format!("`{shown}` in non-test library code"),
+                        "return a Result, degrade gracefully, or audit the abort \
+                         with a check_allow.toml entry",
+                    ));
+                }
+            }
+        }
+
+        // FTC005 — wall clocks in deterministic math crates (non-test).
+        if math && !in_test {
+            let is_instant_now = t.text == "now" && path_seg(toks, k) == Some("Instant");
+            let is_systemtime = t.text == "SystemTime";
+            if is_instant_now || is_systemtime {
+                let shown = if is_systemtime {
+                    "SystemTime"
+                } else {
+                    "Instant::now"
+                };
+                findings.push(a.finding(
+                    fi,
+                    t.line,
+                    t.col,
+                    "FTC005",
+                    format!("`{shown}` in a deterministic math crate"),
+                    "math crates must stay replayable: take timings through \
+                     ft_trace (spans or ft_trace::clock) at the call boundary",
+                ));
+            }
+        }
+
+        // FTC006 — metric/span names must be declared (non-test code).
+        if !in_test {
+            if let Some((kind, name_tok)) = metric_name_at(toks, k) {
+                let set = match kind {
+                    "counter" => &a.ctx.registry.counters,
+                    "gauge" => &a.ctx.registry.gauges,
+                    "histogram" => &a.ctx.registry.histograms,
+                    _ => &a.ctx.registry.spans,
+                };
+                if !set.contains(&name_tok.text) {
+                    findings.push(a.finding(
+                        fi,
+                        name_tok.line,
+                        name_tok.col,
+                        "FTC006",
+                        format!(
+                            "{kind} name \"{}\" is not declared in the registry",
+                            name_tok.text
+                        ),
+                        "declare the name in crates/trace/src/names.rs (typo'd \
+                         names silently report zero)",
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// For ident index `k`, returns `(kind, name-literal token)` when the
+/// tokens form `counter("…"` / `gauge("…"` / `histogram("…"` /
+/// `span!("…"` — the registry-lookup call shapes.
+pub(crate) fn metric_name_at(toks: &[Tok], k: usize) -> Option<(&'static str, &Tok)> {
+    let t = &toks[k];
+    let kind = match t.text.as_str() {
+        "counter" => "counter",
+        "gauge" => "gauge",
+        "histogram" => "histogram",
+        "span" => "span",
+        _ => return None,
+    };
+    let mut j = k + 1;
+    if kind == "span" {
+        if !toks.get(j).is_some_and(|t| t.is_punct("!")) {
+            return None;
+        }
+        j += 1;
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct("(")) {
+        return None;
+    }
+    j += 1;
+    let name = toks.get(j)?;
+    if name.kind != TokKind::Str {
+        return None;
+    }
+    Some((kind, name))
+}
+
+/// `true` when the contiguous comment/attribute block above `line` (or
+/// the line itself) carries a SAFETY annotation. Works on raw source
+/// lines: the annotation is prose layout, not token structure.
+fn has_safety_annotation(a: &Analysis<'_>, fi: usize, line: u32) -> bool {
+    let originals = &a.files[fi].lines;
+    let idx = line as usize;
+    let carries = |s: &str| s.contains("SAFETY") || s.contains("# Safety");
+    if originals.get(idx).is_some_and(|l| carries(l)) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let t = originals[j].trim_start();
+        if t.is_empty()
+            || t.starts_with("//")
+            || t.starts_with("#[")
+            || t.starts_with("#![")
+            || t.starts_with("*")
+        {
+            if carries(t) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}

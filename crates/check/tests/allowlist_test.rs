@@ -7,6 +7,7 @@ fn finding(path: &str, line: usize) -> Finding {
     Finding {
         path: path.to_string(),
         line,
+        col: 1,
         rule: "FTC004",
         message: "test".to_string(),
         hint: "test",

@@ -1,0 +1,27 @@
+//! FTC007 clean fixture: scalar twin (both by stem and by direct call)
+//! plus an `Isa`-guarded dispatcher. Must produce zero findings.
+
+pub enum Isa {
+    Scalar,
+    Avx2,
+}
+
+pub fn widen(isa: Isa, x: &mut [f64]) {
+    match isa {
+        // SAFETY: Avx2 is only resolved after runtime detection.
+        Isa::Avx2 => unsafe { widen_avx2(x) },
+        Isa::Scalar => widen_scalar(x),
+    }
+}
+
+pub fn widen_scalar(x: &mut [f64]) {
+    for v in x {
+        *v *= 2.0;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: caller checked the avx2 feature.
+pub unsafe fn widen_avx2(x: &mut [f64]) {
+    widen_scalar(x);
+}

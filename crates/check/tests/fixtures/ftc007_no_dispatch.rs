@@ -1,0 +1,21 @@
+//! FTC007 fixture: a `#[target_feature]` kernel with a scalar twin but
+//! no runtime-dispatch site mentioning `Isa` or feature detection.
+
+pub fn widen_scalar(x: &mut [f64]) {
+    for v in x {
+        *v *= 2.0;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: caller checked the avx2 feature.
+pub unsafe fn widen_avx2(x: &mut [f64]) {
+    widen_scalar(x);
+}
+
+pub fn caller(x: &mut [f64]) {
+    // Calls the kernel but never consults the resolved ISA: an
+    // unguarded entry onto a maybe-unsupported CPU.
+    // SAFETY: (deliberately bogus fixture claim)
+    unsafe { widen_avx2(x) };
+}

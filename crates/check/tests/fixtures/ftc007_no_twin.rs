@@ -1,0 +1,22 @@
+//! FTC007 fixture: a `#[target_feature]` kernel with a runtime
+//! dispatcher but no scalar twin anywhere in the file.
+
+pub enum Isa {
+    Scalar,
+    Avx2,
+}
+
+pub fn dispatch(isa: Isa, x: &mut [f64]) {
+    if let Isa::Avx2 = isa {
+        // SAFETY: fixture dispatcher, gated on the resolved Isa.
+        unsafe { widen_avx2(x) };
+    }
+}
+
+#[target_feature(enable = "avx2")]
+// SAFETY: caller checked the avx2 feature.
+pub unsafe fn widen_avx2(x: &mut [f64]) {
+    for v in x {
+        *v *= 2.0;
+    }
+}

@@ -1,0 +1,18 @@
+//! FTC008 clean fixture: the hot fn and its whole call tree reuse
+//! caller-provided buffers; an allocation elsewhere in the file is fine.
+
+// ft-check: hot
+pub fn hot_entry(x: &mut [f64], scratch: &mut [f64]) {
+    helper(x, scratch);
+}
+
+fn helper(x: &mut [f64], scratch: &mut [f64]) {
+    for (v, s) in x.iter_mut().zip(scratch) {
+        *v += *s;
+    }
+}
+
+pub fn cold_setup(n: usize) -> Vec<f64> {
+    // Not reachable from the hot fn: allocations are fine here.
+    vec![0.0; n]
+}

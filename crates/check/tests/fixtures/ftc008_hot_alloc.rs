@@ -1,0 +1,14 @@
+//! FTC008 fixture: a `// ft-check: hot` fn reaching an allocation one
+//! call away.
+
+// ft-check: hot
+pub fn hot_entry(x: &mut [f64]) {
+    helper(x);
+}
+
+fn helper(x: &mut [f64]) {
+    let scratch = vec![0.0; x.len()];
+    for (v, s) in x.iter_mut().zip(&scratch) {
+        *v += *s;
+    }
+}

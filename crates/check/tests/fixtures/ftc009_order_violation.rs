@@ -1,0 +1,23 @@
+//! FTC009 fixture: both locks are registered (the driving test supplies
+//! the registry), but `bad` acquires them against the declared order.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub first: Mutex<u64>,
+    pub second: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn good(&self) -> u64 {
+        let a = self.first.lock().unwrap_or_else(|e| e.into_inner());
+        let b = self.second.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+
+    pub fn bad(&self) -> u64 {
+        let b = self.second.lock().unwrap_or_else(|e| e.into_inner());
+        let a = self.first.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+}

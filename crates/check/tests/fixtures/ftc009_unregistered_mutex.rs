@@ -1,0 +1,8 @@
+//! FTC009 fixture: a `Mutex` declared in a lock-scope crate with no
+//! entry in the lock-order registry.
+
+use std::sync::Mutex;
+
+pub struct State {
+    pub rogue: Mutex<u64>,
+}

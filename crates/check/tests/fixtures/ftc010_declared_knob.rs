@@ -1,0 +1,7 @@
+//! FTC010 clean fixture: the knob read here is declared by the driving
+//! test's registry and mirrored in its README tokens, so all four
+//! drift directions stay silent.
+
+pub fn workers() -> Option<usize> {
+    env_knob::usize_or("FT_FIXTURE_DECLARED_KNOB", 4).into()
+}

@@ -1,0 +1,6 @@
+//! FTC010 fixture: reads a knob through the sanctioned helpers that the
+//! `KNOBS` registry does not declare.
+
+pub fn smoke() -> bool {
+    env_knob::flag("FT_FIXTURE_PHANTOM_KNOB")
+}

@@ -1,0 +1,20 @@
+//! FTC011 clean fixture: the panic sits three hops out — beyond the
+//! rule's radius (FTC004 still owns it in real library paths; the
+//! driving test scans this under a bench path to isolate FTC011).
+
+// ft-check: worker-loop
+pub fn run_job(x: Option<u64>) -> u64 {
+    a(x)
+}
+
+fn a(x: Option<u64>) -> u64 {
+    b(x)
+}
+
+fn b(x: Option<u64>) -> u64 {
+    c(x)
+}
+
+fn c(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

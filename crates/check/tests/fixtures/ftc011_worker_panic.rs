@@ -1,0 +1,14 @@
+//! FTC011 fixture: a panicking call two hops from the worker-loop fn.
+
+// ft-check: worker-loop
+pub fn run_job(x: Option<u64>) -> u64 {
+    step(x)
+}
+
+fn step(x: Option<u64>) -> u64 {
+    finish(x)
+}
+
+fn finish(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

@@ -1,0 +1,8 @@
+//! FTC012 clean fixture: every name the driving test declares is
+//! emitted (one counter, one histogram), so the bidirectional registry
+//! check stays silent.
+
+pub fn tick(us: u64) {
+    counter("fixture.used").incr();
+    histogram("fixture.latency_us").record(us);
+}

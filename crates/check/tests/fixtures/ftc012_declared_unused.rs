@@ -1,0 +1,6 @@
+//! FTC012 fixture: emits one of the two names the driving test
+//! declares; the other declaration must be reported as never emitted.
+
+pub fn tick() {
+    counter("fixture.used").incr();
+}

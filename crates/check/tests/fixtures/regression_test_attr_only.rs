@@ -1,0 +1,19 @@
+//! Regression fixture for the PR-5 scanner's test-region hole: the old
+//! line mask only exempted code when `#[cfg(` and `test` appeared on
+//! the *same source line*, so a bare `#[test]` fn in a src/ path (the
+//! layout below — common for doc-adjacent smoke tests) leaked its
+//! `thread::spawn` and unregistered metric name into FTC002/FTC006
+//! findings. The token-stream item pass attributes the whole fn to its
+//! `#[test]` attribute regardless of line layout; this file must scan
+//! clean.
+
+pub fn real_code() -> u64 {
+    7
+}
+
+#[test]
+fn smoke() {
+    let h = std::thread::spawn(|| real_code());
+    assert_eq!(h.join().unwrap(), 7);
+    counter("totally.unregistered.name").incr();
+}

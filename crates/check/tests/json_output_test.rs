@@ -1,0 +1,325 @@
+//! `--json` report coverage: an exact golden rendering, escaping of
+//! every special character class, and a schema check of the real
+//! binary's output on the real workspace.
+//!
+//! The schema is the one DESIGN.md and README document:
+//!
+//! ```json
+//! {"version": 1, "tool": "ft-check", "files_scanned": N,
+//!  "finding_count": M,
+//!  "findings": [{"path", "line", "col", "rule", "message", "hint"}]}
+//! ```
+
+use ft_check::{to_json, Finding};
+
+fn finding(path: &str, line: usize, col: usize, message: &str) -> Finding {
+    Finding {
+        path: path.to_string(),
+        line,
+        col,
+        rule: "FTC004",
+        message: message.to_string(),
+        hint: "audit it",
+    }
+}
+
+#[test]
+fn golden_empty_report() {
+    assert_eq!(
+        to_json(&[], 154),
+        r#"{"version":1,"tool":"ft-check","files_scanned":154,"finding_count":0,"findings":[]}"#
+    );
+}
+
+#[test]
+fn golden_two_findings() {
+    let f = vec![
+        finding(
+            "crates/serve/src/pool.rs",
+            10,
+            5,
+            "panicking call `.unwrap()`",
+        ),
+        finding("crates/trace/src/lib.rs", 3, 1, "second"),
+    ];
+    assert_eq!(
+        to_json(&f, 2),
+        concat!(
+            r#"{"version":1,"tool":"ft-check","files_scanned":2,"finding_count":2,"findings":["#,
+            r#"{"path":"crates/serve/src/pool.rs","line":10,"col":5,"rule":"FTC004","message":"panicking call `.unwrap()`","hint":"audit it"},"#,
+            r#"{"path":"crates/trace/src/lib.rs","line":3,"col":1,"rule":"FTC004","message":"second","hint":"audit it"}"#,
+            r#"]}"#
+        )
+    );
+}
+
+#[test]
+fn escapes_every_special_class() {
+    let f = vec![finding("a\"b\\c.rs", 1, 1, "tab\there\nline\rret\u{1}ctl")];
+    let out = to_json(&f, 1);
+    assert!(
+        out.contains(r#""path":"a\"b\\c.rs""#),
+        "quote and backslash: {out}"
+    );
+    assert!(
+        out.contains(r#""message":"tab\there\nline\rret\u0001ctl""#),
+        "tab/newline/return/control: {out}"
+    );
+}
+
+// --- the real binary, end to end ------------------------------------------
+
+/// A minimal JSON value, parsed by the test's own recursive-descent
+/// parser below — the crate stays dependency-free, and the parser
+/// doubles as an independent check that the emitted report is
+/// well-formed JSON (not merely golden-string-shaped).
+#[derive(Debug, PartialEq)]
+enum Json {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kvs) => kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            let mut kvs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(kvs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let Json::Str(k) = parse_value(b, pos)? else {
+                    return Err(format!("non-string key at {pos}"));
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at {pos}"));
+                }
+                *pos += 1;
+                kvs.push((k, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(kvs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'u') => {
+                                let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5])
+                                    .map_err(|e| e.to_string())?;
+                                let n = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                                s.push(char::from_u32(n).ok_or("bad \\u escape")?);
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Multi-byte UTF-8 passes through unchanged.
+                        let start = *pos;
+                        while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                            *pos += 1;
+                        }
+                        s.push_str(
+                            std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?,
+                        );
+                    }
+                    None => return Err("unterminated string".to_string()),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos])
+                .map_err(|e| e.to_string())?
+                .parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| e.to_string())
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        other => Err(format!("unexpected {other:?} at {pos}")),
+    }
+}
+
+#[test]
+fn parser_roundtrips_the_golden_report() {
+    let f = vec![finding("a\"b.rs", 2, 7, "msg\nwith\tescapes")];
+    let v = parse_json(&to_json(&f, 1)).expect("well-formed");
+    let findings = match v.get("findings") {
+        Some(Json::Arr(a)) => a,
+        other => panic!("findings not an array: {other:?}"),
+    };
+    assert_eq!(findings[0].get("path").unwrap().as_str(), Some("a\"b.rs"));
+    assert_eq!(
+        findings[0].get("message").unwrap().as_str(),
+        Some("msg\nwith\tescapes")
+    );
+}
+
+#[test]
+fn binary_json_report_matches_documented_schema() {
+    // Run the actual binary over the actual workspace: the tree must be
+    // clean, and the report must carry every documented field with the
+    // documented type.
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ft-check"))
+        .arg("--json")
+        .arg(&root)
+        .output()
+        .expect("run ft-check --json");
+    let stdout = String::from_utf8(out.stdout).expect("utf8 report");
+    let v = parse_json(stdout.trim()).expect("well-formed JSON report");
+
+    assert_eq!(v.get("version").and_then(Json::as_num), Some(1.0));
+    assert_eq!(v.get("tool").and_then(Json::as_str), Some("ft-check"));
+    let scanned = v
+        .get("files_scanned")
+        .and_then(Json::as_num)
+        .expect("files_scanned is a number");
+    assert!(scanned > 50.0, "the workspace has many files: {scanned}");
+    let count = v
+        .get("finding_count")
+        .and_then(Json::as_num)
+        .expect("finding_count is a number");
+    let findings = match v.get("findings") {
+        Some(Json::Arr(a)) => a,
+        other => panic!("findings not an array: {other:?}"),
+    };
+    assert_eq!(count as usize, findings.len(), "finding_count consistency");
+    for f in findings {
+        for key in ["path", "rule", "message", "hint"] {
+            assert!(
+                f.get(key).and_then(Json::as_str).is_some(),
+                "finding missing string field {key}: {f:?}"
+            );
+        }
+        for key in ["line", "col"] {
+            assert!(
+                f.get(key).and_then(Json::as_num).is_some(),
+                "finding missing numeric field {key}: {f:?}"
+            );
+        }
+    }
+    assert!(
+        out.status.success() == findings.is_empty(),
+        "exit status mirrors findings: status={:?} findings={}",
+        out.status,
+        findings.len()
+    );
+    assert!(
+        findings.is_empty(),
+        "the committed tree must scan clean: {stdout}"
+    );
+}

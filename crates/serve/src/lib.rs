@@ -49,6 +49,7 @@
 
 pub mod job;
 pub mod loadgen;
+pub mod lock_order;
 pub mod metrics;
 /// The oneshot rendezvous is an implementation detail, but the loom
 /// suites model-check it directly, so it is public under `cfg(loom)`.

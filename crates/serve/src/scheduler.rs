@@ -391,6 +391,7 @@ fn sync_lane_depths(queue: &BoundedQueue<QueuedJob>) {
     }
 }
 
+// ft-check: worker-loop
 /// Executes one job on the calling worker thread: deadline gate, run,
 /// escalated retries, handle fulfillment, accounting.
 fn run_job(inner: &ServiceInner, backend: Backend, job: QueuedJob) {

@@ -10,6 +10,45 @@
 
 use std::time::Duration;
 
+/// Every `FT_*` knob the workspace reads, with a one-line description.
+///
+/// This table is the single source of truth for knob existence: ft-check
+/// (FTC010) fails the build when a knob is read through these helpers
+/// but missing here, when a row here is never read, or when this table
+/// and the README knob tables drift apart in either direction. Keep the
+/// rows sorted by name.
+pub const KNOBS: &[(&str, &str)] = &[
+    (
+        "FT_BENCH_SMOKE",
+        "shrink bench matrix sizes for CI smoke runs",
+    ),
+    (
+        "FT_BLAS_BACKEND",
+        "force the GEMM backend (`naive`/`blocked`/`ft`)",
+    ),
+    ("FT_BLAS_SIMD", "cap microkernel ISA (`scalar`/`avx2`)"),
+    (
+        "FT_GEHRD_LOOKAHEAD",
+        "panel lookahead depth for pipelined gehrd",
+    ),
+    ("FT_SERVE_BACKEND", "default backend for submitted jobs"),
+    (
+        "FT_SERVE_DEADLINE_MS",
+        "per-job deadline; 0 or unset disables",
+    ),
+    (
+        "FT_SERVE_METRICS_ADDR",
+        "bind address of the Prometheus endpoint",
+    ),
+    ("FT_SERVE_QUEUE_CAP", "bounded admission-queue capacity"),
+    ("FT_SERVE_WORKERS", "executor worker-thread count"),
+    ("FT_TRACE", "enable stderr trace output"),
+    (
+        "FT_TRACE_RECORDER",
+        "flight-recorder ring capacity (events)",
+    ),
+];
+
 /// The trimmed value of `name`, or `None` when unset or empty.
 pub fn raw(name: &str) -> Option<String> {
     match std::env::var(name) {
@@ -64,6 +103,22 @@ mod tests {
 
     // Env mutation is process-global: each test uses its own unique
     // variable name so parallel execution cannot interleave.
+
+    #[test]
+    fn knob_table_is_sorted_and_unique() {
+        for pair in KNOBS.windows(2) {
+            assert!(
+                pair[0].0 < pair[1].0,
+                "KNOBS must stay sorted and duplicate-free: {} !< {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+        for (name, desc) in KNOBS {
+            assert!(name.starts_with("FT_"), "knob {name} missing FT_ prefix");
+            assert!(!desc.is_empty(), "knob {name} needs a description");
+        }
+    }
 
     #[test]
     fn raw_trims_and_drops_empty() {

@@ -90,6 +90,7 @@ impl Histogram {
         self.name
     }
 
+    // ft-check: hot
     /// Records one observation (relaxed atomics; no-op with the
     /// `enabled` feature off).
     #[inline]

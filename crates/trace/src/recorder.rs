@@ -155,6 +155,7 @@ pub mod ring {
             }
         }
 
+        // ft-check: hot
         /// Records one event. Claim/commit protocol: claim generation
         /// `i` from `head`, mark the slot in-progress (odd sequence),
         /// publish the payload, commit (even sequence, release). Must
